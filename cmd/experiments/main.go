@@ -1,0 +1,135 @@
+// Command experiments runs the empirical study (experiment E8/E9 of
+// DESIGN.md): it measures realised makespans of the two-phase algorithm and
+// the baselines against the LP lower bound across DAG families, task
+// families and machine sizes, and (with -exact) against brute-force optimal
+// makespans on tiny instances. The paper proves a worst-case ratio; the
+// study confirms the proven bound holds and shows typical-case quality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"malsched/internal/baseline"
+	"malsched/internal/bruteforce"
+	"malsched/internal/core"
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+	"malsched/internal/params"
+	"malsched/internal/trace"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	trials := flag.Int("trials", 5, "instances per configuration")
+	exact := flag.Bool("exact", false, "run the brute-force exact study instead")
+	n := flag.Int("n", 24, "tasks per instance (approximate)")
+	flag.Parse()
+
+	if *exact {
+		exactStudy(*seed, *trials)
+		return
+	}
+	ratioStudy(*seed, *trials, *n)
+}
+
+type dagFamily struct {
+	name  string
+	build func(n int, rng *rand.Rand) *dag.DAG
+}
+
+func ratioStudy(seed int64, trials, n int) {
+	rng := rand.New(rand.NewSource(seed))
+	dags := []dagFamily{
+		{"chain", func(n int, r *rand.Rand) *dag.DAG { return gen.Chain(n) }},
+		{"independent", func(n int, r *rand.Rand) *dag.DAG { return gen.Independent(n) }},
+		{"forkjoin", func(n int, r *rand.Rand) *dag.DAG { return gen.ForkJoin(n - 2) }},
+		{"layered", func(n int, r *rand.Rand) *dag.DAG { return gen.Layered((n+3)/4, 4, 2, r) }},
+		{"outtree", func(n int, r *rand.Rand) *dag.DAG { return gen.OutTree(n, r) }},
+		{"erdos", func(n int, r *rand.Rand) *dag.DAG { return gen.ErdosDAG(n, 0.25, r) }},
+		{"cholesky", func(n int, r *rand.Rand) *dag.DAG { return gen.Cholesky(4) }},
+	}
+	fmt.Println("E8: makespan / LP-lower-bound by algorithm (mean over trials)")
+	header := []string{"dag", "m", "ours", "proven", "ltw", "ltw-proven", "seq", "greedy", "full"}
+	var rows [][]string
+	for _, df := range dags {
+		for _, m := range []int{4, 8, 16} {
+			var ours, ltw, seq, greedy, full float64
+			cnt := 0
+			for trial := 0; trial < trials; trial++ {
+				g := df.build(n, rng)
+				in := gen.Instance(g, gen.FamilyMixed, m, rng)
+				res, err := core.Solve(in, core.Options{})
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "%s m=%d: %v\n", df.name, m, err)
+					continue
+				}
+				lb := res.LowerBound
+				ours += res.Makespan / lb
+				if r, err := baseline.LTW(in); err == nil {
+					ltw += r.Makespan / lb
+				}
+				if r, err := baseline.Sequential(in); err == nil {
+					seq += r.Makespan / lb
+				}
+				if r, err := baseline.GreedyCP(in); err == nil {
+					greedy += r.Makespan / lb
+				}
+				if r, err := baseline.FullAllotment(in); err == nil {
+					full += r.Makespan / lb
+				}
+				cnt++
+			}
+			if cnt == 0 {
+				continue
+			}
+			f := float64(cnt)
+			_, ltwProven := baseline.LTWRatio(m)
+			rows = append(rows, []string{
+				df.name, fmt.Sprint(m),
+				fmt.Sprintf("%.3f", ours/f),
+				fmt.Sprintf("%.3f", params.Choose(m).R),
+				fmt.Sprintf("%.3f", ltw/f),
+				fmt.Sprintf("%.3f", ltwProven),
+				fmt.Sprintf("%.3f", seq/f),
+				fmt.Sprintf("%.3f", greedy/f),
+				fmt.Sprintf("%.3f", full/f),
+			})
+		}
+	}
+	trace.Table(os.Stdout, header, rows)
+	fmt.Println("\nNote: columns are upper bounds on the true approximation factor")
+	fmt.Println("(the denominator is the LP lower bound, not OPT).")
+}
+
+func exactStudy(seed int64, trials int) {
+	rng := rand.New(rand.NewSource(seed))
+	fmt.Println("E9: exact ratios versus brute-force OPT on tiny instances")
+	header := []string{"n", "m", "mean", "worst", "proven"}
+	var rows [][]string
+	for _, cfg := range []struct{ n, m int }{{3, 2}, {4, 2}, {5, 2}, {4, 3}, {5, 3}, {6, 3}} {
+		var sum, worst float64
+		for trial := 0; trial < trials; trial++ {
+			in := gen.Instance(gen.ErdosDAG(cfg.n, 0.35, rng), gen.FamilyMixed, cfg.m, rng)
+			opt := bruteforce.Optimal(in)
+			res, err := core.Solve(in, core.Options{})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				continue
+			}
+			ratio := res.Makespan / opt
+			sum += ratio
+			worst = math.Max(worst, ratio)
+		}
+		rows = append(rows, []string{
+			fmt.Sprint(cfg.n), fmt.Sprint(cfg.m),
+			fmt.Sprintf("%.4f", sum/float64(trials)),
+			fmt.Sprintf("%.4f", worst),
+			fmt.Sprintf("%.4f", params.Choose(cfg.m).R),
+		})
+	}
+	trace.Table(os.Stdout, header, rows)
+}

@@ -1,0 +1,116 @@
+// Command figures regenerates the data behind the paper's figures:
+//
+//	figures -fig 1    speedup s(l) and work w(p(l)) series (CSV)
+//	figures -fig 2    a schedule with its "heavy" path (ASCII Gantt)
+//	figures -fig 3    Lemma 4.6 property Omega1 example functions (CSV)
+//	figures -fig 4    Lemma 4.6 property Omega2 example functions (CSV)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"malsched/internal/core"
+	"malsched/internal/gen"
+	"malsched/internal/malleable"
+	"malsched/internal/nlp"
+	"malsched/internal/params"
+	"malsched/internal/trace"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number (1-4)")
+	m := flag.Int("m", 16, "machine size")
+	flag.Parse()
+	switch *fig {
+	case 1:
+		fig1(*m)
+	case 2:
+		fig2(*m)
+	case 3:
+		fig3(*m)
+	case 4:
+		fig4()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: figures -fig 1|2|3|4 [-m M]")
+		os.Exit(2)
+	}
+}
+
+// fig1 emits the concave speedup and the convex work-vs-processing-time
+// diagrams of Fig. 1 for the paper's example task p(l) = p(1) l^-d.
+func fig1(m int) {
+	task := malleable.PowerLaw("example", 100, 0.6, m)
+	fmt.Println("# Fig 1 (left): speedup s(l), concave in l")
+	rows := make([][]float64, 0, m)
+	for l := 0; l <= m; l++ {
+		rows = append(rows, []float64{float64(l), task.Speedup(l)})
+	}
+	trace.CSV(os.Stdout, []string{"l", "s"}, rows)
+	fmt.Println("# Fig 1 (right): work w(p(l)) vs processing time p(l), convex")
+	rows = rows[:0]
+	for l := m; l >= 1; l-- {
+		rows = append(rows, []float64{task.Time(l), task.Work(l)})
+	}
+	trace.CSV(os.Stdout, []string{"p", "w"}, rows)
+}
+
+// fig2 builds a schedule with the two-phase algorithm and prints its Gantt
+// chart together with the heavy path of Lemma 4.3.
+func fig2(m int) {
+	rng := rand.New(rand.NewSource(2))
+	g := gen.Layered(4, 3, 2, rng)
+	in := gen.Instance(g, gen.FamilyPowerLaw, m, rng)
+	res, err := core.Solve(in, core.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("Fig 2: schedule on m=%d (mu=%d, rho=%.2f) with heavy path\n", m, res.Params.Mu, res.Params.Rho)
+	if err := trace.Gantt(os.Stdout, res.Schedule, 72); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := res.Schedule.HeavyPath(in.G, res.Params.Mu)
+	fmt.Printf("heavy path (task ids, by start time): %v\n", path)
+	cls := res.Schedule.Classify(res.Params.Mu)
+	fmt.Printf("slot classes: |T1|=%.3f |T2|=%.3f |T3|=%.3f (Cmax=%.3f)\n",
+		cls.T1, cls.T2, cls.T3, res.Makespan)
+}
+
+// fig3 emits the A/B branch functions whose unique crossing in mu is the
+// Lemma 4.8 minimiser — the concrete instance of Lemma 4.6's property
+// Omega1 (Fig. 3): A increasing, B decreasing.
+func fig3(m int) {
+	rho := 0.26
+	A, B := nlp.ABFunctions(m, rho)
+	fmt.Printf("# Fig 3 (Omega1): A(mu) increasing, B(mu) decreasing, m=%d rho=%.2f\n", m, rho)
+	var rows [][]float64
+	lo, hi := 1.0, float64(m+1)/2
+	for i := 0; i <= 100; i++ {
+		mu := lo + (hi-lo)*float64(i)/100
+		rows = append(rows, []float64{mu, A(mu), B(mu)})
+	}
+	trace.CSV(os.Stdout, []string{"mu", "A", "B"}, rows)
+	x0, minimises, found := nlp.UniqueCrossing(A, B, lo, hi, 4000)
+	fmt.Printf("# crossing at mu=%.6f (Lemma 4.8: %.6f), minimises max: %v, found: %v\n",
+		x0, params.MuFromLemma48(m, rho), minimises, found)
+}
+
+// fig4 emits a generic Omega2 example (both derivatives non-vanishing with
+// the same sign): f(x)=2-1/(x+1), g(x)=x^2 on [0,2].
+func fig4() {
+	f := func(x float64) float64 { return 2 - 1/(x+1) }
+	g := func(x float64) float64 { return x * x }
+	fmt.Println("# Fig 4 (Omega2): f and g both increasing, unique crossing")
+	var rows [][]float64
+	for i := 0; i <= 100; i++ {
+		x := 2 * float64(i) / 100
+		rows = append(rows, []float64{x, f(x), g(x)})
+	}
+	trace.CSV(os.Stdout, []string{"x", "f", "g"}, rows)
+	x0, minimises, found := nlp.UniqueCrossing(f, g, 0, 2, 4000)
+	fmt.Printf("# crossing at x=%.6f, minimises max{f,g}: %v, found: %v\n", x0, minimises, found)
+}

@@ -1,0 +1,85 @@
+// Command geninstance writes a random problem instance as JSON:
+//
+//	geninstance -dag layered -family powerlaw -n 12 -m 8 -seed 1 > inst.json
+//
+// DAG families: chain, independent, forkjoin, layered, outtree, erdos,
+// seriesparallel, cholesky. Task families: powerlaw, amdahl, capped,
+// random, mixed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"malsched"
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+)
+
+func main() {
+	dagName := flag.String("dag", "layered", "DAG family")
+	family := flag.String("family", "mixed", "task family")
+	n := flag.Int("n", 12, "task count (interpretation depends on family)")
+	m := flag.Int("m", 8, "machine size")
+	seed := flag.Int64("seed", 1, "random seed")
+	p := flag.Float64("p", 0.3, "edge probability (erdos)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *dag.DAG
+	switch *dagName {
+	case "chain":
+		g = gen.Chain(*n)
+	case "independent":
+		g = gen.Independent(*n)
+	case "forkjoin":
+		g = gen.ForkJoin(*n - 2)
+	case "layered":
+		w := 3
+		d := (*n + w - 1) / w
+		g = gen.Layered(d, w, 2, rng)
+	case "outtree":
+		g = gen.OutTree(*n, rng)
+	case "erdos":
+		g = gen.ErdosDAG(*n, *p, rng)
+	case "seriesparallel":
+		g = gen.SeriesParallel(*n, rng)
+	case "cholesky":
+		g = gen.Cholesky(*n)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dag family %q\n", *dagName)
+		os.Exit(2)
+	}
+
+	var fam gen.TaskFamily
+	switch *family {
+	case "powerlaw":
+		fam = gen.FamilyPowerLaw
+	case "amdahl":
+		fam = gen.FamilyAmdahl
+	case "capped":
+		fam = gen.FamilyCapped
+	case "random":
+		fam = gen.FamilyRandom
+	case "mixed":
+		fam = gen.FamilyMixed
+	default:
+		fmt.Fprintf(os.Stderr, "unknown task family %q\n", *family)
+		os.Exit(2)
+	}
+
+	inst := &malsched.Instance{M: *m, Tasks: gen.Tasks(fam, g.N(), *m, rng)}
+	for _, e := range g.Edges() {
+		inst.Edges = append(inst.Edges, e)
+	}
+	if err := inst.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "generated invalid instance:", err)
+		os.Exit(1)
+	}
+	if err := malsched.WriteJSON(os.Stdout, inst); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Command malsched solves a scheduling instance from a JSON file:
+//
+//	malsched -in instance.json [-algo ours|ltw|seq|greedy|full] [-gantt]
+//
+// The instance format matches malsched.Instance:
+//
+//	{"m": 4, "tasks": [{"Name": "a", "Times": [4, 2.2, 1.6, 1.3]}, ...],
+//	 "edges": [[0, 1], ...]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"malsched"
+)
+
+func main() {
+	inPath := flag.String("in", "", "instance JSON file (required)")
+	algo := flag.String("algo", "ours", "algorithm: ours, ltw, seq, greedy, full")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
+	width := flag.Int("width", 72, "gantt chart width")
+	flag.Parse()
+	if *inPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	in, err := malsched.ReadJSON(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	var res *malsched.Result
+	switch *algo {
+	case "ours":
+		res, err = malsched.Solve(in)
+	case "ltw":
+		res, err = malsched.SolveLTW(in)
+	case "seq":
+		res, err = malsched.SolveSequential(in)
+	case "greedy":
+		res, err = malsched.SolveGreedyCP(in)
+	case "full":
+		res, err = malsched.SolveFullAllotment(in)
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := malsched.Verify(in, res); err != nil {
+		fatal(fmt.Errorf("produced schedule failed verification: %w", err))
+	}
+
+	fmt.Printf("algorithm:    %s\n", *algo)
+	fmt.Printf("tasks:        %d on m=%d processors\n", len(in.Tasks), in.M)
+	fmt.Printf("makespan:     %.6f\n", res.Makespan)
+	if res.LowerBound > 0 {
+		fmt.Printf("lower bound:  %.6f (max{L*, W*/m} <= OPT)\n", res.LowerBound)
+		fmt.Printf("guarantee:    %.4f (proven worst case: %.4f)\n", res.Guarantee, res.ProvenRatio)
+	}
+	if res.Mu > 0 {
+		fmt.Printf("parameters:   mu=%d rho=%.3f\n", res.Mu, res.Rho)
+	}
+	fmt.Println("allotment:")
+	for j, it := range res.Schedule.Items {
+		fmt.Printf("  task %2d (%s): %d procs, start %.4f, duration %.4f\n",
+			j, in.Tasks[j].Name, it.Alloc, it.Start, it.Duration)
+	}
+	if *gantt {
+		fmt.Println()
+		if err := malsched.Gantt(os.Stdout, res.Schedule, *width); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "malsched:", err)
+	os.Exit(1)
+}

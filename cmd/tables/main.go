@@ -1,0 +1,114 @@
+// Command tables regenerates the numeric tables of the paper:
+//
+//	tables -table 2            Table 2: our algorithm's mu(m), rho(m), r(m)
+//	tables -table 3            Table 3: the LTW [18] baseline ratios
+//	tables -table 4            Table 4: grid solution of the min-max NLP (18)
+//	tables -asymptotics        Section 4.3: polynomial roots and limits
+//	tables -maxm 64            extend any table beyond the paper's m=33
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"malsched/internal/baseline"
+	"malsched/internal/nlp"
+	"malsched/internal/params"
+	"malsched/internal/trace"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table number to regenerate (2, 3 or 4)")
+	asym := flag.Bool("asymptotics", false, "print the Section 4.3 asymptotic analysis")
+	jz06 := flag.Bool("jz06", false, "print the JZ06 [13] comparison ratios (extension)")
+	maxM := flag.Int("maxm", 33, "largest machine size m")
+	dRho := flag.Float64("drho", 1e-4, "grid step for table 4")
+	flag.Parse()
+
+	switch {
+	case *asym:
+		asymptotics()
+	case *jz06:
+		tableJZ06(*maxM)
+	case *table == 2:
+		table2(*maxM)
+	case *table == 3:
+		table3(*maxM)
+	case *table == 4:
+		table4(*maxM, *dRho)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tables -table 2|3|4 [-maxm M] | tables -asymptotics | tables -jz06")
+		os.Exit(2)
+	}
+}
+
+func tableJZ06(maxM int) {
+	fmt.Println("Extension: proven ratios of the earlier Jansen-Zhang algorithm [13]")
+	fmt.Println("(weaker Assumption 2'; the paper's introduction quotes its 4.730598 asymptote)")
+	var rows [][]string
+	for m := 2; m <= maxM; m++ {
+		mu, rho, r := baseline.JZ06Ratio(m)
+		rows = append(rows, []string{
+			fmt.Sprint(m), fmt.Sprint(mu), fmt.Sprintf("%.3f", rho), fmt.Sprintf("%.4f", r),
+		})
+	}
+	trace.Table(os.Stdout, []string{"m", "mu(m)", "rho(m)", "r(m)"}, rows)
+}
+
+func table2(maxM int) {
+	fmt.Println("Table 2: approximation ratios of the Jansen-Zhang algorithm")
+	var rows [][]string
+	for _, r := range params.Table2(maxM) {
+		rows = append(rows, []string{
+			fmt.Sprint(r.M), fmt.Sprint(r.Mu),
+			fmt.Sprintf("%.3f", r.Rho), fmt.Sprintf("%.4f", r.R),
+		})
+	}
+	trace.Table(os.Stdout, []string{"m", "mu(m)", "rho(m)", "r(m)"}, rows)
+	fmt.Printf("\nCorollary 4.1 supremum: %.6f\n", params.CorollarySup())
+}
+
+func table3(maxM int) {
+	fmt.Println("Table 3: approximation ratios of the LTW algorithm [18]")
+	var rows [][]string
+	for _, r := range baseline.Table3(maxM) {
+		rows = append(rows, []string{
+			fmt.Sprint(r.M), fmt.Sprint(r.Mu), fmt.Sprintf("%.4f", r.R),
+		})
+	}
+	trace.Table(os.Stdout, []string{"m", "mu(m)", "r(m)"}, rows)
+	fmt.Printf("\nasymptote: 3+sqrt(5) = %.6f\n", 3+math.Sqrt(5))
+}
+
+func table4(maxM int, dRho float64) {
+	fmt.Printf("Table 4: numeric solution of min-max NLP (18), grid step %g\n", dRho)
+	var rows [][]string
+	for m := 2; m <= maxM; m++ {
+		r := nlp.GridSolve(m, dRho)
+		rows = append(rows, []string{
+			fmt.Sprint(r.M), fmt.Sprint(r.Mu),
+			fmt.Sprintf("%.3f", r.Rho), fmt.Sprintf("%.4f", r.R),
+		})
+	}
+	trace.Table(os.Stdout, []string{"m", "mu(m)", "rho(m)", "r(m)"}, rows)
+}
+
+func asymptotics() {
+	fmt.Println("Section 4.3: asymptotic behaviour of the approximation ratio")
+	fmt.Println("limit polynomial: rho^6+6rho^5+3rho^4+14rho^3+21rho^2+24rho-8 = 0")
+	fmt.Println("roots:")
+	for _, r := range nlp.Roots(nlp.AsymptoticPolynomial()) {
+		if math.Abs(imag(r)) < 1e-9 {
+			fmt.Printf("  % .6f\n", real(r))
+		} else {
+			fmt.Printf("  % .6f %+.6fi\n", real(r), imag(r))
+		}
+	}
+	rho, beta, r := nlp.AsymptoticOptimum()
+	fmt.Printf("feasible root rho* = %.6f\n", rho)
+	fmt.Printf("mu*/m            -> %.6f\n", beta)
+	fmt.Printf("ratio r          -> %.6f\n", r)
+	fmt.Printf("fixed rho-hat=0.26 supremum (Corollary 4.1): %.6f\n", params.CorollarySup())
+}

@@ -1,0 +1,64 @@
+package malsched_test
+
+import (
+	"fmt"
+
+	"malsched"
+)
+
+// ExampleSolve schedules a two-stage pipeline with perfect-speedup tasks on
+// two processors. Note the worst-case-optimal parameters for m=2 set the
+// allotment cap mu=1, so the pipeline runs sequentially at exactly the
+// proven factor 2 of the lower bound — the m=2 bound of Theorem 4.1 is
+// tight on this instance. WithMu(2) would recover the optimum 4.
+func ExampleSolve() {
+	inst := &malsched.Instance{
+		M: 2,
+		Tasks: []malsched.Task{
+			malsched.NewTask("stage1", []float64{4, 2}),
+			malsched.NewTask("stage2", []float64{4, 2}),
+		},
+		Edges: [][2]int{{0, 1}},
+	}
+	res, err := malsched.Solve(inst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("makespan %.1f on %d processors (lower bound %.1f, proven ratio %.0f)\n",
+		res.Makespan, inst.M, res.LowerBound, res.ProvenRatio)
+	wide, err := malsched.Solve(inst, malsched.WithMu(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("with mu=2: makespan %.1f\n", wide.Makespan)
+	// Output:
+	// makespan 8.0 on 2 processors (lower bound 4.0, proven ratio 2)
+	// with mu=2: makespan 4.0
+}
+
+// ExampleParams looks up the paper's Theorem 4.1 parameters for a machine.
+func ExampleParams() {
+	mu, rho, ratio := malsched.Params(10)
+	fmt.Printf("m=10: mu=%d rho=%.2f proven ratio %.4f\n", mu, rho, ratio)
+	// Output:
+	// m=10: mu=4 rho=0.26 proven ratio 3.0026
+}
+
+// ExampleOptimal cross-checks the algorithm against the exact optimum on a
+// tiny instance.
+func ExampleOptimal() {
+	inst := &malsched.Instance{
+		M: 2,
+		Tasks: []malsched.Task{
+			malsched.NewTask("a", []float64{3, 3}), // sequential
+			malsched.NewTask("b", []float64{3, 3}),
+		},
+	}
+	opt, err := malsched.Optimal(inst)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("OPT = %.1f (run both tasks in parallel)\n", opt)
+	// Output:
+	// OPT = 3.0 (run both tasks in parallel)
+}

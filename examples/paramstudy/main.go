@@ -1,0 +1,56 @@
+// Paramstudy: an ablation over the algorithm's two knobs — the rounding
+// parameter rho and the allotment cap mu — on a fixed workload. The paper
+// chooses rho-hat = 0.26 and mu from Eq. (20) to minimise the *worst-case*
+// ratio; this study shows how the realised makespan responds on a typical
+// instance, and that the paper's choice is competitive (the worst case
+// optimum need not win on every instance, but it is never far off).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"malsched"
+	"malsched/internal/gen"
+)
+
+func main() {
+	const m = 12
+	rng := rand.New(rand.NewSource(5))
+	g := gen.Layered(5, 4, 2, rng)
+	inst := &malsched.Instance{M: m, Tasks: nil}
+	for v := 0; v < g.N(); v++ {
+		inst.Tasks = append(inst.Tasks, malsched.PowerLawTask(fmt.Sprintf("t%d", v), 5+45*rng.Float64(), 0.4+0.5*rng.Float64(), m))
+	}
+	for _, e := range g.Edges() {
+		inst.Edges = append(inst.Edges, e)
+	}
+
+	muStar, rhoStar, ratio := malsched.Params(m)
+	fmt.Printf("paper's choice for m=%d: mu=%d rho=%.3f (proven ratio %.4f)\n\n", m, muStar, rhoStar, ratio)
+
+	fmt.Println("rho sweep (mu fixed at paper's choice):")
+	fmt.Printf("%-6s  %-10s  %-9s\n", "rho", "makespan", "vs bound")
+	for _, rho := range []float64{0, 0.13, 0.26, 0.5, 0.75, 1} {
+		res, err := malsched.Solve(inst, malsched.WithRho(rho))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.2f  %-10.3f  %.3fx\n", rho, res.Makespan, res.Guarantee)
+	}
+
+	fmt.Println("\nmu sweep (rho fixed at paper's choice):")
+	fmt.Printf("%-4s  %-10s  %-9s\n", "mu", "makespan", "vs bound")
+	for mu := 1; mu <= (m+1)/2; mu++ {
+		res, err := malsched.Solve(inst, malsched.WithMu(mu))
+		if err != nil {
+			log.Fatal(err)
+		}
+		marker := ""
+		if mu == muStar {
+			marker = "  <- paper"
+		}
+		fmt.Printf("%-4d  %-10.3f  %.3fx%s\n", mu, res.Makespan, res.Guarantee, marker)
+	}
+}

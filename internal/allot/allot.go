@@ -1,0 +1,184 @@
+// Package allot implements the first phase of the Jansen–Zhang two-phase
+// algorithm (Section 3.1 of the paper): it formulates the allotment problem
+// as the linear program (9), solves it with the simplex solver from
+// internal/lp, extracts the fractional processing times x*_j together with
+// the LP lower bound C* >= max{L*, W*/m}, and rounds the fractional solution
+// with parameter rho into an integral allotment alpha'.
+//
+// The LP is built on the efficient frontier of each task, so the convexity
+// of the work function in the processing time (Theorem 2.2) turns the
+// piecewise linear program (7) into the ordinary linear program (9): for
+// every frontier segment l the constraint
+//
+//	[(l+1)p(l+1) - l p(l)]/[p(l+1) - p(l)] * x_j
+//	  - p(l)p(l+1)/[p(l+1) - p(l)]  <=  wbar_j
+//
+// lower-bounds the work variable wbar_j by the segment's supporting line.
+package allot
+
+import (
+	"fmt"
+	"math"
+
+	"malsched/internal/dag"
+	"malsched/internal/lp"
+	"malsched/internal/malleable"
+)
+
+// Instance couples the precedence graph with the malleable tasks and the
+// machine size. Tasks[j] corresponds to vertex j of G.
+type Instance struct {
+	G     *dag.DAG
+	Tasks []malleable.Task
+	M     int
+}
+
+// Validate checks the instance is well-formed and every task satisfies the
+// model assumptions on m processors.
+func (in *Instance) Validate() error {
+	if in.M < 1 {
+		return fmt.Errorf("allot: machine size %d < 1", in.M)
+	}
+	if in.G.N() != len(in.Tasks) {
+		return fmt.Errorf("allot: %d tasks for %d vertices", len(in.Tasks), in.G.N())
+	}
+	if err := in.G.Validate(); err != nil {
+		return err
+	}
+	for j, t := range in.Tasks {
+		if err := t.Validate(in.M); err != nil {
+			return fmt.Errorf("task %d (%s): %w", j, t.Name, err)
+		}
+	}
+	return nil
+}
+
+// Frontiers computes the efficient frontier of every task on m processors.
+func (in *Instance) Frontiers() []malleable.Frontier {
+	fs := make([]malleable.Frontier, len(in.Tasks))
+	for j, t := range in.Tasks {
+		fs[j] = malleable.NewFrontier(t, in.M)
+	}
+	return fs
+}
+
+// Fractional is the optimal solution of LP (9).
+type Fractional struct {
+	X     []float64 // x*_j: fractional processing times
+	Wbar  []float64 // wbar_j: work of task j in the LP optimum
+	C     float64   // C*: LP optimum, a lower bound on OPT (Eq. 11)
+	L     float64   // L*: fractional critical-path length
+	W     float64   // W*: fractional total work
+	LStar []float64 // l*_j = w_j(x*_j)/x*_j (Eq. 12)
+}
+
+// SolveLP builds and solves LP (9) for the instance. The returned C
+// satisfies max{L, W/m} <= C <= OPT.
+func SolveLP(in *Instance) (*Fractional, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	fronts := in.Frontiers()
+
+	p := lp.NewProblem()
+	// Variables, all non-negative: completion C_j, processing x_j, work
+	// wbar_j for each task, plus the critical-path length L and makespan C.
+	cj := make([]int, n)
+	xj := make([]int, n)
+	wj := make([]int, n)
+	for j := 0; j < n; j++ {
+		cj[j] = p.AddVar(fmt.Sprintf("C_%d", j))
+	}
+	for j := 0; j < n; j++ {
+		xj[j] = p.AddVar(fmt.Sprintf("x_%d", j))
+	}
+	for j := 0; j < n; j++ {
+		wj[j] = p.AddVar(fmt.Sprintf("w_%d", j))
+	}
+	vL := p.AddVar("L")
+	vC := p.AddVar("C")
+	p.SetObj(vC, 1)
+
+	for j := 0; j < n; j++ {
+		f := fronts[j]
+		// Domain of the processing time: p_j(m) <= x_j <= p_j(1).
+		p.AddConstraint(lp.GE, f.XMin(), lp.Term{Var: xj[j], Coef: 1})
+		p.AddConstraint(lp.LE, f.XMax(), lp.Term{Var: xj[j], Coef: 1})
+		// Completion ordering: x_j <= C_j (valid for every task and required
+		// for sources, which have no precedence row), C_j <= L.
+		p.AddConstraint(lp.LE, 0, lp.Term{Var: xj[j], Coef: 1}, lp.Term{Var: cj[j], Coef: -1})
+		p.AddConstraint(lp.LE, 0, lp.Term{Var: cj[j], Coef: 1}, lp.Term{Var: vL, Coef: -1})
+		// Work linearisation (Eq. (8)): one supporting line per segment.
+		for s := 0; s < f.Segments(); s++ {
+			hi, lo := f.X[s], f.X[s+1] // p(l) > p(l+1)
+			whi, wlo := f.W[s], f.W[s+1]
+			den := lo - hi // negative
+			slope := (wlo - whi) / den
+			intercept := (whi*lo - wlo*hi) / den
+			// slope*x + intercept <= wbar  <=>  slope*x - wbar <= -intercept
+			p.AddConstraint(lp.LE, -intercept,
+				lp.Term{Var: xj[j], Coef: slope}, lp.Term{Var: wj[j], Coef: -1})
+		}
+		if f.Segments() == 0 {
+			// Degenerate frontier: the work is the constant W(l_min).
+			p.AddConstraint(lp.GE, f.W[0], lp.Term{Var: wj[j], Coef: 1})
+		}
+	}
+	// Precedence: C_i + x_j <= C_j for every arc (i, j).
+	for _, e := range in.G.Edges() {
+		p.AddConstraint(lp.LE, 0,
+			lp.Term{Var: cj[e[0]], Coef: 1},
+			lp.Term{Var: xj[e[1]], Coef: 1},
+			lp.Term{Var: cj[e[1]], Coef: -1})
+	}
+	// L <= C and total work W/m <= C.
+	p.AddConstraint(lp.LE, 0, lp.Term{Var: vL, Coef: 1}, lp.Term{Var: vC, Coef: -1})
+	workTerms := make([]lp.Term, 0, n+1)
+	for j := 0; j < n; j++ {
+		workTerms = append(workTerms, lp.Term{Var: wj[j], Coef: 1 / float64(in.M)})
+	}
+	workTerms = append(workTerms, lp.Term{Var: vC, Coef: -1})
+	p.AddConstraint(lp.LE, 0, workTerms...)
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("allot: LP (9) failed: %w", err)
+	}
+
+	out := &Fractional{
+		X:     make([]float64, n),
+		Wbar:  make([]float64, n),
+		LStar: make([]float64, n),
+		C:     sol.Obj,
+		L:     sol.X[vL],
+	}
+	for j := 0; j < n; j++ {
+		out.X[j] = clamp(sol.X[xj[j]], fronts[j].XMin(), fronts[j].XMax())
+		// Evaluate the work on the frontier rather than trusting the slack
+		// LP variable: when the total-work row is not binding the LP may
+		// leave wbar_j above w_j(x*_j).
+		out.Wbar[j] = fronts[j].WorkAt(out.X[j])
+		out.W += out.Wbar[j]
+		out.LStar[j] = fronts[j].FractionalAlloc(out.X[j])
+	}
+	return out, nil
+}
+
+func clamp(x, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, x))
+}
+
+// Round applies the Section 3.1 rounding with parameter rho in [0,1] to the
+// fractional processing times, producing the integral allotment alpha':
+// l'_j processors for task j. Lemma 4.2 guarantees the rounded processing
+// time is at most 2x*_j/(1+rho) and the rounded work at most
+// 2 w_j(x*_j)/(2-rho).
+func Round(in *Instance, frac *Fractional, rho float64) []int {
+	fronts := in.Frontiers()
+	alloc := make([]int, len(in.Tasks))
+	for j := range in.Tasks {
+		alloc[j] = fronts[j].Round(frac.X[j], rho)
+	}
+	return alloc
+}

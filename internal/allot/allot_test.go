@@ -1,0 +1,233 @@
+package allot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"malsched/internal/dag"
+	"malsched/internal/malleable"
+)
+
+// twoTaskChain: 0 -> 1 on m=2 with simple tasks.
+func twoTaskChain() *Instance {
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	return &Instance{
+		G: g,
+		Tasks: []malleable.Task{
+			malleable.NewTask("a", []float64{4, 2}), // perfect speedup
+			malleable.NewTask("b", []float64{4, 2}),
+		},
+		M: 2,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	in := twoTaskChain()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+	bad := &Instance{G: dag.New(1), Tasks: in.Tasks, M: 2}
+	if bad.Validate() == nil {
+		t.Error("mismatched task count accepted")
+	}
+	if (&Instance{G: dag.New(0), M: 0}).Validate() == nil {
+		t.Error("m=0 accepted")
+	}
+	cyc := dag.New(2)
+	cyc.MustEdge(0, 1)
+	cyc.MustEdge(1, 0)
+	if (&Instance{G: cyc, Tasks: in.Tasks, M: 2}).Validate() == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestSolveLPChain(t *testing.T) {
+	// Chain of two perfect-speedup tasks on m=2: running both on 2
+	// processors gives L = W/m = 4, so C* = 4 and x*_j = 2.
+	in := twoTaskChain()
+	frac, err := SolveLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac.C-4) > 1e-6 {
+		t.Errorf("C* = %v, want 4", frac.C)
+	}
+	for j, x := range frac.X {
+		if math.Abs(x-2) > 1e-6 {
+			t.Errorf("x*_%d = %v, want 2", j, x)
+		}
+	}
+	if math.Abs(frac.L-4) > 1e-6 {
+		t.Errorf("L* = %v, want 4", frac.L)
+	}
+	if math.Abs(frac.W-8) > 1e-6 {
+		t.Errorf("W* = %v, want 8", frac.W)
+	}
+}
+
+func TestSolveLPIndependentSequentialTasks(t *testing.T) {
+	// Four sequential (no-speedup) unit tasks on m=2: LP must discover
+	// C* = W/m = 2 with every x*_j = 1.
+	in := &Instance{G: dag.New(4), M: 2}
+	for i := 0; i < 4; i++ {
+		in.Tasks = append(in.Tasks, malleable.Sequential("s", 1, 2))
+	}
+	frac, err := SolveLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac.C-2) > 1e-6 {
+		t.Errorf("C* = %v, want 2 (work bound)", frac.C)
+	}
+}
+
+func TestSolveLPSingleTask(t *testing.T) {
+	// One power-law task alone: the LP balances path length (x) against
+	// work/m; for p(l)=8/l on m=4, running on 4 procs gives L=2, W/m=2.
+	in := &Instance{
+		G:     dag.New(1),
+		Tasks: []malleable.Task{malleable.CappedLinear("c", 8, 4, 4)},
+		M:     4,
+	}
+	frac, err := SolveLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac.C-2) > 1e-6 {
+		t.Errorf("C* = %v, want 2", frac.C)
+	}
+	if math.Abs(frac.X[0]-2) > 1e-6 {
+		t.Errorf("x* = %v, want 2", frac.X[0])
+	}
+}
+
+// Eq. (11): the LP optimum is a lower bound dominated by any feasible
+// integral schedule value; here tested as max{L*, W*/m} <= C* + tol and
+// C* <= makespan of an arbitrary feasible allotment's critical-path/work
+// certificate.
+func TestLPLowerBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		m := 2 + r.Intn(4)
+		g := dag.New(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if r.Float64() < 0.3 {
+					g.MustEdge(a, b)
+				}
+			}
+		}
+		in := &Instance{G: g, M: m}
+		for j := 0; j < n; j++ {
+			in.Tasks = append(in.Tasks, malleable.RandomConcave("t", 1+9*r.Float64(), m, r))
+		}
+		frac, err := SolveLP(in)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if frac.L > frac.C+1e-6 || frac.W/float64(m) > frac.C+1e-6 {
+			t.Logf("seed %d: max{L,W/m} exceeds C*: L=%v W/m=%v C=%v", seed, frac.L, frac.W/float64(m), frac.C)
+			return false
+		}
+		// Any integral allotment alpha yields the certificate
+		// max{L(alpha), W(alpha)/m} >= C*.
+		alpha := make([]int, n)
+		w := make([]float64, n)
+		totalWork := 0.0
+		for j := range alpha {
+			alpha[j] = 1 + r.Intn(m)
+			w[j] = in.Tasks[j].Time(alpha[j])
+			totalWork += in.Tasks[j].Work(alpha[j])
+		}
+		length, _, _ := g.CriticalPath(w)
+		cert := math.Max(length, totalWork/float64(m))
+		return cert >= frac.C-1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120, Rand: rng}); err != nil {
+		t.Errorf("LP lower-bound property failed: %v", err)
+	}
+}
+
+// Lemma 4.1 on LP solutions: l <= l*_j <= l+1 where x*_j lies in segment l.
+func TestLStarRange(t *testing.T) {
+	in := twoTaskChain()
+	frac, err := SolveLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, ls := range frac.LStar {
+		if ls < 1-1e-9 || ls > 2+1e-9 {
+			t.Errorf("l*_%d = %v outside [1,2]", j, ls)
+		}
+	}
+}
+
+func TestRoundProducesValidAllotment(t *testing.T) {
+	in := twoTaskChain()
+	frac, err := SolveLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rho := range []float64{0, 0.26, 0.5, 1} {
+		alloc := Round(in, frac, rho)
+		for j, l := range alloc {
+			if l < 1 || l > in.M {
+				t.Errorf("rho=%v: allotment %d for task %d out of range", rho, l, j)
+			}
+		}
+	}
+}
+
+// Rounding respects the Lemma 4.2 stretch bounds on LP solutions.
+func TestRoundStretchOnLPSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 2 + rng.Intn(6)
+		g := dag.New(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.3 {
+					g.MustEdge(a, b)
+				}
+			}
+		}
+		in := &Instance{G: g, M: m}
+		for j := 0; j < n; j++ {
+			in.Tasks = append(in.Tasks, malleable.RandomConcave("t", 1+9*rng.Float64(), m, rng))
+		}
+		frac, err := SolveLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rho := rng.Float64()
+		durBound, workBound := malleable.StretchBounds(rho)
+		alloc := Round(in, frac, rho)
+		fronts := in.Frontiers()
+		for j, l := range alloc {
+			if p := in.Tasks[j].Time(l); p > durBound*frac.X[j]+1e-7 {
+				t.Errorf("trial %d task %d: p(l')=%v > %v * x*=%v", trial, j, p, durBound, frac.X[j])
+			}
+			if w := in.Tasks[j].Work(l); w > workBound*fronts[j].WorkAt(frac.X[j])+1e-7 {
+				t.Errorf("trial %d task %d: W(l')=%v > %v * w(x*)=%v", trial, j, w, workBound, fronts[j].WorkAt(frac.X[j]))
+			}
+		}
+	}
+}
+
+func TestFrontiersMatchTasks(t *testing.T) {
+	in := twoTaskChain()
+	fs := in.Frontiers()
+	if len(fs) != 2 {
+		t.Fatalf("got %d frontiers", len(fs))
+	}
+	if fs[0].XMax() != 4 || fs[0].XMin() != 2 {
+		t.Errorf("frontier domain = [%v,%v], want [2,4]", fs[0].XMin(), fs[0].XMax())
+	}
+}

@@ -1,0 +1,121 @@
+package allot
+
+import (
+	"fmt"
+
+	"malsched/internal/lp"
+)
+
+// SolveLP10 solves the alternative linear programming relaxation (10) of
+// the paper's Remark in Section 3.1: the "straightforward" scheduling LP
+// with assignment variables x_{j,l} (the fraction of task j notionally run
+// on l processors),
+//
+//	min C
+//	s.t. C_i + sum_l x_{j,l} p_j(l) <= C_j   for all arcs (i,j)
+//	     C_j <= C
+//	     sum_j sum_l x_{j,l} l p_j(l) <= m C
+//	     sum_l x_{j,l} = 1,  x_{j,l} >= 0.
+//
+// The paper proves (7) (equivalently (9)) and (10) have equal optima under
+// Theorem 2.2; this implementation exists to verify that equivalence
+// computationally (see TestLP9EquivalentToLP10) and as an ablation of the
+// formulation choice: (10) has n*m assignment columns versus (9)'s n work
+// columns plus n*(m-1) supporting-line rows.
+func SolveLP10(in *Instance) (*Fractional, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	fronts := in.Frontiers()
+
+	p := lp.NewProblem()
+	cj := make([]int, n)
+	for j := 0; j < n; j++ {
+		cj[j] = p.AddVar(fmt.Sprintf("C_%d", j))
+	}
+	// Assignment variables per frontier breakpoint (dominated allotments
+	// can never appear with positive weight in an optimal solution: they
+	// are slower AND costlier, so restricting to the frontier is exact).
+	xjl := make([][]int, n)
+	for j := 0; j < n; j++ {
+		f := fronts[j]
+		xjl[j] = make([]int, len(f.L))
+		for k := range f.L {
+			xjl[j][k] = p.AddVar(fmt.Sprintf("x_%d_%d", j, f.L[k]))
+		}
+	}
+	vC := p.AddVar("C")
+	p.SetObj(vC, 1)
+
+	for j := 0; j < n; j++ {
+		f := fronts[j]
+		// Convexity row: sum_l x_{j,l} = 1.
+		terms := make([]lp.Term, len(f.L))
+		for k := range f.L {
+			terms[k] = lp.Term{Var: xjl[j][k], Coef: 1}
+		}
+		p.AddConstraint(lp.EQ, 1, terms...)
+		// Completion after own (fractional) processing time, needed for
+		// source tasks: sum_l x_{j,l} p_j(l) <= C_j.
+		terms = terms[:0]
+		for k := range f.L {
+			terms = append(terms, lp.Term{Var: xjl[j][k], Coef: f.X[k]})
+		}
+		terms = append(terms, lp.Term{Var: cj[j], Coef: -1})
+		p.AddConstraint(lp.LE, 0, terms...)
+		// C_j <= C.
+		p.AddConstraint(lp.LE, 0, lp.Term{Var: cj[j], Coef: 1}, lp.Term{Var: vC, Coef: -1})
+	}
+	// Precedence: C_i + sum_l x_{j,l} p_j(l) <= C_j.
+	for _, e := range in.G.Edges() {
+		i, j := e[0], e[1]
+		terms := []lp.Term{{Var: cj[i], Coef: 1}, {Var: cj[j], Coef: -1}}
+		f := fronts[j]
+		for k := range f.L {
+			terms = append(terms, lp.Term{Var: xjl[j][k], Coef: f.X[k]})
+		}
+		p.AddConstraint(lp.LE, 0, terms...)
+	}
+	// Total work: sum_j sum_l x_{j,l} * l p_j(l) <= m C.
+	var workTerms []lp.Term
+	for j := 0; j < n; j++ {
+		f := fronts[j]
+		for k := range f.L {
+			workTerms = append(workTerms, lp.Term{Var: xjl[j][k], Coef: f.W[k]})
+		}
+	}
+	workTerms = append(workTerms, lp.Term{Var: vC, Coef: -float64(in.M)})
+	p.AddConstraint(lp.LE, 0, workTerms...)
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("allot: LP (10) failed: %w", err)
+	}
+
+	out := &Fractional{
+		X:     make([]float64, n),
+		Wbar:  make([]float64, n),
+		LStar: make([]float64, n),
+		C:     sol.Obj,
+	}
+	for j := 0; j < n; j++ {
+		f := fronts[j]
+		x, w := 0.0, 0.0
+		for k := range f.L {
+			x += sol.X[xjl[j][k]] * f.X[k]
+			w += sol.X[xjl[j][k]] * f.W[k]
+		}
+		out.X[j] = clamp(x, f.XMin(), f.XMax())
+		// The assignment mix's work w is >= the convex envelope w_j(x);
+		// report the envelope value for comparability with SolveLP (the
+		// optimum uses adjacent breakpoints, where they coincide).
+		out.Wbar[j] = f.WorkAt(out.X[j])
+		out.W += out.Wbar[j]
+		out.LStar[j] = f.FractionalAlloc(out.X[j])
+		if c := sol.X[cj[j]]; c > out.L {
+			out.L = c
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package allot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"malsched/internal/dag"
+	"malsched/internal/malleable"
+)
+
+func TestSolveLP10Chain(t *testing.T) {
+	in := twoTaskChain()
+	frac, err := SolveLP10(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac.C-4) > 1e-6 {
+		t.Errorf("C* = %v, want 4", frac.C)
+	}
+}
+
+// The paper's Section 3.1 Remark: LP (9) (work-variable formulation) and
+// LP (10) (assignment-variable formulation) have equal optimal values.
+// This is the computational verification of that equivalence proof.
+func TestLP9EquivalentToLP10(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		m := 2 + r.Intn(5)
+		g := dag.New(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if r.Float64() < 0.3 {
+					g.MustEdge(a, b)
+				}
+			}
+		}
+		in := &Instance{G: g, M: m}
+		for j := 0; j < n; j++ {
+			in.Tasks = append(in.Tasks, malleable.RandomConcave("t", 1+9*r.Float64(), m, r))
+		}
+		f9, err := SolveLP(in)
+		if err != nil {
+			t.Logf("seed %d: LP9: %v", seed, err)
+			return false
+		}
+		f10, err := SolveLP10(in)
+		if err != nil {
+			t.Logf("seed %d: LP10: %v", seed, err)
+			return false
+		}
+		rel := math.Abs(f9.C-f10.C) / math.Max(1, f9.C)
+		if rel > 1e-6 {
+			t.Logf("seed %d: C*(9)=%v C*(10)=%v", seed, f9.C, f10.C)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80, Rand: rng}); err != nil {
+		t.Errorf("LP9/LP10 equivalence failed: %v", err)
+	}
+}
+
+// LP10's recovered per-task processing times are feasible for the rounding
+// machinery (inside the frontier domain), so it can be used as a drop-in
+// phase-1 alternative.
+func TestLP10RoundsCleanly(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(4)
+		g := dag.New(n)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				if rng.Float64() < 0.3 {
+					g.MustEdge(a, b)
+				}
+			}
+		}
+		in := &Instance{G: g, M: m}
+		for j := 0; j < n; j++ {
+			in.Tasks = append(in.Tasks, malleable.RandomConcave("t", 1+9*rng.Float64(), m, rng))
+		}
+		frac, err := SolveLP10(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc := Round(in, frac, 0.26)
+		for j, l := range alloc {
+			if l < 1 || l > m {
+				t.Errorf("trial %d: allotment %d for task %d", trial, l, j)
+			}
+		}
+	}
+}
+
+// On a single task the two formulations agree with the direct optimum.
+func TestLP10SingleTask(t *testing.T) {
+	in := &Instance{
+		G:     dag.New(1),
+		Tasks: []malleable.Task{malleable.CappedLinear("c", 8, 4, 4)},
+		M:     4,
+	}
+	frac, err := SolveLP10(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(frac.C-2) > 1e-6 {
+		t.Errorf("C* = %v, want 2", frac.C)
+	}
+}

@@ -1,0 +1,44 @@
+package baseline
+
+import "math"
+
+// JZ06Ratio returns the proven approximation ratio of the earlier
+// Jansen–Zhang algorithm (ACM Trans. Algorithms 2006, reference [13] of the
+// paper) for machine size m, by minimising its min–max program
+//
+//	r = min_{mu,rho} max{ [m/(1-rho) + (m-mu)/rho] / (m-mu+1),
+//	                      [m/(1-rho) + (m-2mu+1)/min{mu/m,rho}] / (m-mu+1) }
+//
+// over integer mu and a fine rho grid. That algorithm works under the
+// weaker Assumption 2' (monotone work) and rounds with duration stretch
+// 1/rho and work stretch 1/(1-rho); as m -> infinity its ratio tends to
+// 4.730598, the value quoted in the paper's introduction. It sits between
+// this paper's 3.291919 (stronger assumption, better rounding) and LTW's
+// 5.236 (fixed rho = 1/2).
+func JZ06Ratio(m int) (mu int, rho, r float64) {
+	fm := float64(m)
+	r = math.Inf(1)
+	muMax := (m + 1) / 2
+	if muMax < 1 {
+		muMax = 1
+	}
+	for cand := 1; cand <= muMax; cand++ {
+		fmu := float64(cand)
+		for s := 1; s < 2000; s++ {
+			rh := float64(s) / 2000
+			den := fm - fmu + 1
+			base := fm / (1 - rh)
+			a := (base + (fm-fmu)/rh) / den
+			c2 := math.Min(fmu/fm, rh)
+			b := (base + (fm-2*fmu+1)/c2) / den
+			if fm-2*fmu+1 < 0 {
+				b = base / den // x2 = 0 is the maximiser
+			}
+			v := math.Max(a, b)
+			if v < r {
+				mu, rho, r = cand, rh, v
+			}
+		}
+	}
+	return mu, rho, r
+}

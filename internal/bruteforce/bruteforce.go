@@ -1,0 +1,194 @@
+// Package bruteforce computes exact optimal makespans for tiny instances by
+// exhaustive search, providing ground truth OPT for validating the
+// approximation ratio of the two-phase algorithm end to end (the paper's
+// Theorem 4.1 bounds Cmax/OPT; brute force lets tests check the inequality
+// against the true OPT rather than only the LP lower bound).
+//
+// The search enumerates integral allotments (m^n combinations) and, for
+// each allotment, finds the optimal non-preemptive schedule by depth-first
+// search over event-aligned start decisions: there is always an optimal
+// schedule in which every task starts either at time 0 or at the completion
+// time of some other task, so decisions are only needed at such events.
+// Within one event time, tasks are started in canonical (increasing index)
+// order to avoid enumerating permutations of the same decision set.
+package bruteforce
+
+import (
+	"math"
+
+	"malsched/internal/allot"
+)
+
+// Limits guard against accidental exponential blow-up.
+const (
+	MaxTasks = 8
+	MaxProcs = 8
+)
+
+// Optimal returns the exact optimal makespan over all integral allotments
+// and feasible non-preemptive schedules. It panics if the instance exceeds
+// the package limits (n > MaxTasks or m > MaxProcs).
+func Optimal(in *allot.Instance) float64 {
+	n := in.G.N()
+	if n == 0 {
+		return 0
+	}
+	if n > MaxTasks || in.M > MaxProcs {
+		panic("bruteforce: instance too large")
+	}
+	alpha := make([]int, n)
+	best := math.Inf(1)
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			if v := optimalForAllotment(in, alpha, best); v < best {
+				best = v
+			}
+			return
+		}
+		for l := 1; l <= in.M; l++ {
+			alpha[j] = l
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// OptimalForAllotment returns the optimal makespan for a fixed allotment.
+func OptimalForAllotment(in *allot.Instance, alpha []int) float64 {
+	return optimalForAllotment(in, alpha, math.Inf(1))
+}
+
+type searcher struct {
+	in    *allot.Instance
+	alpha []int
+	dur   []float64
+	down  []float64 // dur[j] + longest successor chain under dur
+	n     int
+	best  float64
+
+	done    []bool
+	running []bool
+	endAt   []float64 // valid while running[j]
+}
+
+func optimalForAllotment(in *allot.Instance, alpha []int, cutoff float64) float64 {
+	n := in.G.N()
+	s := &searcher{
+		in: in, alpha: alpha, n: n, best: cutoff,
+		dur: make([]float64, n), down: make([]float64, n),
+		done: make([]bool, n), running: make([]bool, n), endAt: make([]float64, n),
+	}
+	work := 0.0
+	for j := 0; j < n; j++ {
+		s.dur[j] = in.Tasks[j].Time(alpha[j])
+		work += float64(alpha[j]) * s.dur[j]
+	}
+	cp, _, err := in.G.CriticalPath(s.dur)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if lb := math.Max(cp, work/float64(in.M)); lb >= cutoff {
+		return math.Inf(1)
+	}
+	// Downward critical path per task, in reverse topological order.
+	order, _ := in.G.TopoOrder()
+	for i := n - 1; i >= 0; i-- {
+		j := order[i]
+		best := 0.0
+		for _, succ := range in.G.Succs(j) {
+			if s.down[succ] > best {
+				best = s.down[succ]
+			}
+		}
+		s.down[j] = s.dur[j] + best
+	}
+	s.dfs(0, 0, 0, 0, 0)
+	return s.best
+}
+
+// dfs explores decisions at the current event time t. used counts busy
+// processors, nDone completed tasks, latest the maximum end time committed
+// so far. minStart is the smallest task index allowed to start at this
+// event time (canonical ordering within one time point).
+func (s *searcher) dfs(t float64, used, nDone int, latest float64, minStart int) {
+	if nDone == s.n {
+		if latest < s.best {
+			s.best = latest
+		}
+		return
+	}
+	// Admissible lower bound on the final makespan from this state.
+	lb := math.Max(t, latest)
+	for j := 0; j < s.n; j++ {
+		var v float64
+		switch {
+		case s.done[j]:
+			continue
+		case s.running[j]:
+			v = s.endAt[j] + s.down[j] - s.dur[j]
+		default:
+			v = t + s.down[j]
+		}
+		if v > lb {
+			lb = v
+		}
+	}
+	if lb >= s.best-1e-12 {
+		return
+	}
+
+	// Option 1: start a ready task j >= minStart now.
+	for j := minStart; j < s.n; j++ {
+		if s.done[j] || s.running[j] || s.alpha[j] > s.in.M-used {
+			continue
+		}
+		ok := true
+		for _, p := range s.in.G.Preds(j) {
+			if !s.done[p] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		s.running[j] = true
+		s.endAt[j] = t + s.dur[j]
+		nl := latest
+		if s.endAt[j] > nl {
+			nl = s.endAt[j]
+		}
+		s.dfs(t, used+s.alpha[j], nDone, nl, j+1)
+		s.running[j] = false
+	}
+
+	// Option 2: advance to the next completion event.
+	next := math.Inf(1)
+	for j := 0; j < s.n; j++ {
+		if s.running[j] && s.endAt[j] < next {
+			next = s.endAt[j]
+		}
+	}
+	if math.IsInf(next, 1) {
+		return // nothing running and nothing started: dead end
+	}
+	var completed []int
+	freed := 0
+	for j := 0; j < s.n; j++ {
+		if s.running[j] && s.endAt[j] <= next+1e-12 {
+			completed = append(completed, j)
+		}
+	}
+	for _, j := range completed {
+		s.running[j] = false
+		s.done[j] = true
+		freed += s.alpha[j]
+	}
+	s.dfs(next, used-freed, nDone+len(completed), latest, 0)
+	for _, j := range completed {
+		s.done[j] = false
+		s.running[j] = true
+	}
+}

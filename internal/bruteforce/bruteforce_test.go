@@ -1,0 +1,163 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/allot"
+	"malsched/internal/core"
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+	"malsched/internal/malleable"
+)
+
+func TestOptimalSingleTask(t *testing.T) {
+	in := &allot.Instance{
+		G:     dag.New(1),
+		Tasks: []malleable.Task{malleable.NewTask("a", []float64{4, 2})},
+		M:     2,
+	}
+	if got := Optimal(in); math.Abs(got-2) > 1e-9 {
+		t.Errorf("OPT = %v, want 2 (run on both processors)", got)
+	}
+}
+
+func TestOptimalChainPerfectSpeedup(t *testing.T) {
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	in := &allot.Instance{
+		G: g,
+		Tasks: []malleable.Task{
+			malleable.NewTask("a", []float64{4, 2}),
+			malleable.NewTask("b", []float64{4, 2}),
+		},
+		M: 2,
+	}
+	if got := Optimal(in); math.Abs(got-4) > 1e-9 {
+		t.Errorf("OPT = %v, want 4", got)
+	}
+}
+
+func TestOptimalIndependentTradeoff(t *testing.T) {
+	// Two sequential unit tasks on m=2: run them in parallel on one
+	// processor each -> OPT = 1.
+	in := &allot.Instance{
+		G: dag.New(2),
+		Tasks: []malleable.Task{
+			malleable.Sequential("a", 1, 2),
+			malleable.Sequential("b", 1, 2),
+		},
+		M: 2,
+	}
+	if got := Optimal(in); math.Abs(got-1) > 1e-9 {
+		t.Errorf("OPT = %v, want 1", got)
+	}
+}
+
+func TestOptimalPrefersNarrowAllotments(t *testing.T) {
+	// Three unit sequential tasks, m=2: OPT = 2 (pack 2 then 1).
+	in := &allot.Instance{G: dag.New(3), M: 2}
+	for i := 0; i < 3; i++ {
+		in.Tasks = append(in.Tasks, malleable.Sequential("s", 1, 2))
+	}
+	if got := Optimal(in); math.Abs(got-2) > 1e-9 {
+		t.Errorf("OPT = %v, want 2", got)
+	}
+}
+
+func TestOptimalForAllotmentFixed(t *testing.T) {
+	// Fixed wide allotments force serialisation.
+	in := &allot.Instance{G: dag.New(2), M: 2}
+	in.Tasks = []malleable.Task{
+		malleable.NewTask("a", []float64{4, 3}),
+		malleable.NewTask("b", []float64{4, 3}),
+	}
+	if got := OptimalForAllotment(in, []int{2, 2}); math.Abs(got-6) > 1e-9 {
+		t.Errorf("OPT(2,2) = %v, want 6", got)
+	}
+	if got := OptimalForAllotment(in, []int{1, 1}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("OPT(1,1) = %v, want 4", got)
+	}
+}
+
+func TestOptimalEmptyInstance(t *testing.T) {
+	in := &allot.Instance{G: dag.New(0), M: 2}
+	if got := Optimal(in); got != 0 {
+		t.Errorf("OPT of empty instance = %v", got)
+	}
+}
+
+func TestOptimalPanicsOnLargeInstance(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized instance should panic")
+		}
+	}()
+	in := &allot.Instance{G: dag.New(MaxTasks + 1), M: 2}
+	for i := 0; i <= MaxTasks; i++ {
+		in.Tasks = append(in.Tasks, malleable.Sequential("s", 1, 2))
+	}
+	Optimal(in)
+}
+
+// OPT is sandwiched: LP lower bound <= OPT <= two-phase makespan, and the
+// paper's guarantee holds against the true OPT.
+func TestSandwichAndRatioAgainstTrueOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	worst := 0.0
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 2 + rng.Intn(2)
+		in := gen.Instance(gen.ErdosDAG(n, 0.35, rng), gen.FamilyMixed, m, rng)
+		opt := Optimal(in)
+		res, err := core.Solve(in, core.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.LowerBound > opt+1e-6 {
+			t.Errorf("trial %d: LP bound %v exceeds OPT %v", trial, res.LowerBound, opt)
+		}
+		if res.Makespan < opt-1e-6 {
+			t.Errorf("trial %d: makespan %v below OPT %v (infeasible?)", trial, res.Makespan, opt)
+		}
+		ratio := res.Makespan / opt
+		if ratio > res.Params.R+1e-6 {
+			t.Errorf("trial %d (n=%d m=%d): ratio vs true OPT %.4f exceeds proven %.4f",
+				trial, n, m, ratio, res.Params.R)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	t.Logf("worst observed ratio vs true OPT: %.4f", worst)
+}
+
+// Brute force can never beat the certificate lower bound max over
+// allotments alpha of min(L(alpha), ...) — sanity check the search explores
+// waiting decisions correctly on a known tricky case.
+func TestOptimalRespectsPrecedenceIdleness(t *testing.T) {
+	// 0 -> 2, 1 independent long; m=2. Starting 1 greedily on 2 processors
+	// would delay 2. OPT must find the idling schedule if it is better.
+	g := dag.New(3)
+	g.MustEdge(0, 2)
+	in := &allot.Instance{
+		G: g,
+		Tasks: []malleable.Task{
+			malleable.NewTask("short", []float64{1, 1}),
+			malleable.NewTask("long", []float64{10, 5.5}),
+			malleable.NewTask("tail", []float64{1, 1}),
+		},
+		M: 2,
+	}
+	got := Optimal(in)
+	// Best: run the chain 0 -> 2 on one processor while... no — better:
+	// run 0 then 2 on a single processor during [0,2) and give task 1 both
+	// processors afterwards? The true optimum runs 0 at [0,1), 2 at [1,2)
+	// on one processor and task 1 on BOTH processors at [2, 7.5) — or
+	// symmetrically task 1 first — for makespan 7.5, beating the greedy
+	// no-idle schedules (10).
+	if math.Abs(got-7.5) > 1e-9 {
+		t.Errorf("OPT = %v, want 7.5", got)
+	}
+}

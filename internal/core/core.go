@@ -1,0 +1,115 @@
+// Package core implements the paper's primary contribution: the two-phase
+// approximation algorithm for scheduling malleable tasks with precedence
+// constraints (Section 3), with approximation ratio at most
+// 100/63 + 100(sqrt(6469)+13)/5481 ~= 3.291919 (Theorem 4.1, Corollary 4.1).
+//
+// Pipeline:
+//
+//  1. choose parameters rho*(m), mu*(m)            (Eqs. (19)-(20))
+//  2. phase 1: solve LP (9), round with rho        (internal/allot)
+//  3. phase 2: cap allotments at mu, run LIST      (internal/listsched)
+//  4. verify feasibility and report the lower bound max{L*, W*/m} <= OPT.
+package core
+
+import (
+	"fmt"
+
+	"malsched/internal/allot"
+	"malsched/internal/listsched"
+	"malsched/internal/params"
+	"malsched/internal/schedule"
+)
+
+// Options tunes the solver. The zero value requests the paper's parameter
+// choices.
+type Options struct {
+	// Rho overrides the rounding parameter when RhoSet is true.
+	Rho    float64
+	RhoSet bool
+	// Mu overrides the allotment threshold when > 0.
+	Mu int
+	// SkipVerify skips the final feasibility check (for benchmarks).
+	SkipVerify bool
+}
+
+// Result carries the schedule together with the analysis quantities of
+// Section 4.
+type Result struct {
+	Schedule *schedule.Schedule
+	// Fractional is the phase-1 LP optimum.
+	Fractional *allot.Fractional
+	// AlphaPrime is the rounded phase-1 allotment l'_j.
+	AlphaPrime []int
+	// Alpha is the final allotment l_j = min{l'_j, mu}.
+	Alpha []int
+	// Params records the (mu, rho, proven ratio) used.
+	Params params.Choice
+	// Makespan is the schedule length Cmax.
+	Makespan float64
+	// LowerBound is max{L*, W*/m} <= C* <= OPT (Eq. (11)).
+	LowerBound float64
+	// Guarantee is Makespan / LowerBound, an upper bound on the realised
+	// approximation factor (the true factor vs OPT can only be smaller).
+	Guarantee float64
+}
+
+// Solve runs the two-phase algorithm on the instance.
+func Solve(in *allot.Instance, opt Options) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	choice := params.Choose(in.M)
+	if opt.RhoSet {
+		if opt.Rho < 0 || opt.Rho > 1 {
+			return nil, fmt.Errorf("core: rho=%v outside [0,1]", opt.Rho)
+		}
+		choice.Rho = opt.Rho
+		choice.R = params.Objective(in.M, choice.Mu, opt.Rho)
+	}
+	if opt.Mu > 0 {
+		if opt.Mu > in.M {
+			return nil, fmt.Errorf("core: mu=%d exceeds m=%d", opt.Mu, in.M)
+		}
+		choice.Mu = opt.Mu
+		choice.R = params.Objective(in.M, opt.Mu, choice.Rho)
+	}
+
+	frac, err := allot.SolveLP(in)
+	if err != nil {
+		return nil, err
+	}
+	alphaPrime := allot.Round(in, frac, choice.Rho)
+	alpha := listsched.CapAllotment(alphaPrime, choice.Mu)
+	sched, err := listsched.Run(in, alpha)
+	if err != nil {
+		return nil, err
+	}
+	if !opt.SkipVerify {
+		if err := sched.Verify(in.G); err != nil {
+			return nil, fmt.Errorf("core: produced infeasible schedule: %w", err)
+		}
+	}
+
+	lb := frac.L
+	if w := frac.W / float64(in.M); w > lb {
+		lb = w
+	}
+	// C* from the LP can sit marginally above max{L*,W*/m} only through
+	// numerical slack; certify with the larger of the two quantities.
+	if frac.C > lb {
+		lb = frac.C
+	}
+	res := &Result{
+		Schedule:   sched,
+		Fractional: frac,
+		AlphaPrime: alphaPrime,
+		Alpha:      alpha,
+		Params:     choice,
+		Makespan:   sched.Makespan(),
+		LowerBound: lb,
+	}
+	if lb > 0 {
+		res.Guarantee = res.Makespan / lb
+	}
+	return res, nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/allot"
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+	"malsched/internal/malleable"
+)
+
+// A pure chain of perfectly parallelisable tasks: the LP should stretch
+// every task to balance L against W/m... in fact for a chain W/m <= L
+// always binds at L, so the LP runs every task as wide as the work penalty
+// allows. For capped-linear tasks (no penalty up to k), x*_j = p(k) and the
+// algorithm should recover the optimal chain schedule up to rounding.
+func TestChainOfCappedTasks(t *testing.T) {
+	m := 4
+	n := 5
+	in := &allot.Instance{G: gen.Chain(n), M: m}
+	for i := 0; i < n; i++ {
+		in.Tasks = append(in.Tasks, malleable.CappedLinear("c", 8, m, m))
+	}
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OPT = n * 8/m = 10 (run everything full width, no penalty).
+	opt := float64(n) * 8 / float64(m)
+	if math.Abs(res.LowerBound-opt) > 1e-6 {
+		t.Errorf("lower bound %v, want OPT=%v (chain, no work penalty)", res.LowerBound, opt)
+	}
+	// mu caps allotments at 2 for m=4, so the realised makespan is
+	// n * p(mu) = 5 * 4 = 20 = 2x; still within the proven ratio 8/3.
+	if res.Makespan > res.Params.R*opt+1e-9 {
+		t.Errorf("makespan %v exceeds r*OPT = %v", res.Makespan, res.Params.R*opt)
+	}
+}
+
+// Wide independent sequential tasks: the work bound dominates; LIST packs
+// them and lands within ~(2 - 1/m) of the bound like any list scheduler.
+func TestWideIndependentSequential(t *testing.T) {
+	m := 8
+	n := 64
+	in := &allot.Instance{G: gen.Independent(n), M: m}
+	for i := 0; i < n; i++ {
+		in.Tasks = append(in.Tasks, malleable.Sequential("s", 1, m))
+	}
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W = 64, so LB = 8; unit tasks pack perfectly: Cmax = 8.
+	if math.Abs(res.LowerBound-8) > 1e-6 {
+		t.Errorf("lower bound %v, want 8", res.LowerBound)
+	}
+	if math.Abs(res.Makespan-8) > 1e-6 {
+		t.Errorf("makespan %v, want 8 (perfect packing)", res.Makespan)
+	}
+}
+
+// The rounding parameter rho=1 never decreases allotments below the
+// fractional solution's segment floor; rho=0 never increases them above
+// the ceiling. Together with Lemma 4.1 this pins the rounded allotment
+// into [floor(l*), ceil(l*)].
+func TestRoundingBracketsFractionalAllotment(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 2 + rng.Intn(6)
+		in := gen.Instance(gen.ErdosDAG(n, 0.3, rng), gen.FamilyMixed, m, rng)
+		frac, err := allot.SolveLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rho := range []float64{0, 0.26, 0.5, 1} {
+			alloc := allot.Round(in, frac, rho)
+			for j, l := range alloc {
+				ls := frac.LStar[j]
+				if float64(l) < math.Floor(ls)-1e-9 || float64(l) > math.Ceil(ls)+1e-9 {
+					t.Errorf("trial %d rho=%v task %d: rounded %d outside [floor,ceil] of l*=%v",
+						trial, rho, j, l, ls)
+				}
+			}
+		}
+	}
+}
+
+// Scaling invariance: multiplying all processing times by c scales the
+// makespan and lower bound by exactly c (the LP, rounding and LIST are all
+// scale-equivariant).
+func TestScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := gen.Instance(gen.Layered(3, 3, 2, rng), gen.FamilyPowerLaw, 6, rng)
+	res1, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := &allot.Instance{G: in.G, M: in.M}
+	for _, task := range in.Tasks {
+		scaled.Tasks = append(scaled.Tasks, malleable.Scale(task, 3.0))
+	}
+	res2, err := Solve(scaled, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Makespan-3*res1.Makespan) > 1e-5*res2.Makespan {
+		t.Errorf("makespan not scale-equivariant: %v vs 3*%v", res2.Makespan, res1.Makespan)
+	}
+	if math.Abs(res2.LowerBound-3*res1.LowerBound) > 1e-5*res2.LowerBound {
+		t.Errorf("bound not scale-equivariant: %v vs 3*%v", res2.LowerBound, res1.LowerBound)
+	}
+}
+
+// A single source feeding a wide fan: the fan tasks must overlap after the
+// source completes (regression test for ready-set computation).
+func TestFanOverlap(t *testing.T) {
+	m := 4
+	width := 6
+	g := dag.New(width + 1)
+	for i := 1; i <= width; i++ {
+		g.MustEdge(0, i)
+	}
+	in := &allot.Instance{G: g, M: m}
+	for i := 0; i <= width; i++ {
+		in.Tasks = append(in.Tasks, malleable.Sequential("s", 1, m))
+	}
+	res, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source at [0,1), then 6 unit tasks on 4 processors: 2 more rounds.
+	if math.Abs(res.Makespan-3) > 1e-6 {
+		t.Errorf("makespan %v, want 3", res.Makespan)
+	}
+}
+
+// Deterministic output: the same instance solved twice yields the same
+// schedule (no map iteration or randomness leaks into the pipeline).
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	in := gen.Instance(gen.ErdosDAG(12, 0.3, rng), gen.FamilyMixed, 6, rng)
+	a, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespan differs across runs: %v vs %v", a.Makespan, b.Makespan)
+	}
+	for j := range a.Schedule.Items {
+		if a.Schedule.Items[j] != b.Schedule.Items[j] {
+			t.Fatalf("item %d differs: %+v vs %+v", j, a.Schedule.Items[j], b.Schedule.Items[j])
+		}
+	}
+}
+
+// Lemma 4.3's structural property on real LIST schedules: the heavy path
+// covers every T1 slot (during any slot with fewer than mu busy processors,
+// some heavy-path task is executing — otherwise a ready task could have
+// been started, contradicting LIST's greediness).
+func TestHeavyPathCoversT1Slots(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(10)
+		m := 2 + rng.Intn(6)
+		in := gen.Instance(gen.ErdosDAG(n, 0.3, rng), gen.FamilyMixed, m, rng)
+		res, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu := res.Params.Mu
+		path := res.Schedule.HeavyPath(in.G, mu)
+		onPath := make(map[int]bool, len(path))
+		for _, j := range path {
+			onPath[j] = true
+		}
+		for _, step := range res.Schedule.Profile() {
+			if step.Busy > mu-1 {
+				continue // not a T1 slot
+			}
+			mid := (step.From + step.To) / 2
+			covered := false
+			for j, it := range res.Schedule.Items {
+				if onPath[j] && it.Start <= mid && mid < it.End() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Errorf("trial %d (n=%d m=%d mu=%d): T1 slot [%v,%v) not covered by heavy path %v",
+					trial, n, m, mu, step.From, step.To, path)
+			}
+		}
+	}
+}

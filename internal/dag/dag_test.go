@@ -1,0 +1,262 @@
+package dag
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func diamond() *DAG {
+	g := New(4)
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	g.MustEdge(1, 3)
+	g.MustEdge(2, 3)
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("out-of-range edge: got %v", err)
+	}
+	if err := g.AddEdge(-1, 0); !errors.Is(err, ErrVertexRange) {
+		t.Errorf("negative vertex: got %v", err)
+	}
+	if err := g.AddEdge(1, 1); !errors.Is(err, ErrSelfLoop) {
+		t.Errorf("self loop: got %v", err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Errorf("duplicate edge should be a no-op: %v", err)
+	}
+	if g.M() != 1 {
+		t.Errorf("M = %d after duplicate insert, want 1", g.M())
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g := diamond()
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make([]int, 4)
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topological order", e)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(2, 0)
+	if err := g.Validate(); !errors.Is(err, ErrCycle) {
+		t.Errorf("cycle not detected: %v", err)
+	}
+	if err := diamond().Validate(); err != nil {
+		t.Errorf("acyclic graph flagged: %v", err)
+	}
+}
+
+func TestSourcesSinks(t *testing.T) {
+	g := diamond()
+	if s := g.Sources(); len(s) != 1 || s[0] != 0 {
+		t.Errorf("Sources = %v, want [0]", s)
+	}
+	if s := g.Sinks(); len(s) != 1 || s[0] != 3 {
+		t.Errorf("Sinks = %v, want [3]", s)
+	}
+}
+
+func TestCriticalPathDiamond(t *testing.T) {
+	g := diamond()
+	w := []float64{1, 5, 2, 1}
+	length, path, err := g.CriticalPath(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(length-7) > 1e-12 {
+		t.Errorf("critical path length = %v, want 7", length)
+	}
+	want := []int{0, 1, 3}
+	if len(path) != 3 {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Errorf("path = %v, want %v", path, want)
+			break
+		}
+	}
+}
+
+func TestCriticalPathSingleVertex(t *testing.T) {
+	g := New(1)
+	length, path, err := g.CriticalPath([]float64{4.5})
+	if err != nil || length != 4.5 || len(path) != 1 {
+		t.Errorf("got %v %v %v", length, path, err)
+	}
+}
+
+func TestCriticalPathEmptyGraph(t *testing.T) {
+	g := New(0)
+	length, path, err := g.CriticalPath(nil)
+	if err != nil || length != 0 || path != nil {
+		t.Errorf("got %v %v %v", length, path, err)
+	}
+}
+
+func TestCriticalPathWrongWeights(t *testing.T) {
+	if _, _, err := diamond().CriticalPath([]float64{1}); err == nil {
+		t.Error("mismatched weight vector accepted")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := diamond()
+	cases := []struct {
+		i, j int
+		want bool
+	}{
+		{0, 3, true}, {0, 1, true}, {1, 2, false}, {3, 0, false}, {2, 2, false},
+	}
+	for _, c := range cases {
+		if got := g.Reachable(c.i, c.j); got != c.want {
+			t.Errorf("Reachable(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := diamond()
+	c := g.Clone()
+	c.MustEdge(1, 2)
+	if g.M() != 4 || c.M() != 5 {
+		t.Errorf("clone not independent: g.M=%d c.M=%d", g.M(), c.M())
+	}
+}
+
+func randomDAG(r *rand.Rand, n int, p float64) *DAG {
+	g := New(n)
+	perm := r.Perm(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if r.Float64() < p {
+				g.MustEdge(perm[a], perm[b])
+			}
+		}
+	}
+	return g
+}
+
+// Property: a graph built along a random vertex order is always acyclic, its
+// topological order is consistent with every edge, and the critical path is
+// at least the heaviest single vertex and at most the total weight.
+func TestRandomDAGProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		g := randomDAG(r, n, r.Float64()*0.4)
+		if g.Validate() != nil {
+			return false
+		}
+		w := make([]float64, n)
+		total, heaviest := 0.0, 0.0
+		for i := range w {
+			w[i] = r.Float64() * 10
+			total += w[i]
+			if w[i] > heaviest {
+				heaviest = w[i]
+			}
+		}
+		length, path, err := g.CriticalPath(w)
+		if err != nil {
+			return false
+		}
+		if length < heaviest-1e-9 || length > total+1e-9 {
+			return false
+		}
+		// The returned path must be a real path with the claimed weight.
+		sum := 0.0
+		for i, v := range path {
+			sum += w[v]
+			if i > 0 {
+				found := false
+				for _, s := range g.Succs(path[i-1]) {
+					if s == v {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return math.Abs(sum-length) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Errorf("random DAG property failed: %v", err)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	g.MustEdge(0, 2) // redundant
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.M() != 2 {
+		t.Errorf("reduction kept %d arcs, want 2", r.M())
+	}
+	if r.Reachable(0, 2) != true {
+		t.Error("reachability lost")
+	}
+}
+
+func TestTransitiveReductionPreservesDiamond(t *testing.T) {
+	g := diamond()
+	r, err := g.TransitiveReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.M() != 4 {
+		t.Errorf("diamond should be irreducible, got %d arcs", r.M())
+	}
+}
+
+// Reduction preserves reachability on random DAGs and never adds arcs.
+func TestTransitiveReductionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		g := randomDAG(rng, 2+rng.Intn(12), 0.4)
+		r, err := g.TransitiveReduction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.M() > g.M() {
+			t.Fatalf("reduction grew: %d > %d", r.M(), g.M())
+		}
+		for i := 0; i < g.N(); i++ {
+			for j := 0; j < g.N(); j++ {
+				if i != j && g.Reachable(i, j) != r.Reachable(i, j) {
+					t.Fatalf("trial %d: reachability (%d,%d) changed", trial, i, j)
+				}
+			}
+		}
+	}
+}

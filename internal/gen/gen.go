@@ -1,0 +1,234 @@
+// Package gen produces synthetic problem instances: precedence-graph
+// families crossed with malleable-task families. The paper publishes no
+// workload traces (it is a theory paper), so these seeded generators stand
+// in for the evaluation workloads; the tiled-Cholesky generator provides the
+// kind of realistic dense linear-algebra task graph that motivates malleable
+// scheduling on large parallel machines (Section 1 of the paper).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"malsched/internal/allot"
+	"malsched/internal/dag"
+	"malsched/internal/malleable"
+)
+
+// TaskFamily selects how task processing-time functions are drawn.
+type TaskFamily int
+
+const (
+	// FamilyPowerLaw draws p(l) = p1 * l^(-d) with d ~ U[0.3, 1].
+	FamilyPowerLaw TaskFamily = iota
+	// FamilyAmdahl draws p(l) = p1 * (f + (1-f)/l) with f ~ U[0, 0.4].
+	FamilyAmdahl
+	// FamilyCapped draws perfect speedup capped at k ~ U{1..m}.
+	FamilyCapped
+	// FamilyRandom draws arbitrary concave-speedup tasks.
+	FamilyRandom
+	// FamilyMixed mixes the above uniformly.
+	FamilyMixed
+)
+
+func (f TaskFamily) String() string {
+	switch f {
+	case FamilyPowerLaw:
+		return "powerlaw"
+	case FamilyAmdahl:
+		return "amdahl"
+	case FamilyCapped:
+		return "capped"
+	case FamilyRandom:
+		return "random"
+	default:
+		return "mixed"
+	}
+}
+
+// Tasks draws n tasks of the family for a machine of m processors, with
+// sequential times p1 ~ U[1, 100).
+func Tasks(family TaskFamily, n, m int, rng *rand.Rand) []malleable.Task {
+	out := make([]malleable.Task, n)
+	for j := range out {
+		p1 := 1 + 99*rng.Float64()
+		name := fmt.Sprintf("%s-%d", family, j)
+		f := family
+		if f == FamilyMixed {
+			f = TaskFamily(rng.Intn(4))
+		}
+		switch f {
+		case FamilyPowerLaw:
+			out[j] = malleable.PowerLaw(name, p1, 0.3+0.7*rng.Float64(), m)
+		case FamilyAmdahl:
+			out[j] = malleable.Amdahl(name, p1, 0.4*rng.Float64(), m)
+		case FamilyCapped:
+			out[j] = malleable.CappedLinear(name, p1, 1+rng.Intn(m), m)
+		default:
+			out[j] = malleable.RandomConcave(name, p1, m, rng)
+		}
+	}
+	return out
+}
+
+// Chain returns the path graph 0 -> 1 -> ... -> n-1 (worst case for
+// parallelism: L dominates).
+func Chain(n int) *dag.DAG {
+	g := dag.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustEdge(i, i+1)
+	}
+	return g
+}
+
+// Independent returns n tasks with no precedence (the independent malleable
+// scheduling special case).
+func Independent(n int) *dag.DAG { return dag.New(n) }
+
+// ForkJoin returns a fork-join graph: source 0, width parallel tasks,
+// sink width+1.
+func ForkJoin(width int) *dag.DAG {
+	g := dag.New(width + 2)
+	for i := 1; i <= width; i++ {
+		g.MustEdge(0, i)
+		g.MustEdge(i, width+1)
+	}
+	return g
+}
+
+// Layered returns a DAG of depth layers with the given width per layer;
+// each vertex gets 1..maxIn random predecessors from the previous layer.
+func Layered(depth, width, maxIn int, rng *rand.Rand) *dag.DAG {
+	n := depth * width
+	g := dag.New(n)
+	for d := 1; d < depth; d++ {
+		for w := 0; w < width; w++ {
+			v := d*width + w
+			k := 1 + rng.Intn(maxIn)
+			for t := 0; t < k; t++ {
+				u := (d-1)*width + rng.Intn(width)
+				g.MustEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// OutTree returns a random out-tree (root 0), the structure for which the
+// tree-specific 2.618-ratio algorithms of [17,18] were designed.
+func OutTree(n int, rng *rand.Rand) *dag.DAG {
+	g := dag.New(n)
+	for v := 1; v < n; v++ {
+		g.MustEdge(rng.Intn(v), v)
+	}
+	return g
+}
+
+// ErdosDAG returns a random DAG: vertices in a random order, each forward
+// pair connected independently with probability p.
+func ErdosDAG(n int, p float64, rng *rand.Rand) *dag.DAG {
+	g := dag.New(n)
+	perm := rng.Perm(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if rng.Float64() < p {
+				g.MustEdge(perm[a], perm[b])
+			}
+		}
+	}
+	return g
+}
+
+// SeriesParallel returns a random series-parallel DAG with n internal
+// expansion steps, built by repeatedly replacing a random arc with a series
+// or parallel composition.
+func SeriesParallel(steps int, rng *rand.Rand) *dag.DAG {
+	type arc struct{ a, b int }
+	arcs := []arc{{0, 1}}
+	n := 2
+	for s := 0; s < steps; s++ {
+		i := rng.Intn(len(arcs))
+		e := arcs[i]
+		if rng.Float64() < 0.5 {
+			// Series: a -> v -> b replaces a -> b.
+			v := n
+			n++
+			arcs[i] = arc{e.a, v}
+			arcs = append(arcs, arc{v, e.b})
+		} else {
+			// Parallel: duplicate the arc through a fresh middle vertex.
+			v := n
+			n++
+			arcs = append(arcs, arc{e.a, v}, arc{v, e.b})
+		}
+	}
+	g := dag.New(n)
+	for _, e := range arcs {
+		g.MustEdge(e.a, e.b)
+	}
+	return g
+}
+
+// Cholesky returns the task DAG of a tiled Cholesky factorisation with t
+// tile-columns: POTRF/TRSM/SYRK/GEMM kernels with their standard
+// dependencies. Vertex count is t*(t+1)*(t+2)/6 + lower-order terms; the
+// graph interleaves wide and narrow phases, a classic malleable workload.
+func Cholesky(t int) *dag.DAG {
+	id := map[[4]int]int{}
+	next := 0
+	vertex := func(kind, k, i, j int) int {
+		key := [4]int{kind, k, i, j}
+		if v, ok := id[key]; ok {
+			return v
+		}
+		id[key] = next
+		next++
+		return id[key]
+	}
+	const (
+		potrf = iota
+		trsm
+		syrk
+		gemm
+	)
+	type edge struct{ a, b int }
+	var edges []edge
+	for k := 0; k < t; k++ {
+		pk := vertex(potrf, k, 0, 0)
+		if k > 0 {
+			// POTRF(k) waits for SYRK(k-1, k).
+			edges = append(edges, edge{vertex(syrk, k-1, k, 0), pk})
+		}
+		for i := k + 1; i < t; i++ {
+			tr := vertex(trsm, k, i, 0)
+			edges = append(edges, edge{pk, tr})
+			if k > 0 {
+				edges = append(edges, edge{vertex(gemm, k-1, i, k), tr})
+			}
+			// SYRK(k, i): update of diagonal block i with column k.
+			sy := vertex(syrk, k, i, 0)
+			edges = append(edges, edge{tr, sy})
+			if k > 0 {
+				edges = append(edges, edge{vertex(syrk, k-1, i, 0), sy})
+			}
+			for j := i + 1; j < t; j++ {
+				gm := vertex(gemm, k, j, i)
+				edges = append(edges, edge{tr, gm})
+				edges = append(edges, edge{vertex(trsm, k, j, 0), gm})
+				if k > 0 {
+					edges = append(edges, edge{vertex(gemm, k-1, j, i), gm})
+				}
+			}
+		}
+	}
+	g := dag.New(next)
+	for _, e := range edges {
+		g.MustEdge(e.a, e.b)
+	}
+	return g
+}
+
+// Instance bundles a generated DAG with generated tasks.
+func Instance(g *dag.DAG, family TaskFamily, m int, rng *rand.Rand) *allot.Instance {
+	return &allot.Instance{G: g, Tasks: Tasks(family, g.N(), m, rng), M: m}
+}

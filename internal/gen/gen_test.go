@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTasksFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, fam := range []TaskFamily{FamilyPowerLaw, FamilyAmdahl, FamilyCapped, FamilyRandom, FamilyMixed} {
+		tasks := Tasks(fam, 12, 8, rng)
+		if len(tasks) != 12 {
+			t.Fatalf("%v: got %d tasks", fam, len(tasks))
+		}
+		for j, task := range tasks {
+			if err := task.Validate(8); err != nil {
+				t.Errorf("%v task %d violates model assumptions: %v", fam, j, err)
+			}
+		}
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	names := map[TaskFamily]string{
+		FamilyPowerLaw: "powerlaw", FamilyAmdahl: "amdahl", FamilyCapped: "capped",
+		FamilyRandom: "random", FamilyMixed: "mixed",
+	}
+	for f, w := range names {
+		if f.String() != w {
+			t.Errorf("%d.String() = %q, want %q", f, f.String(), w)
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	if g.N() != 5 || g.M() != 4 {
+		t.Errorf("chain: n=%d m=%d", g.N(), g.M())
+	}
+	if len(g.Sources()) != 1 || len(g.Sinks()) != 1 {
+		t.Error("chain should have one source and one sink")
+	}
+}
+
+func TestForkJoin(t *testing.T) {
+	g := ForkJoin(4)
+	if g.N() != 6 || g.M() != 8 {
+		t.Errorf("forkjoin: n=%d m=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	g := Layered(4, 3, 2, rng)
+	if g.N() != 12 {
+		t.Errorf("layered: n=%d, want 12", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Every non-first-layer vertex has at least one predecessor.
+	for v := 3; v < 12; v++ {
+		if len(g.Preds(v)) == 0 {
+			t.Errorf("vertex %d has no predecessor", v)
+		}
+	}
+}
+
+func TestOutTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	g := OutTree(20, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 20; v++ {
+		if len(g.Preds(v)) != 1 {
+			t.Errorf("tree vertex %d has %d parents", v, len(g.Preds(v)))
+		}
+	}
+}
+
+func TestErdosDAGAcyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 20; trial++ {
+		g := ErdosDAG(15, rng.Float64(), rng)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	g := SeriesParallel(20, rng)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 0 is the unique source, vertex 1 the unique sink.
+	if len(g.Preds(0)) != 0 || len(g.Succs(1)) != 0 {
+		t.Error("series-parallel endpoints wrong")
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	g := Cholesky(4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 || g.M() == 0 {
+		t.Fatalf("cholesky empty: n=%d m=%d", g.N(), g.M())
+	}
+	// t=4 tiles: 4 POTRF, 6 TRSM, 6 SYRK, 4 GEMM = 20 kernels.
+	if g.N() != 20 {
+		t.Errorf("cholesky t=4: n=%d, want 20", g.N())
+	}
+	// The first POTRF is a source; the last POTRF is a sink.
+	if len(g.Sources()) == 0 || len(g.Sinks()) == 0 {
+		t.Error("cholesky has no source or sink")
+	}
+}
+
+func TestCholeskyGrowth(t *testing.T) {
+	// Kernel count: t POTRF + C(t,2) TRSM + C(t,2) SYRK + C(t,3) GEMM.
+	for _, tt := range []int{1, 2, 3, 5, 6} {
+		g := Cholesky(tt)
+		want := tt + tt*(tt-1)/2 + tt*(tt-1)/2 + tt*(tt-1)*(tt-2)/6
+		if g.N() != want {
+			t.Errorf("cholesky t=%d: n=%d, want %d", tt, g.N(), want)
+		}
+	}
+}
+
+func TestInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	in := Instance(Chain(4), FamilyAmdahl, 6, rng)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 6 || len(in.Tasks) != 4 {
+		t.Errorf("instance shape: m=%d tasks=%d", in.M, len(in.Tasks))
+	}
+}

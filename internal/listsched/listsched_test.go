@@ -1,0 +1,208 @@
+package listsched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"malsched/internal/allot"
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+	"malsched/internal/malleable"
+)
+
+func TestCapAllotment(t *testing.T) {
+	got := CapAllotment([]int{1, 5, 3, 7}, 3)
+	want := []int{1, 3, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CapAllotment = %v, want %v", got, want)
+			break
+		}
+	}
+	// Degenerate inputs are clamped up to 1.
+	if got := CapAllotment([]int{0}, 2); got[0] != 1 {
+		t.Errorf("CapAllotment clamped 0 to %d, want 1", got[0])
+	}
+}
+
+func unitTasks(n, m int) []malleable.Task {
+	out := make([]malleable.Task, n)
+	for i := range out {
+		out[i] = malleable.Sequential("u", 1, m)
+	}
+	return out
+}
+
+func TestRunChainSequential(t *testing.T) {
+	// Chain of 3 unit tasks: schedule must be back-to-back, makespan 3.
+	in := &allot.Instance{G: gen.Chain(3), Tasks: unitTasks(3, 2), M: 2}
+	s, err := Run(in, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(in.G); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); math.Abs(got-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 3", got)
+	}
+	for j := 0; j < 3; j++ {
+		if math.Abs(s.Items[j].Start-float64(j)) > 1e-9 {
+			t.Errorf("task %d starts at %v, want %d", j, s.Items[j].Start, j)
+		}
+	}
+}
+
+func TestRunIndependentPacks(t *testing.T) {
+	// 4 independent unit tasks, each on 1 processor, m=2: two rounds,
+	// makespan 2 (Graham list scheduling is tight here).
+	in := &allot.Instance{G: gen.Independent(4), Tasks: unitTasks(4, 2), M: 2}
+	s, err := Run(in, []int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("makespan = %v, want 2", got)
+	}
+}
+
+func TestRunWideTaskWaits(t *testing.T) {
+	// Independent: one 2-processor task and one 1-processor long task on
+	// m=2. LIST starts the zero-start candidate first; the wide task must
+	// wait for full capacity.
+	g := dag.New(2)
+	in := &allot.Instance{
+		G: g,
+		Tasks: []malleable.Task{
+			malleable.NewTask("wide", []float64{10, 2}),
+			malleable.NewTask("long", []float64{5, 5}),
+		},
+		M: 2,
+	}
+	s, err := Run(in, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(in.G); err != nil {
+		t.Fatal(err)
+	}
+	// Both candidates can start at 0; task 0 wins the tie (smaller index),
+	// then task 1 starts when capacity frees at t=2.
+	if s.Items[0].Start != 0 {
+		t.Errorf("wide task starts at %v, want 0", s.Items[0].Start)
+	}
+	if math.Abs(s.Items[1].Start-2) > 1e-9 {
+		t.Errorf("long task starts at %v, want 2", s.Items[1].Start)
+	}
+}
+
+func TestRunRejectsBadAllotment(t *testing.T) {
+	in := &allot.Instance{G: gen.Chain(2), Tasks: unitTasks(2, 2), M: 2}
+	if _, err := Run(in, []int{1}); err == nil {
+		t.Error("short allotment accepted")
+	}
+	if _, err := Run(in, []int{0, 1}); err == nil {
+		t.Error("zero allotment accepted")
+	}
+	if _, err := Run(in, []int{3, 1}); err == nil {
+		t.Error("oversized allotment accepted")
+	}
+}
+
+// Property: LIST always yields a feasible schedule on random instances and
+// never idles the whole machine while a ready task exists (checked
+// indirectly via the Graham bound against the trivial certificates: Cmax <=
+// L(alpha) + W(alpha)/m for single-processor allotments).
+func TestRunFeasibleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(14)
+		m := 1 + r.Intn(6)
+		g := gen.ErdosDAG(n, r.Float64()*0.4, r)
+		in := gen.Instance(g, gen.FamilyMixed, m, r)
+		alloc := make([]int, n)
+		for j := range alloc {
+			alloc[j] = 1 + r.Intn(m)
+		}
+		s, err := Run(in, alloc)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := s.Verify(in.G); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Graham-style sanity for unit allotments: when every task uses one
+		// processor, Cmax <= L + W (weak but catches gross idling bugs).
+		if m == 1 {
+			total := 0.0
+			for j := range in.Tasks {
+				total += in.Tasks[j].Time(1)
+			}
+			if s.Makespan() > total+1e-6 {
+				t.Logf("seed %d: single machine idles: %v > %v", seed, s.Makespan(), total)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Errorf("LIST feasibility property failed: %v", err)
+	}
+}
+
+// Graham bound for all-unit allotments: Cmax <= W/m + (1 - 1/m) L where L is
+// the critical path and W the total work, the classical list-scheduling
+// guarantee. LIST is a list scheduler, so the bound must hold when every
+// allotment is 1.
+func TestGrahamBoundUnitAllotments(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(12)
+		m := 2 + rng.Intn(4)
+		g := gen.ErdosDAG(n, 0.3, rng)
+		in := gen.Instance(g, gen.FamilyMixed, m, rng)
+		alloc := make([]int, n)
+		w := make([]float64, n)
+		total := 0.0
+		for j := range alloc {
+			alloc[j] = 1
+			w[j] = in.Tasks[j].Time(1)
+			total += w[j]
+		}
+		length, _, _ := g.CriticalPath(w)
+		s, err := Run(in, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := total/float64(m) + (1-1/float64(m))*length
+		if s.Makespan() > bound+1e-6 {
+			t.Errorf("trial %d: Cmax=%v exceeds Graham bound %v", trial, s.Makespan(), bound)
+		}
+	}
+}
+
+func TestRunDetectsCycle(t *testing.T) {
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 0)
+	in := &allot.Instance{G: g, Tasks: unitTasks(2, 2), M: 2}
+	if _, err := Run(in, []int{1, 1}); err == nil {
+		t.Error("cyclic instance accepted")
+	}
+}
+
+func TestRunEmptyInstance(t *testing.T) {
+	in := &allot.Instance{G: dag.New(0), M: 2}
+	s, err := Run(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan() != 0 {
+		t.Errorf("empty schedule makespan = %v", s.Makespan())
+	}
+}

@@ -1,0 +1,386 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize  c·x
+//	subject to  a_i·x  (<= | >= | =)  b_i,   x >= 0.
+//
+// Go's ecosystem has no standard LP solver, and the allotment phase of the
+// Jansen–Zhang algorithm is a linear program (Eq. (9) of the paper), so this
+// package is built from scratch on the standard library only. It uses the
+// classic tableau method: phase 1 minimises the sum of artificial variables
+// to find a basic feasible solution, phase 2 minimises the true objective.
+// Dantzig pricing is used by default with a switch to Bland's rule after an
+// iteration budget to guarantee termination on degenerate problems.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+const (
+	LE Sense = iota // a·x <= b
+	GE              // a·x >= b
+	EQ              // a·x  = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type constraint struct {
+	terms []Term
+	sense Sense
+	rhs   float64
+}
+
+// Problem is a linear program under construction. All variables are
+// implicitly non-negative; bounded or free variables must be modelled with
+// explicit constraints or variable splitting by the caller.
+type Problem struct {
+	nvars int
+	names []string
+	obj   map[int]float64
+	cons  []constraint
+}
+
+// NewProblem returns an empty minimisation problem.
+func NewProblem() *Problem {
+	return &Problem{obj: make(map[int]float64)}
+}
+
+// AddVar introduces a new non-negative variable and returns its index.
+func (p *Problem) AddVar(name string) int {
+	p.names = append(p.names, name)
+	p.nvars++
+	return p.nvars - 1
+}
+
+// NumVars returns the number of variables declared so far.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObj sets the objective coefficient of variable v.
+func (p *Problem) SetObj(v int, c float64) {
+	p.checkVar(v)
+	p.obj[v] = c
+}
+
+// AddConstraint appends the constraint terms (sense) rhs.
+func (p *Problem) AddConstraint(sense Sense, rhs float64, terms ...Term) {
+	for _, t := range terms {
+		p.checkVar(t.Var)
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.cons = append(p.cons, constraint{terms: cp, sense: sense, rhs: rhs})
+}
+
+func (p *Problem) checkVar(v int) {
+	if v < 0 || v >= p.nvars {
+		panic(fmt.Sprintf("lp: variable %d out of range (have %d)", v, p.nvars))
+	}
+}
+
+// Solution is an optimal basic solution.
+type Solution struct {
+	X   []float64 // values of the original variables
+	Obj float64   // objective value c·X
+	// Stats describes the solver effort.
+	Stats Stats
+}
+
+// Stats reports simplex effort for benchmarking and diagnostics.
+type Stats struct {
+	Rows        int // constraint rows
+	Cols        int // structural + slack + artificial columns
+	Phase1Iters int
+	Phase2Iters int
+}
+
+// Solver failure modes.
+var (
+	ErrInfeasible = errors.New("lp: problem is infeasible")
+	ErrUnbounded  = errors.New("lp: problem is unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+)
+
+const tol = 1e-9
+
+// Solve runs two-phase simplex and returns an optimal solution.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.cons)
+	n := p.nvars
+	if n == 0 {
+		return &Solution{X: nil, Obj: 0}, nil
+	}
+
+	// Count structural columns: one slack/surplus per inequality row, one
+	// artificial per GE/EQ row (and per LE row with negative rhs, handled by
+	// negating the row to GE form first).
+	type rowSpec struct {
+		coefs []float64
+		rhs   float64
+		sense Sense
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range p.cons {
+		coefs := make([]float64, n)
+		for _, t := range c.terms {
+			coefs[t.Var] += t.Coef
+		}
+		rhs, sense := c.rhs, c.sense
+		if rhs < 0 { // normalise to rhs >= 0
+			for j := range coefs {
+				coefs[j] = -coefs[j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		rows[i] = rowSpec{coefs: coefs, rhs: rhs, sense: sense}
+	}
+
+	nslack := 0
+	nart := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nslack++
+		}
+		if r.sense != LE {
+			nart++
+		}
+	}
+	total := n + nslack + nart
+	artStart := n + nslack
+
+	// Build tableau: m rows x (total+1) columns, last column = rhs.
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	si, ai := 0, 0
+	for i, r := range rows {
+		row := make([]float64, total+1)
+		copy(row, r.coefs)
+		row[total] = r.rhs
+		switch r.sense {
+		case LE:
+			row[n+si] = 1
+			basis[i] = n + si
+			si++
+		case GE:
+			row[n+si] = -1
+			si++
+			row[artStart+ai] = 1
+			basis[i] = artStart + ai
+			ai++
+		case EQ:
+			row[artStart+ai] = 1
+			basis[i] = artStart + ai
+			ai++
+		}
+		t[i] = row
+	}
+
+	s := &simplex{t: t, basis: basis, ncols: total, nrows: m}
+
+	stats := Stats{Rows: m, Cols: total}
+	if nart > 0 {
+		// Phase 1: minimise the sum of artificials.
+		cost := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			cost[j] = 1
+		}
+		obj, err := s.run(cost, artStart) // artificials allowed in phase 1
+		stats.Phase1Iters = s.iters
+		if err != nil {
+			return nil, fmt.Errorf("phase 1: %w", err)
+		}
+		if obj > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Pivot remaining artificials out of the basis where possible.
+		for i := 0; i < m; i++ {
+			if s.basis[i] >= artStart {
+				pivoted := false
+				for j := 0; j < artStart; j++ {
+					if math.Abs(s.t[i][j]) > 1e-7 {
+						s.pivot(i, j)
+						pivoted = true
+						break
+					}
+				}
+				if !pivoted {
+					// Redundant row: zero it (keeps indices stable).
+					for j := range s.t[i] {
+						s.t[i][j] = 0
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimise the real objective; artificial columns forbidden.
+	cost := make([]float64, total)
+	for v, c := range p.obj {
+		cost[v] = c
+	}
+	forbid := total
+	if nart > 0 {
+		forbid = artStart
+	}
+	if _, err := s.run(cost, forbid); err != nil {
+		return nil, err
+	}
+	stats.Phase2Iters = s.iters
+
+	x := make([]float64, n)
+	for i, b := range s.basis {
+		if b < n {
+			x[b] = s.t[i][total]
+		}
+	}
+	obj := 0.0
+	for v, c := range p.obj {
+		obj += c * x[v]
+	}
+	return &Solution{X: x, Obj: obj, Stats: stats}, nil
+}
+
+// simplex holds the working tableau. Columns >= limit are not eligible to
+// enter the basis (used to freeze artificials in phase 2).
+type simplex struct {
+	t     [][]float64
+	basis []int
+	nrows int
+	ncols int
+	iters int // pivots performed in the most recent run
+}
+
+// run minimises cost·x over the current tableau. It returns the achieved
+// objective value. Columns with index >= limit may not enter the basis.
+func (s *simplex) run(cost []float64, limit int) (float64, error) {
+	s.iters = 0
+	// Build the reduced-cost row: z_j = cost_j - cost_B · column_j for the
+	// current basis.
+	red := make([]float64, s.ncols)
+	copy(red, cost)
+	for i, b := range s.basis {
+		cb := cost[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < s.ncols; j++ {
+			red[j] -= cb * s.t[i][j]
+		}
+	}
+
+	maxIter := 200 * (s.nrows + s.ncols)
+	blandAfter := 20 * (s.nrows + s.ncols)
+	for iter := 0; iter < maxIter; iter++ {
+		s.iters = iter + 1
+		// Entering column.
+		enter := -1
+		if iter < blandAfter {
+			best := -tol
+			for j := 0; j < limit; j++ {
+				if red[j] < best {
+					best = red[j]
+					enter = j
+				}
+			}
+		} else { // Bland: first eligible index, guarantees termination
+			for j := 0; j < limit; j++ {
+				if red[j] < -tol {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			// Recompute the objective from the final basis for numerical
+			// hygiene (the incrementally tracked offset can drift).
+			obj := 0.0
+			for i, b := range s.basis {
+				obj += cost[b] * s.t[i][s.ncols]
+			}
+			return obj, nil
+		}
+
+		// Ratio test for the leaving row.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < s.nrows; i++ {
+			a := s.t[i][enter]
+			if a > tol {
+				r := s.t[i][s.ncols] / a
+				if r < bestRatio-tol || (r < bestRatio+tol && (leave < 0 || s.basis[i] < s.basis[leave])) {
+					bestRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+
+		s.pivot(leave, enter)
+		// Update the reduced-cost row with the same elimination.
+		f := red[enter]
+		if f != 0 {
+			for j := 0; j < s.ncols; j++ {
+				red[j] -= f * s.t[leave][j]
+			}
+			red[enter] = 0
+		}
+	}
+	return 0, ErrIterLimit
+}
+
+// pivot performs a Gauss-Jordan pivot on element (r, c).
+func (s *simplex) pivot(r, c int) {
+	prow := s.t[r]
+	pv := prow[c]
+	inv := 1 / pv
+	for j := range prow {
+		prow[j] *= inv
+	}
+	prow[c] = 1 // exact
+	for i := 0; i < s.nrows; i++ {
+		if i == r {
+			continue
+		}
+		f := s.t[i][c]
+		if f == 0 {
+			continue
+		}
+		row := s.t[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[c] = 0 // exact
+	}
+	s.basis[r] = c
+}

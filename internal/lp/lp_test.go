@@ -1,0 +1,295 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimple2D(t *testing.T) {
+	// max x + y s.t. x + 2y <= 4, 3x + y <= 6  ==> min -(x+y).
+	// Optimum at x=8/5, y=6/5, value 14/5.
+	p := NewProblem()
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	p.SetObj(x, -1)
+	p.SetObj(y, -1)
+	p.AddConstraint(LE, 4, Term{x, 1}, Term{y, 2})
+	p.AddConstraint(LE, 6, Term{x, 3}, Term{y, 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Obj+14.0/5) > 1e-8 {
+		t.Errorf("objective = %v, want %v", sol.Obj, -14.0/5)
+	}
+	if math.Abs(sol.X[x]-8.0/5) > 1e-8 || math.Abs(sol.X[y]-6.0/5) > 1e-8 {
+		t.Errorf("solution = %v, want [1.6 1.2]", sol.X)
+	}
+}
+
+func TestGEAndEQConstraints(t *testing.T) {
+	// min x + y s.t. x + y >= 3, x = 1  => x=1, y=2, obj 3.
+	p := NewProblem()
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	p.SetObj(x, 1)
+	p.SetObj(y, 1)
+	p.AddConstraint(GE, 3, Term{x, 1}, Term{y, 1})
+	p.AddConstraint(EQ, 1, Term{x, 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Obj-3) > 1e-8 || math.Abs(sol.X[x]-1) > 1e-8 {
+		t.Errorf("got obj=%v x=%v", sol.Obj, sol.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -2  (i.e. x >= 2).
+	p := NewProblem()
+	x := p.AddVar("x")
+	p.SetObj(x, 1)
+	p.AddConstraint(LE, -2, Term{x, -1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.X[x]-2) > 1e-8 {
+		t.Errorf("x = %v, want 2", sol.X[x])
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x")
+	p.AddConstraint(LE, 1, Term{x, 1})
+	p.AddConstraint(GE, 2, Term{x, 1})
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x")
+	p.SetObj(x, -1) // maximise x with no upper bound
+	p.AddConstraint(GE, 1, Term{x, 1})
+	if _, err := p.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("want ErrUnbounded, got %v", err)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	sol, err := NewProblem().Solve()
+	if err != nil || sol.Obj != 0 {
+		t.Errorf("empty problem: %v %v", sol, err)
+	}
+}
+
+func TestDegenerateCyclingGuard(t *testing.T) {
+	// Beale's classic cycling example (cycles under naive Dantzig pricing
+	// without anti-cycling): min -0.75x4 + 150x5 - 0.02x6 + 6x7 subject to
+	// equality rows with degenerate rhs 0. Bland fallback must terminate.
+	p := NewProblem()
+	v := make([]int, 7)
+	for i := range v {
+		v[i] = p.AddVar("")
+	}
+	p.SetObj(v[3], -0.75)
+	p.SetObj(v[4], 150)
+	p.SetObj(v[5], -0.02)
+	p.SetObj(v[6], 6)
+	p.AddConstraint(EQ, 0, Term{v[0], 1}, Term{v[3], 0.25}, Term{v[4], -60}, Term{v[5], -0.04}, Term{v[6], 9})
+	p.AddConstraint(EQ, 0, Term{v[1], 1}, Term{v[3], 0.5}, Term{v[4], -90}, Term{v[5], -0.02}, Term{v[6], 3})
+	p.AddConstraint(EQ, 1, Term{v[2], 1}, Term{v[5], 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Obj-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05", sol.Obj)
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows produce a redundant row in phase 1.
+	p := NewProblem()
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	p.SetObj(x, 1)
+	p.SetObj(y, 2)
+	p.AddConstraint(EQ, 4, Term{x, 1}, Term{y, 1})
+	p.AddConstraint(EQ, 4, Term{x, 1}, Term{y, 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Obj-4) > 1e-8 { // x=4, y=0
+		t.Errorf("objective = %v, want 4", sol.Obj)
+	}
+}
+
+// evaluate checks that a solution satisfies all constraints to tolerance.
+func feasible(p *Problem, x []float64, tolerance float64) bool {
+	for _, c := range p.cons {
+		lhs := 0.0
+		for _, tm := range c.terms {
+			lhs += tm.Coef * x[tm.Var]
+		}
+		switch c.sense {
+		case LE:
+			if lhs > c.rhs+tolerance {
+				return false
+			}
+		case GE:
+			if lhs < c.rhs-tolerance {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.rhs) > tolerance {
+				return false
+			}
+		}
+	}
+	for _, v := range x {
+		if v < -tolerance {
+			return false
+		}
+	}
+	return true
+}
+
+// Property test: on random bounded-feasible LPs, the simplex solution is
+// feasible and no random feasible point beats it.
+func TestRandomLPOptimality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		mrows := 1 + r.Intn(6)
+		p := NewProblem()
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = p.AddVar("")
+			p.SetObj(vars[i], r.NormFloat64())
+		}
+		// Box constraints keep the problem bounded and feasible (0 inside).
+		for i := range vars {
+			p.AddConstraint(LE, 1+9*r.Float64(), Term{vars[i], 1})
+		}
+		for k := 0; k < mrows; k++ {
+			terms := make([]Term, n)
+			for i := range vars {
+				terms[i] = Term{vars[i], r.NormFloat64()}
+			}
+			p.AddConstraint(LE, 1+9*r.Float64(), terms...) // rhs > 0 keeps origin feasible
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !feasible(p, sol.X, 1e-6) {
+			t.Logf("seed %d: infeasible solution %v", seed, sol.X)
+			return false
+		}
+		// Random search must not find anything better.
+		for trial := 0; trial < 300; trial++ {
+			cand := make([]float64, n)
+			for i := range cand {
+				cand[i] = r.Float64() * 10
+			}
+			if feasible(p, cand, 0) {
+				obj := 0.0
+				for i, v := range vars {
+					obj += p.obj[v] * cand[i]
+				}
+				if obj < sol.Obj-1e-6 {
+					t.Logf("seed %d: random point beats simplex: %v < %v", seed, obj, sol.Obj)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150, Rand: rng}); err != nil {
+		t.Errorf("random LP property failed: %v", err)
+	}
+}
+
+// Transportation-style LP with known optimum exercises many EQ rows.
+func TestTransportation(t *testing.T) {
+	// 2 supplies (10, 15), 3 demands (8, 7, 10); costs:
+	//   [4 6 9]
+	//   [5 3 2]
+	// Optimal: x11=8, x12=2, x22=5, x23=10 -> 32+12+15+20 = 79.
+	p := NewProblem()
+	x := make([][]int, 2)
+	costs := [][]float64{{4, 6, 9}, {5, 3, 2}}
+	for i := range x {
+		x[i] = make([]int, 3)
+		for j := range x[i] {
+			x[i][j] = p.AddVar("")
+			p.SetObj(x[i][j], costs[i][j])
+		}
+	}
+	supply := []float64{10, 15}
+	demand := []float64{8, 7, 10}
+	for i, s := range supply {
+		p.AddConstraint(EQ, s, Term{x[i][0], 1}, Term{x[i][1], 1}, Term{x[i][2], 1})
+	}
+	for j, d := range demand {
+		p.AddConstraint(EQ, d, Term{x[0][j], 1}, Term{x[1][j], 1})
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Obj-79) > 1e-7 {
+		t.Errorf("objective = %v, want 79", sol.Obj)
+	}
+}
+
+func TestSolveIsRepeatable(t *testing.T) {
+	// Solving the same problem twice must not mutate it.
+	p := NewProblem()
+	x := p.AddVar("x")
+	p.SetObj(x, 1)
+	p.AddConstraint(GE, 5, Term{x, 1})
+	a, err1 := p.Solve()
+	b, err2 := p.Solve()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if a.Obj != b.Obj {
+		t.Errorf("repeat solve differs: %v vs %v", a.Obj, b.Obj)
+	}
+}
+
+func TestSolveStats(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar("x")
+	y := p.AddVar("y")
+	p.SetObj(x, -1)
+	p.SetObj(y, -1)
+	p.AddConstraint(LE, 4, Term{x, 1}, Term{y, 2})
+	p.AddConstraint(GE, 1, Term{x, 1})
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Rows != 2 {
+		t.Errorf("stats rows = %d, want 2", sol.Stats.Rows)
+	}
+	// 2 structural + 2 slack/surplus + 1 artificial.
+	if sol.Stats.Cols != 5 {
+		t.Errorf("stats cols = %d, want 5", sol.Stats.Cols)
+	}
+	if sol.Stats.Phase1Iters == 0 || sol.Stats.Phase2Iters == 0 {
+		t.Errorf("iteration counts missing: %+v", sol.Stats)
+	}
+}

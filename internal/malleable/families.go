@@ -1,0 +1,116 @@
+package malleable
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file provides the task families used throughout the paper and the
+// experiments.
+//
+// The paper's running example (Sections 1 and 2) is the power-law family
+// p(l) = p(1) * l^(-d) with 0 < d < 1, the discrete analogue of the Prasanna
+// & Musicus continuous model. Amdahl tasks p(l) = p(1)*(f + (1-f)/l) and
+// capped-linear tasks p(l) = p(1)/min(l,k) also satisfy Assumptions 1 and 2
+// (their continuous speedups are concave with s(0)=0, and concavity on the
+// reals implies concavity on the integer grid). The random-concave family
+// draws an arbitrary task satisfying the assumptions by construction, and
+// NonConcaveExample reproduces the paper's Section 2 counterexample that
+// satisfies Assumption 2' but not Assumption 2.
+
+// PowerLaw returns a task with p(l) = p1 * l^(-d) for l = 1..m.
+// Requires p1 > 0 and 0 < d <= 1; d=1 is perfect linear speedup.
+func PowerLaw(name string, p1, d float64, m int) Task {
+	if p1 <= 0 || d <= 0 || d > 1 {
+		panic(fmt.Sprintf("malleable: invalid power-law parameters p1=%v d=%v", p1, d))
+	}
+	times := make([]float64, m)
+	for l := 1; l <= m; l++ {
+		times[l-1] = p1 * math.Pow(float64(l), -d)
+	}
+	return Task{Name: name, Times: times}
+}
+
+// Amdahl returns a task with sequential fraction f in [0,1]:
+// p(l) = p1 * (f + (1-f)/l). Speedup s(l) = l/(f*l + 1-f) is concave and
+// increasing with s(0)=0, so Assumptions 1 and 2 hold.
+func Amdahl(name string, p1, f float64, m int) Task {
+	if p1 <= 0 || f < 0 || f > 1 {
+		panic(fmt.Sprintf("malleable: invalid Amdahl parameters p1=%v f=%v", p1, f))
+	}
+	times := make([]float64, m)
+	for l := 1; l <= m; l++ {
+		times[l-1] = p1 * (f + (1-f)/float64(l))
+	}
+	return Task{Name: name, Times: times}
+}
+
+// CappedLinear returns a task with perfect speedup up to k processors and no
+// further gain: p(l) = p1 / min(l, k). The speedup min(l,k) is piecewise
+// linear concave, so Assumptions 1 and 2 hold; the work is constant up to k
+// and grows linearly beyond.
+func CappedLinear(name string, p1 float64, k, m int) Task {
+	if p1 <= 0 || k < 1 {
+		panic(fmt.Sprintf("malleable: invalid capped-linear parameters p1=%v k=%d", p1, k))
+	}
+	times := make([]float64, m)
+	for l := 1; l <= m; l++ {
+		times[l-1] = p1 / float64(min(l, k))
+	}
+	return Task{Name: name, Times: times}
+}
+
+// Sequential returns a task that gains nothing from extra processors:
+// p(l) = p1 for all l. Its speedup s(l) = 1 for l >= 1 is concave (with
+// s(0)=0), so the model assumptions hold; the work grows linearly.
+func Sequential(name string, p1 float64, m int) Task {
+	times := make([]float64, m)
+	for l := range times {
+		times[l] = p1
+	}
+	return Task{Name: name, Times: times}
+}
+
+// RandomConcave draws a task satisfying Assumptions 1 and 2 by construction:
+// the speedup increments delta_l = s(l+1)-s(l) are drawn non-increasing in
+// [0, 1] starting from s(1) = 1 (so concavity with s(0) = 0 holds), and
+// p(l) = p1/s(l). With probability flat, increments hit zero early, which
+// produces the flat stretches that exercise the frontier collapsing logic.
+func RandomConcave(name string, p1 float64, m int, rng *rand.Rand) Task {
+	times := make([]float64, m)
+	s := 1.0
+	times[0] = p1
+	d := 1.0 // delta_1 = s(1)-s(0) = 1; subsequent deltas non-increasing
+	for l := 2; l <= m; l++ {
+		d *= rng.Float64() // non-increasing, in [0, previous]
+		if rng.Float64() < 0.1 {
+			d = 0 // flat stretch: no further speedup
+		}
+		s += d
+		times[l-1] = p1 / s
+	}
+	return Task{Name: name, Times: times}
+}
+
+// NonConcaveExample reproduces the Section 2 counterexample
+// p(l) = 1/(1 - delta + delta*l^2) with delta in (0, 1/(m^2+1)): the work is
+// still increasing in l (Assumption 2' holds) but the speedup
+// s(l) = 1 - delta + delta*l^2 is convex, violating Assumption 2.
+func NonConcaveExample(delta float64, m int) Task {
+	times := make([]float64, m)
+	for l := 1; l <= m; l++ {
+		times[l-1] = 1 / (1 - delta + delta*float64(l)*float64(l))
+	}
+	return Task{Name: "nonconcave", Times: times}
+}
+
+// Scale returns a copy of t with every processing time multiplied by c > 0.
+// Scaling preserves Assumptions 1 and 2 (speedup is scale-invariant).
+func Scale(t Task, c float64) Task {
+	out := Task{Name: t.Name, Times: make([]float64, len(t.Times))}
+	for i, p := range t.Times {
+		out.Times[i] = c * p
+	}
+	return out
+}

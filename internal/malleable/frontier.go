@@ -1,0 +1,140 @@
+package malleable
+
+import (
+	"math"
+	"sort"
+)
+
+// Frontier is the efficient frontier of a task on a machine of m processors:
+// the distinct processing-time values p(l) for l = 1..m, each paired with
+// the minimal allotment achieving it. Because the work function W(l) is
+// non-decreasing in l (Theorem 2.1), the minimal allotment also achieves the
+// minimal work for that processing time, so the frontier carries exactly the
+// breakpoints of the piecewise linear work function w(x) of Eq. (6).
+//
+// Entries are ordered by increasing allotment, hence strictly decreasing
+// processing time: X[0] = p(1) down to X[len-1] = p(m).
+type Frontier struct {
+	L []int     // minimal allotment for each breakpoint
+	X []float64 // processing time at each breakpoint (strictly decreasing)
+	W []float64 // work L[i] * X[i] at each breakpoint
+}
+
+// NewFrontier computes the efficient frontier of t restricted to allotments
+// 1..m. Consecutive equal processing times are collapsed onto the smallest
+// allotment.
+func NewFrontier(t Task, m int) Frontier {
+	if m > len(t.Times) {
+		m = len(t.Times)
+	}
+	f := Frontier{}
+	for l := 1; l <= m; l++ {
+		x := t.Time(l)
+		if len(f.X) > 0 && x >= f.X[len(f.X)-1]-1e-12*f.X[len(f.X)-1] {
+			continue // not strictly faster: dominated by a smaller allotment
+		}
+		f.L = append(f.L, l)
+		f.X = append(f.X, x)
+		f.W = append(f.W, float64(l)*x)
+	}
+	return f
+}
+
+// Segments returns the number of linear pieces of w(x) (breakpoints - 1).
+func (f Frontier) Segments() int { return len(f.X) - 1 }
+
+// XMin and XMax are the domain bounds of w(x): p(m) and p(1).
+func (f Frontier) XMin() float64 { return f.X[len(f.X)-1] }
+func (f Frontier) XMax() float64 { return f.X[0] }
+
+// WorkAt evaluates the continuous piecewise linear work function w(x) of
+// Eq. (6) at processing time x, clamped to the domain [p(m), p(1)].
+func (f Frontier) WorkAt(x float64) float64 {
+	if x >= f.X[0] {
+		return f.W[0]
+	}
+	if x <= f.X[len(f.X)-1] {
+		return f.W[len(f.W)-1]
+	}
+	i := f.segmentOf(x)
+	// Interpolate on the segment [X[i+1], X[i]].
+	t := (x - f.X[i+1]) / (f.X[i] - f.X[i+1])
+	return f.W[i+1] + t*(f.W[i]-f.W[i+1])
+}
+
+// segmentOf returns the index i such that X[i+1] <= x <= X[i].
+func (f Frontier) segmentOf(x float64) int {
+	if len(f.X) < 2 {
+		return 0
+	}
+	// X is strictly decreasing; find the first index with X[j] <= x, then
+	// the segment is (j-1, j).
+	j := sort.Search(len(f.X), func(k int) bool { return f.X[k] <= x })
+	if j == 0 {
+		return 0
+	}
+	if j >= len(f.X) {
+		return len(f.X) - 2
+	}
+	return j - 1
+}
+
+// FractionalAlloc returns l*(x) = w(x)/x, the fractional number of processors
+// of Eq. (12). By Lemma 4.1, if p(l+1) <= x <= p(l) then l <= l*(x) <= l+1.
+func (f Frontier) FractionalAlloc(x float64) float64 {
+	return f.WorkAt(x) / x
+}
+
+// Round applies the paper's Section 3.1 rounding with parameter rho in
+// [0,1]: if x lies in segment (p(l+1), p(l)), the critical time is
+// p(l_c) = rho*p(l) + (1-rho)*p(l+1); x >= p(l_c) rounds up to p(l)
+// (allotment l, fewer processors), otherwise down to p(l+1) (allotment l+1).
+// Values at breakpoints keep the breakpoint's allotment. The returned
+// allotment is the frontier's minimal allotment for the rounded time.
+func (f Frontier) Round(x float64, rho float64) int {
+	if x >= f.X[0]-1e-12*f.X[0] {
+		return f.L[0]
+	}
+	last := len(f.X) - 1
+	if x <= f.X[last]+1e-12*f.X[last] {
+		return f.L[last]
+	}
+	i := f.segmentOf(x)
+	hi, lo := f.X[i], f.X[i+1] // hi = p(l), lo = p(l+1) in paper terms
+	// A value sitting exactly on a breakpoint keeps that breakpoint's
+	// allotment regardless of rho.
+	if x <= lo+1e-12*lo {
+		return f.L[i+1]
+	}
+	if x >= hi-1e-12*hi {
+		return f.L[i]
+	}
+	crit := rho*hi + (1-rho)*lo
+	if x >= crit {
+		return f.L[i]
+	}
+	return f.L[i+1]
+}
+
+// StretchBounds returns the worst-case duration and work stretch factors of
+// Lemma 4.2 for rounding parameter rho: duration grows by at most
+// 2/(1+rho), work by at most 2/(2-rho).
+func StretchBounds(rho float64) (duration, work float64) {
+	return 2 / (1 + rho), 2 / (2 - rho)
+}
+
+// VerifyRounding checks the Lemma 4.2 stretch bounds for a concrete rounded
+// point: processing time p(l') <= 2x/(1+rho) and work W(l') <= 2w(x)/(2-rho).
+// It returns the two realized stretch factors.
+func (f Frontier) VerifyRounding(x float64, rho float64, l int) (durStretch, workStretch float64) {
+	px := math.Inf(1)
+	var wl float64
+	for i, li := range f.L {
+		if li == l {
+			px = f.X[i]
+			wl = f.W[i]
+			break
+		}
+	}
+	return px / x, wl / f.WorkAt(x)
+}

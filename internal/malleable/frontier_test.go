@@ -1,0 +1,187 @@
+package malleable
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrontierCollapsesFlat(t *testing.T) {
+	task := NewTask("flat", []float64{10, 10, 5, 5, 4})
+	f := NewFrontier(task, 5)
+	wantL := []int{1, 3, 5}
+	wantX := []float64{10, 5, 4}
+	if len(f.L) != len(wantL) {
+		t.Fatalf("frontier length %d, want %d", len(f.L), len(wantL))
+	}
+	for i := range wantL {
+		if f.L[i] != wantL[i] || f.X[i] != wantX[i] {
+			t.Errorf("breakpoint %d = (%d,%v), want (%d,%v)", i, f.L[i], f.X[i], wantL[i], wantX[i])
+		}
+	}
+	if f.XMax() != 10 || f.XMin() != 4 {
+		t.Errorf("domain = [%v,%v], want [4,10]", f.XMin(), f.XMax())
+	}
+}
+
+func TestFrontierRestrictsToM(t *testing.T) {
+	task := PowerLaw("p", 8, 0.5, 16)
+	f := NewFrontier(task, 4)
+	if f.L[len(f.L)-1] > 4 {
+		t.Errorf("frontier uses allotment %d > m=4", f.L[len(f.L)-1])
+	}
+	if math.Abs(f.XMin()-task.Time(4)) > 1e-12 {
+		t.Errorf("XMin = %v, want p(4) = %v", f.XMin(), task.Time(4))
+	}
+}
+
+func TestWorkAtBreakpoints(t *testing.T) {
+	task := PowerLaw("p", 12, 0.7, 8)
+	f := NewFrontier(task, 8)
+	for i, x := range f.X {
+		if got := f.WorkAt(x); math.Abs(got-f.W[i]) > 1e-9 {
+			t.Errorf("WorkAt(breakpoint %d) = %v, want %v", i, got, f.W[i])
+		}
+	}
+	// Outside the domain, w is clamped.
+	if got := f.WorkAt(100); got != f.W[0] {
+		t.Errorf("WorkAt above domain = %v, want %v", got, f.W[0])
+	}
+	if got := f.WorkAt(0.01); got != f.W[len(f.W)-1] {
+		t.Errorf("WorkAt below domain = %v, want %v", got, f.W[len(f.W)-1])
+	}
+}
+
+func TestWorkAtInterpolates(t *testing.T) {
+	task := NewTask("t", []float64{10, 6, 5})
+	f := NewFrontier(task, 3)
+	// Midpoint of segment [6,10]: x=8, w should be (10 + 12)/2 = 11.
+	if got := f.WorkAt(8); math.Abs(got-11) > 1e-12 {
+		t.Errorf("WorkAt(8) = %v, want 11", got)
+	}
+	// Midpoint of segment [5,6]: x=5.5, w = (12+15)/2 = 13.5.
+	if got := f.WorkAt(5.5); math.Abs(got-13.5) > 1e-12 {
+		t.Errorf("WorkAt(5.5) = %v, want 13.5", got)
+	}
+}
+
+// Lemma 4.1: if p(l+1) <= x <= p(l) then l <= l*(x) = w(x)/x <= l+1.
+func TestLemma41FractionalAllocProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(24)
+		task := RandomConcave("rc", 1+9*r.Float64(), m, r)
+		f := NewFrontier(task, m)
+		for trial := 0; trial < 20; trial++ {
+			x := f.XMin() + r.Float64()*(f.XMax()-f.XMin())
+			ls := f.FractionalAlloc(x)
+			lo, hi := float64(f.L[0]), float64(f.L[0])
+			if len(f.X) > 1 {
+				i := f.segmentOf(x)
+				lo, hi = float64(f.L[i]), float64(f.L[i+1])
+			}
+			if ls < lo-1e-9 || ls > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Errorf("Lemma 4.1 property failed: %v", err)
+	}
+}
+
+func TestRoundAtBreakpointsKeepsAllotment(t *testing.T) {
+	task := PowerLaw("p", 9, 0.4, 6)
+	f := NewFrontier(task, 6)
+	for _, rho := range []float64{0, 0.26, 0.5, 1} {
+		for i, x := range f.X {
+			if got := f.Round(x, rho); got != f.L[i] {
+				t.Errorf("rho=%v: Round(breakpoint %d) = %d, want %d", rho, i, got, f.L[i])
+			}
+		}
+	}
+}
+
+func TestRoundCriticalPoint(t *testing.T) {
+	task := NewTask("t", []float64{10, 6})
+	f := NewFrontier(task, 2)
+	rho := 0.25
+	crit := rho*10 + (1-rho)*6 // = 7
+	if got := f.Round(crit+0.01, rho); got != 1 {
+		t.Errorf("just above critical point should round up to allotment 1, got %d", got)
+	}
+	if got := f.Round(crit-0.01, rho); got != 2 {
+		t.Errorf("just below critical point should round down to allotment 2, got %d", got)
+	}
+	// x exactly at the critical point rounds up (>= comparison in the paper).
+	if got := f.Round(crit, rho); got != 1 {
+		t.Errorf("at critical point should round up, got %d", got)
+	}
+}
+
+func TestRoundRhoExtremes(t *testing.T) {
+	task := NewTask("t", []float64{10, 6})
+	f := NewFrontier(task, 2)
+	// rho = 0: critical point is p(l+1): everything strictly inside rounds up.
+	if got := f.Round(6.5, 0); got != 1 {
+		t.Errorf("rho=0 should round any interior point up, got %d", got)
+	}
+	// rho = 1: critical point is p(l): everything strictly inside rounds down.
+	if got := f.Round(9.5, 1); got != 2 {
+		t.Errorf("rho=1 should round any interior point down, got %d", got)
+	}
+}
+
+// Lemma 4.2: rounding stretches duration by at most 2/(1+rho) and work by at
+// most 2/(2-rho).
+func TestLemma42StretchProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(24)
+		task := RandomConcave("rc", 1+9*r.Float64(), m, r)
+		f := NewFrontier(task, m)
+		rho := r.Float64()
+		durBound, workBound := StretchBounds(rho)
+		for trial := 0; trial < 20; trial++ {
+			x := f.XMin() + r.Float64()*(f.XMax()-f.XMin())
+			l := f.Round(x, rho)
+			ds, ws := f.VerifyRounding(x, rho, l)
+			if ds > durBound+1e-9 || ws > workBound+1e-9 {
+				t.Logf("seed=%d rho=%v x=%v l=%d: dur %v (bound %v) work %v (bound %v)",
+					seed, rho, x, l, ds, durBound, ws, workBound)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Errorf("Lemma 4.2 property failed: %v", err)
+	}
+}
+
+func TestStretchBoundsFormula(t *testing.T) {
+	d, w := StretchBounds(0.26)
+	if math.Abs(d-2/1.26) > 1e-12 || math.Abs(w-2/1.74) > 1e-12 {
+		t.Errorf("StretchBounds(0.26) = %v,%v", d, w)
+	}
+}
+
+func TestSingleBreakpointFrontier(t *testing.T) {
+	// A task with constant processing time has a single breakpoint; the work
+	// function degenerates to a point and rounding always returns allotment 1.
+	task := Sequential("s", 5, 4)
+	f := NewFrontier(task, 4)
+	if len(f.X) != 1 || f.L[0] != 1 {
+		t.Fatalf("frontier = %+v, want single breakpoint at l=1", f)
+	}
+	if got := f.Round(5, 0.5); got != 1 {
+		t.Errorf("Round on degenerate frontier = %d, want 1", got)
+	}
+	if got := f.WorkAt(5); got != 5 {
+		t.Errorf("WorkAt(5) = %v, want 5", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package malleable implements the malleable-task model of Jansen & Zhang
+// (SPAA 2005 / JCSS 2012), based on the continuous model of Prasanna and
+// Musicus: each task has a discrete processing-time function p(l) for
+// l = 1..m processors, assumed non-increasing in l (Assumption 1) and with a
+// concave speedup function s(l) = p(1)/p(l) (Assumption 2, with p(0) = +inf,
+// i.e. s(0) = 0).
+//
+// The package provides validation of the model assumptions, the derived
+// work-function properties of Section 2 of the paper (Theorems 2.1 and 2.2),
+// the efficient frontier used to build the piecewise linear work function
+// w(x) of Eqs. (6) and (8), and generators for standard task families
+// (power-law, Amdahl, capped-linear speedup, random concave).
+package malleable
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Task is a malleable task: Time[l-1] is the processing time when the task
+// runs on l processors. The slice length fixes the maximum usable allotment
+// (normally the machine size m).
+type Task struct {
+	// Name is an optional human-readable label.
+	Name string
+	// Times[l-1] is the processing time on l processors; must be positive.
+	Times []float64
+}
+
+// NewTask builds a task from a processing-time vector (index 0 = 1 processor).
+func NewTask(name string, times []float64) Task {
+	t := Task{Name: name, Times: make([]float64, len(times))}
+	copy(t.Times, times)
+	return t
+}
+
+// MaxProcs returns the largest allotment for which the task defines a
+// processing time.
+func (t Task) MaxProcs() int { return len(t.Times) }
+
+// Time returns the processing time p(l) on l processors. It panics if l is
+// outside 1..MaxProcs, matching the paper's convention p(0) = +inf by
+// returning +Inf for l <= 0.
+func (t Task) Time(l int) float64 {
+	if l <= 0 {
+		return math.Inf(1)
+	}
+	if l > len(t.Times) {
+		panic(fmt.Sprintf("malleable: allotment %d exceeds task limit %d", l, len(t.Times)))
+	}
+	return t.Times[l-1]
+}
+
+// Work returns the work function W(l) = l * p(l).
+func (t Task) Work(l int) float64 {
+	if l <= 0 {
+		return math.Inf(1)
+	}
+	return float64(l) * t.Time(l)
+}
+
+// Speedup returns s(l) = p(1)/p(l); s(0) = 0 by the convention p(0) = +inf.
+func (t Task) Speedup(l int) float64 {
+	if l == 0 {
+		return 0
+	}
+	return t.Time(1) / t.Time(l)
+}
+
+// Validation errors.
+var (
+	ErrEmpty          = errors.New("malleable: task has no processing times")
+	ErrNonPositive    = errors.New("malleable: processing time must be positive")
+	ErrAssumption1    = errors.New("malleable: Assumption 1 violated (p(l) increases in l)")
+	ErrAssumption2    = errors.New("malleable: Assumption 2 violated (speedup not concave)")
+	ErrWorkMonotone   = errors.New("malleable: Assumption 2' violated (work decreases in l)")
+	ErrWorkNotConvex  = errors.New("malleable: work function not convex in processing time")
+	ErrTooFewProcs    = errors.New("malleable: task defines fewer processing times than machine size")
+	ErrAllotmentRange = errors.New("malleable: allotment out of range")
+)
+
+const eps = 1e-9
+
+// CheckAssumption1 verifies that p(l) is non-increasing in l (Eq. (1)).
+func (t Task) CheckAssumption1() error {
+	if len(t.Times) == 0 {
+		return ErrEmpty
+	}
+	for l, p := range t.Times {
+		if !(p > 0) || math.IsInf(p, 1) || math.IsNaN(p) {
+			return fmt.Errorf("%w: p(%d)=%v", ErrNonPositive, l+1, p)
+		}
+		if l > 0 && p > t.Times[l-1]+eps*t.Times[l-1] {
+			return fmt.Errorf("%w: p(%d)=%v > p(%d)=%v", ErrAssumption1, l+1, p, l, t.Times[l-1])
+		}
+	}
+	return nil
+}
+
+// CheckAssumption2 verifies that the speedup function s(l) = p(1)/p(l) is
+// concave on the integers 0..MaxProcs with s(0) = 0 (Eq. (2)). For a
+// function on consecutive integers, concavity is equivalent to
+// non-increasing forward differences s(l+1) - s(l).
+func (t Task) CheckAssumption2() error {
+	if len(t.Times) == 0 {
+		return ErrEmpty
+	}
+	// s(0)=0, s(1)=1 by definition, so the first difference is 1; every
+	// subsequent difference must be <= the previous one.
+	prevDiff := 1.0 // s(1) - s(0)
+	for l := 1; l < len(t.Times); l++ {
+		d := t.Speedup(l+1) - t.Speedup(l)
+		if d > prevDiff+eps {
+			return fmt.Errorf("%w: s(%d)-s(%d)=%v exceeds s(%d)-s(%d)=%v",
+				ErrAssumption2, l+1, l, d, l, l-1, prevDiff)
+		}
+		prevDiff = d
+	}
+	return nil
+}
+
+// CheckAssumption2Prime verifies the weaker monotone-penalty assumption of
+// Lepère/Trystram/Woeginger (Eq. (3)): W(l) = l*p(l) non-decreasing in l.
+// By Theorem 2.1 this follows from Assumption 2 but not conversely.
+func (t Task) CheckAssumption2Prime() error {
+	for l := 1; l < len(t.Times); l++ {
+		if t.Work(l) > t.Work(l+1)+eps*t.Work(l) {
+			return fmt.Errorf("%w: W(%d)=%v > W(%d)=%v", ErrWorkMonotone, l, t.Work(l), l+1, t.Work(l+1))
+		}
+	}
+	return nil
+}
+
+// CheckWorkConvexInTime verifies the conclusion of Theorem 2.2: the work
+// function, viewed as a function of the processing time at the frontier
+// breakpoints, is convex. Convexity is checked on the efficient frontier
+// (distinct processing times) by non-decreasing slopes as x decreases.
+func (t Task) CheckWorkConvexInTime() error {
+	f := NewFrontier(t, len(t.Times))
+	for i := 2; i < len(f.X); i++ {
+		// Points ordered by decreasing processing time X. Convexity of w(x):
+		// slope between consecutive points must be non-increasing as x grows,
+		// i.e. going right-to-left slopes decrease; equivalently for the
+		// sequence ordered by decreasing x, slopes (negative) must be
+		// non-increasing in magnitude... simplest: check midpoint inequality.
+		s1 := (f.W[i-1] - f.W[i-2]) / (f.X[i-1] - f.X[i-2])
+		s2 := (f.W[i] - f.W[i-1]) / (f.X[i] - f.X[i-1])
+		// X decreasing, so moving from i-2 to i is moving left; for a convex
+		// function slopes must decrease as x decreases: s2 <= s1 + eps.
+		if s2 > s1+1e-7*(1+math.Abs(s1)) {
+			return fmt.Errorf("%w: slope %v after %v at breakpoint %d", ErrWorkNotConvex, s2, s1, i)
+		}
+	}
+	return nil
+}
+
+// Validate runs all model checks required by the paper (Assumptions 1 and 2)
+// against a machine of m processors and returns the first violation.
+func (t Task) Validate(m int) error {
+	if len(t.Times) < m {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewProcs, len(t.Times), m)
+	}
+	if err := t.CheckAssumption1(); err != nil {
+		return err
+	}
+	if err := t.CheckAssumption2(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package malleable
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeWorkSpeedup(t *testing.T) {
+	task := NewTask("t", []float64{10, 6, 5})
+	if got := task.Time(1); got != 10 {
+		t.Errorf("Time(1) = %v, want 10", got)
+	}
+	if got := task.Time(3); got != 5 {
+		t.Errorf("Time(3) = %v, want 5", got)
+	}
+	if !math.IsInf(task.Time(0), 1) {
+		t.Errorf("Time(0) should be +Inf (p(0) = infinity convention)")
+	}
+	if got := task.Work(2); got != 12 {
+		t.Errorf("Work(2) = %v, want 12", got)
+	}
+	if got := task.Speedup(2); math.Abs(got-10.0/6) > 1e-12 {
+		t.Errorf("Speedup(2) = %v, want %v", got, 10.0/6)
+	}
+	if got := task.Speedup(0); got != 0 {
+		t.Errorf("Speedup(0) = %v, want 0", got)
+	}
+	if task.MaxProcs() != 3 {
+		t.Errorf("MaxProcs = %d, want 3", task.MaxProcs())
+	}
+}
+
+func TestTimePanicsBeyondLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Time(4) on a 3-processor task should panic")
+		}
+	}()
+	NewTask("t", []float64{3, 2, 1}).Time(4)
+}
+
+func TestAssumption1(t *testing.T) {
+	good := NewTask("good", []float64{10, 6, 5, 5})
+	if err := good.CheckAssumption1(); err != nil {
+		t.Errorf("non-increasing times rejected: %v", err)
+	}
+	bad := NewTask("bad", []float64{10, 6, 7})
+	if err := bad.CheckAssumption1(); err == nil {
+		t.Error("increasing processing time accepted")
+	}
+	if err := NewTask("empty", nil).CheckAssumption1(); err == nil {
+		t.Error("empty task accepted")
+	}
+	if err := NewTask("neg", []float64{3, -1}).CheckAssumption1(); err == nil {
+		t.Error("negative processing time accepted")
+	}
+	if err := NewTask("zero", []float64{3, 0}).CheckAssumption1(); err == nil {
+		t.Error("zero processing time accepted")
+	}
+}
+
+func TestAssumption2PowerLaw(t *testing.T) {
+	for _, d := range []float64{0.1, 0.5, 0.9, 1.0} {
+		task := PowerLaw("pl", 100, d, 16)
+		if err := task.Validate(16); err != nil {
+			t.Errorf("power-law d=%v should satisfy both assumptions: %v", d, err)
+		}
+	}
+}
+
+func TestAssumption2Amdahl(t *testing.T) {
+	for _, f := range []float64{0, 0.1, 0.5, 1} {
+		task := Amdahl("am", 50, f, 12)
+		if err := task.Validate(12); err != nil {
+			t.Errorf("Amdahl f=%v should satisfy both assumptions: %v", f, err)
+		}
+	}
+}
+
+func TestAssumption2CappedLinear(t *testing.T) {
+	for _, k := range []int{1, 3, 8, 20} {
+		task := CappedLinear("cl", 40, k, 8)
+		if err := task.Validate(8); err != nil {
+			t.Errorf("capped-linear k=%d should satisfy both assumptions: %v", k, err)
+		}
+	}
+}
+
+func TestSequentialTaskValid(t *testing.T) {
+	if err := Sequential("seq", 7, 9).Validate(9); err != nil {
+		t.Errorf("sequential task should be valid: %v", err)
+	}
+}
+
+func TestNonConcaveExample(t *testing.T) {
+	// The Section 2 counterexample: Assumption 2' holds, Assumption 2 fails.
+	m := 6
+	delta := 1.0 / (float64(m*m) + 2)
+	task := NonConcaveExample(delta, m)
+	if err := task.CheckAssumption1(); err != nil {
+		t.Errorf("counterexample should satisfy Assumption 1: %v", err)
+	}
+	if err := task.CheckAssumption2Prime(); err != nil {
+		t.Errorf("counterexample should satisfy Assumption 2': %v", err)
+	}
+	if err := task.CheckAssumption2(); err == nil {
+		t.Error("counterexample should violate Assumption 2 (convex speedup)")
+	}
+}
+
+// Theorem 2.1: Assumption 2 implies the work function is non-decreasing.
+func TestTheorem21WorkMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(30)
+		task := RandomConcave("rc", 1+99*r.Float64(), m, r)
+		if err := task.Validate(m); err != nil {
+			t.Logf("generator produced invalid task: %v", err)
+			return false
+		}
+		return task.CheckAssumption2Prime() == nil
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Errorf("Theorem 2.1 property failed: %v", err)
+	}
+}
+
+// Theorem 2.2: Assumption 2 implies the work function is convex in the
+// processing time.
+func TestTheorem22WorkConvexProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(30)
+		task := RandomConcave("rc", 1+99*r.Float64(), m, r)
+		return task.CheckWorkConvexInTime() == nil
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rng}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Errorf("Theorem 2.2 property failed: %v", err)
+	}
+}
+
+func TestTheorem21InductionBase(t *testing.T) {
+	// The proof's base case: 2*p(2) >= p(1) for every valid task.
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		task := RandomConcave("rc", 10, 8, r)
+		if 2*task.Time(2) < task.Time(1)-1e-9 {
+			t.Fatalf("seed %d: 2p(2)=%v < p(1)=%v", seed, 2*task.Time(2), task.Time(1))
+		}
+	}
+}
+
+func TestValidateMachineSize(t *testing.T) {
+	task := NewTask("short", []float64{4, 3})
+	if err := task.Validate(3); err == nil {
+		t.Error("task with 2 entries accepted for m=3")
+	}
+	if err := task.Validate(2); err != nil {
+		t.Errorf("task should validate for m=2: %v", err)
+	}
+}
+
+func TestScalePreservesAssumptions(t *testing.T) {
+	task := PowerLaw("p", 10, 0.6, 8)
+	scaled := Scale(task, 3.5)
+	if err := scaled.Validate(8); err != nil {
+		t.Errorf("scaling broke assumptions: %v", err)
+	}
+	if math.Abs(scaled.Time(4)-3.5*task.Time(4)) > 1e-12 {
+		t.Errorf("Scale did not multiply times")
+	}
+}
+
+func TestRejectsNaNAndInf(t *testing.T) {
+	cases := [][]float64{
+		{math.NaN(), 1},
+		{4, math.NaN()},
+		{math.Inf(1), 2},
+		{4, math.Inf(1)},
+	}
+	for i, times := range cases {
+		if err := NewTask("bad", times).CheckAssumption1(); err == nil {
+			t.Errorf("case %d: NaN/Inf processing time accepted: %v", i, times)
+		}
+	}
+}
+
+func TestPowerLawPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct{ p1, d float64 }{{0, 0.5}, {-1, 0.5}, {10, 0}, {10, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PowerLaw(%v, %v) should panic", c.p1, c.d)
+				}
+			}()
+			PowerLaw("x", c.p1, c.d, 4)
+		}()
+	}
+}
+
+func TestAmdahlPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct{ p1, f float64 }{{0, 0.5}, {10, -0.1}, {10, 1.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Amdahl(%v, %v) should panic", c.p1, c.f)
+				}
+			}()
+			Amdahl("x", c.p1, c.f, 4)
+		}()
+	}
+}
+
+func TestCappedLinearPanicsOnBadParams(t *testing.T) {
+	for _, c := range []struct {
+		p1 float64
+		k  int
+	}{{0, 2}, {10, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CappedLinear(%v, %v) should panic", c.p1, c.k)
+				}
+			}()
+			CappedLinear("x", c.p1, c.k, 4)
+		}()
+	}
+}

@@ -1,0 +1,59 @@
+package nlp
+
+import "math"
+
+// This file implements the intermediate objects of the paper's Subsection
+// 4.3 derivation, so the chain from the stationarity condition A(rho)' = 0
+// to the degree-6 polynomial of Eq. (21) can be verified numerically:
+//
+//	A(rho)' = 0
+//	  <=>  A1*Delta + A2*sqrt(Delta) + A3 = 0          (paper, §4.3)
+//	  =>   (A1*Delta + A3)^2 - A2^2*Delta = 0
+//	  <=>  m^2 (1+m) (1+rho)^2 * sum_i c_i rho^i = 0   (Eq. (21))
+//
+// with Delta = (rho^2 + 2rho + 2) m^2 - 2(1+rho) m.
+
+// Delta returns the discriminant-like quantity of §4.3.
+func Delta(m, rho float64) float64 {
+	return (rho*rho+2*rho+2)*m*m - 2*(1+rho)*m
+}
+
+// A1A2A3 returns the three coefficients of the equation
+// A1*Delta + A2*sqrt(Delta) + A3 = 0 as given in the paper.
+func A1A2A3(m, rho float64) (a1, a2, a3 float64) {
+	a1 = m*rho*rho*rho + (-3*m-1)*rho*rho + (6*m+4)*rho + (m - 4)
+	a2 = m * (-m*math.Pow(rho, 4) + (m+1)*math.Pow(rho, 3) + (-3*m-2)*rho*rho + (2*m+8)*rho + (-2*m + 2))
+	a3 = m * ((m*m+m)*math.Pow(rho, 4) + (m*m-3*m-1)*math.Pow(rho, 3) +
+		(-3*m*m-3*m+3)*rho*rho + (-5*m*m+7*m)*rho + (-2*m*m + 6*m - 4))
+	return a1, a2, a3
+}
+
+// StationarityResidual evaluates A1*Delta + A2*sqrt(Delta) + A3 at (m, rho):
+// zero exactly at stationary points of A(rho) with mu = mu*(rho) from
+// Lemma 4.8.
+func StationarityResidual(m, rho float64) float64 {
+	d := Delta(m, rho)
+	a1, a2, a3 := A1A2A3(m, rho)
+	return a1*d + a2*math.Sqrt(d) + a3
+}
+
+// Eq21LHS evaluates the squared, radical-free form
+// (A1*Delta + A3)^2 - A2^2 * Delta.
+func Eq21LHS(m, rho float64) float64 {
+	d := Delta(m, rho)
+	a1, a2, a3 := A1A2A3(m, rho)
+	t := a1*d + a3
+	return t*t - a2*a2*d
+}
+
+// Eq21RHS evaluates m^2 (1+m) (1+rho)^2 * sum_i c_i rho^i with the paper's
+// coefficients c_0..c_6 (Eq21Coefficients).
+func Eq21RHS(m, rho float64) float64 {
+	sum := 0.0
+	pow := 1.0
+	for _, c := range Eq21Coefficients(m) {
+		sum += c * pow
+		pow *= rho
+	}
+	return m * m * (1 + m) * (1 + rho) * (1 + rho) * sum
+}

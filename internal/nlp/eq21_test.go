@@ -1,0 +1,93 @@
+package nlp
+
+import (
+	"math"
+	"testing"
+
+	"malsched/internal/params"
+)
+
+// The paper's algebra: (A1*Delta + A3)^2 - A2^2*Delta must equal
+// m^2(1+m)(1+rho)^2 * sum c_i rho^i identically in (m, rho). Verifying the
+// identity numerically on a grid checks every printed coefficient of
+// Eq. (21) and of A1, A2, A3 at once.
+func TestEq21IdentityHolds(t *testing.T) {
+	for _, m := range []float64{2, 3, 5, 10, 33, 100} {
+		for rho := 0.0; rho <= 1.0001; rho += 0.05 {
+			lhs := Eq21LHS(m, rho)
+			rhs := Eq21RHS(m, rho)
+			scale := math.Max(math.Abs(lhs), math.Abs(rhs))
+			if scale < 1 {
+				scale = 1
+			}
+			if math.Abs(lhs-rhs)/scale > 1e-9 {
+				t.Fatalf("identity fails at m=%v rho=%.2f: lhs=%v rhs=%v", m, rho, lhs, rhs)
+			}
+		}
+	}
+}
+
+// At the root of Eq. (21) inside (0,1), the stationarity residual
+// A1*Delta + A2*sqrt(Delta) + A3 vanishes, i.e. the squaring introduced no
+// spurious feasible root for these m.
+func TestStationarityAtEq21Root(t *testing.T) {
+	for _, m := range []float64{50, 500, 5000} {
+		rho, ok := FeasibleRho(Eq21Coefficients(m))
+		if !ok {
+			t.Fatalf("m=%v: no feasible root", m)
+		}
+		res := StationarityResidual(m, rho)
+		// Normalise by the magnitude of the individual terms.
+		d := Delta(m, rho)
+		a1, a2, a3 := A1A2A3(m, rho)
+		scale := math.Abs(a1*d) + math.Abs(a2*math.Sqrt(d)) + math.Abs(a3)
+		if math.Abs(res)/scale > 1e-8 {
+			t.Errorf("m=%v: residual %v not zero at rho=%v (scale %v)", m, res, rho, scale)
+		}
+	}
+}
+
+// The stationary rho from Eq. (21) actually minimises the objective: the
+// objective at nearby rho values is no smaller.
+func TestEq21RootMinimisesObjective(t *testing.T) {
+	m := 1000
+	rho, ok := FeasibleRho(Eq21Coefficients(float64(m)))
+	if !ok {
+		t.Fatal("no feasible root")
+	}
+	obj := func(r float64) float64 {
+		mu := params.MuFromLemma48(m, r)
+		return (2*float64(m)/(2-r) + (float64(m)-mu)*2/(1+r)) / (float64(m) - mu + 1)
+	}
+	at := obj(rho)
+	for _, d := range []float64{-0.05, -0.01, 0.01, 0.05} {
+		if v := obj(rho + d); v < at-1e-9 {
+			t.Errorf("objective at rho*%+.2f = %v beats stationary value %v", d, v, at)
+		}
+	}
+}
+
+// Delta is positive throughout the feasible region (needed for the square
+// root in Lemma 4.8 / mu* to be real).
+func TestDeltaPositive(t *testing.T) {
+	for m := 2.0; m <= 64; m++ {
+		for rho := 0.0; rho <= 1.0001; rho += 0.01 {
+			if Delta(m, rho) <= 0 {
+				t.Fatalf("Delta(m=%v, rho=%v) = %v <= 0", m, rho, Delta(m, rho))
+			}
+		}
+	}
+}
+
+// Lemma 4.8's mu* stays inside the feasible range [1, (m+1)/2] for the rho
+// region the paper uses (rho > 2mu/m - 1).
+func TestMuStarRange(t *testing.T) {
+	for _, m := range []int{2, 5, 10, 33, 100} {
+		for rho := 0.0; rho <= 1.0001; rho += 0.05 {
+			mu := params.MuFromLemma48(m, rho)
+			if mu < 0.5 || mu > float64(m+1)/2+1e-9 {
+				t.Errorf("mu*(m=%d, rho=%.2f) = %v out of range", m, rho, mu)
+			}
+		}
+	}
+}

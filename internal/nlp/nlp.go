@@ -1,0 +1,219 @@
+// Package nlp implements the min–max nonlinear program machinery of
+// Section 4 of the paper: the grid solver for program (18) that produces
+// Table 4, the asymptotic analysis of Subsection 4.3 (the degree-6
+// polynomial Eq. (21), its roots, and the limits rho* = 0.261917,
+// mu*/m -> 0.325907, r -> 3.291913), and the Lemma 4.6 unique-crossing
+// machinery illustrated by Figs. 3 and 4.
+package nlp
+
+import (
+	"math"
+	"math/cmplx"
+
+	"malsched/internal/params"
+)
+
+// GridResult is one solution of the min–max NLP by grid search.
+type GridResult struct {
+	M   int
+	Mu  int
+	Rho float64
+	R   float64
+}
+
+// GridSolve minimises the Objective of NLP (17)/(18) over integer
+// mu in [1, floor((m+1)/2)] and rho on a uniform grid of step dRho in
+// [0, 1], reproducing Table 4 (which uses dRho = 1e-4).
+func GridSolve(m int, dRho float64) GridResult {
+	best := GridResult{M: m, Mu: 1, Rho: 0, R: math.Inf(1)}
+	muMax := (m + 1) / 2
+	if muMax < 1 {
+		muMax = 1
+	}
+	steps := int(math.Round(1/dRho)) + 1
+	for mu := 1; mu <= muMax; mu++ {
+		for s := 0; s < steps; s++ {
+			rho := float64(s) * dRho
+			if rho > 1 {
+				rho = 1
+			}
+			r := params.Objective(m, mu, rho)
+			if r < best.R-1e-12 {
+				best = GridResult{M: m, Mu: mu, Rho: rho, R: r}
+			}
+		}
+	}
+	return best
+}
+
+// Table4 regenerates Table 4 of the paper for m = 2..maxM with the paper's
+// grid step 1e-4.
+func Table4(maxM int) []GridResult {
+	out := make([]GridResult, 0, maxM-1)
+	for m := 2; m <= maxM; m++ {
+		out = append(out, GridSolve(m, 1e-4))
+	}
+	return out
+}
+
+// AsymptoticPolynomial returns the coefficients (constant first) of the
+// m -> infinity limit of Eq. (21):
+//
+//	rho^6 + 6rho^5 + 3rho^4 + 14rho^3 + 21rho^2 + 24rho - 8 = 0.
+func AsymptoticPolynomial() []float64 {
+	return []float64{-8, 24, 21, 14, 3, 6, 1}
+}
+
+// Eq21Coefficients returns the finite-m coefficients c0..c6 of the
+// polynomial in Eq. (21) (after dividing out m^2(1+m)(1+rho)^2).
+func Eq21Coefficients(m float64) []float64 {
+	return []float64{
+		-8 * (m - 1) * (m - 1) * (m - 2),
+		8 * (m - 1) * (m - 2) * (3*m - 2),
+		21*m*m*m - 59*m*m + 16*m + 24,
+		2 * (m + 1) * (7*m*m - 7*m - 4),
+		3*m*m*m - 7*m*m + 15*m + 1,
+		2 * m * (3*m*m - 4*m - 1),
+		m * m * (m + 1),
+	}
+}
+
+// Roots finds all complex roots of the polynomial with the given real
+// coefficients (constant term first) using the Durand–Kerner iteration.
+// The leading coefficient must be non-zero.
+func Roots(coefs []float64) []complex128 {
+	n := len(coefs) - 1
+	for n > 0 && coefs[n] == 0 {
+		n--
+	}
+	if n < 1 {
+		return nil
+	}
+	// Normalise to a monic polynomial.
+	c := make([]complex128, n+1)
+	lead := coefs[n]
+	for i := 0; i <= n; i++ {
+		c[i] = complex(coefs[i]/lead, 0)
+	}
+	eval := func(x complex128) complex128 {
+		v := complex(0, 0)
+		for i := n; i >= 0; i-- {
+			v = v*x + c[i]
+		}
+		return v
+	}
+	// Initial guesses: points on a circle avoiding symmetry axes.
+	roots := make([]complex128, n)
+	seed := complex(0.4, 0.9)
+	cur := complex(1, 0)
+	for i := range roots {
+		cur *= seed
+		roots[i] = cur
+	}
+	for iter := 0; iter < 500; iter++ {
+		maxDelta := 0.0
+		for i := range roots {
+			num := eval(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				continue
+			}
+			d := num / den
+			roots[i] -= d
+			if a := cmplx.Abs(d); a > maxDelta {
+				maxDelta = a
+			}
+		}
+		if maxDelta < 1e-13 {
+			break
+		}
+	}
+	return roots
+}
+
+// FeasibleRho returns the unique real root of the polynomial inside (0, 1),
+// the asymptotically optimal rounding parameter (rho* = 0.261917 for the
+// limit polynomial).
+func FeasibleRho(coefs []float64) (float64, bool) {
+	for _, r := range Roots(coefs) {
+		if math.Abs(imag(r)) < 1e-7 && real(r) > 0 && real(r) < 1 {
+			return real(r), true
+		}
+	}
+	return 0, false
+}
+
+// AsymptoticOptimum computes the Section 4.3 limits: the optimal rho*, the
+// allotment fraction beta = mu*/m, and the limiting ratio r.
+func AsymptoticOptimum() (rho, beta, r float64) {
+	rho, ok := FeasibleRho(AsymptoticPolynomial())
+	if !ok {
+		panic("nlp: asymptotic polynomial has no feasible root")
+	}
+	beta = ((2 + rho) - math.Sqrt(rho*rho+2*rho+2)) / 2
+	r = 2/((2-rho)*(1-beta)) + 2/(1+rho)
+	return rho, beta, r
+}
+
+// --- Lemma 4.6 machinery (Figs. 3 and 4) -------------------------------
+
+// Func1D is a scalar function on an interval.
+type Func1D func(float64) float64
+
+// UniqueCrossing verifies the hypothesis and conclusion of Lemma 4.6 for f
+// and g sampled on [a, b]: when f' and g' have strictly opposite signs
+// (property Omega1) or are both non-vanishing (property Omega2) and
+// f(x) = g(x) has a root, the root x0 is unique and minimises
+// h(x) = max{f(x), g(x)}. It returns the crossing point found by bisection
+// and whether the sampled minimiser of h agrees with it.
+func UniqueCrossing(f, g Func1D, a, b float64, samples int) (x0 float64, minimises bool, found bool) {
+	d := func(x float64) float64 { return f(x) - g(x) }
+	// Bisection needs a sign change.
+	lo, hi := a, b
+	if d(lo)*d(hi) > 0 {
+		return 0, false, false
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if d(lo)*d(mid) <= 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	x0 = (lo + hi) / 2
+	// Sampled minimiser of h = max{f,g}.
+	h := func(x float64) float64 { return math.Max(f(x), g(x)) }
+	bestX, bestV := a, h(a)
+	for i := 1; i <= samples; i++ {
+		x := a + (b-a)*float64(i)/float64(samples)
+		if v := h(x); v < bestV {
+			bestX, bestV = x, v
+		}
+	}
+	step := (b - a) / float64(samples)
+	return x0, math.Abs(bestX-x0) <= 2*step, true
+}
+
+// ABFunctions returns the two branch functions A(mu) and B(mu) of the
+// Subsection 4.1.2 analysis for machine size m and fixed rho: A is the
+// x1-vertex branch and B the x2-vertex branch of the Objective of NLP (18),
+// viewed as functions of a continuous mu in [1, (m+1)/2]. Their unique
+// crossing is the Lemma 4.8 minimiser mu*(rho) — exactly the situation
+// Lemma 4.6 (Figs. 3 and 4) addresses: A is increasing and B decreasing in
+// mu, so the crossing minimises max{A, B}.
+func ABFunctions(m int, rho float64) (A, B Func1D) {
+	fm := float64(m)
+	A = func(mu float64) float64 {
+		return (2*fm/(2-rho) + (fm-mu)*2/(1+rho)) / (fm - mu + 1)
+	}
+	B = func(mu float64) float64 {
+		return (2*fm/(2-rho) + (fm-2*mu+1)*fm/mu) / (fm - mu + 1)
+	}
+	return A, B
+}

@@ -1,0 +1,178 @@
+// Package params computes the algorithm parameters and proven approximation
+// ratios of Section 4 of the paper: the rounding parameter rho*(m), the
+// allotment parameter mu*(m) (Eqs. (19)–(20)), the min–max objective of the
+// nonlinear program (17), the closed-form ratio of Theorem 4.1, the bound of
+// Lemma 4.9, and the Corollary 4.1 supremum 100/63 + 100(sqrt(6469)+13)/5481
+// ~= 3.291919. It regenerates Table 2 of the paper.
+package params
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective evaluates the inner maximum of the min–max nonlinear program
+// (17) for machine size m, allotment threshold mu and rounding parameter
+// rho: the maximum of
+//
+//	[2m/(2-rho) + (m-mu)x1 + (m-2mu+1)x2] / (m-mu+1)
+//
+// over x1, x2 >= 0 with (1+rho)x1/2 + min{mu/m, (1+rho)/2} x2 <= 1.
+// The feasible region is a triangle, so the maximum is attained at one of
+// its three vertices.
+func Objective(m, mu int, rho float64) float64 {
+	if mu < 1 || mu > m {
+		panic(fmt.Sprintf("params: mu=%d out of range for m=%d", mu, m))
+	}
+	base := 2 * float64(m) / (2 - rho)
+	den := float64(m - mu + 1)
+	x1max := 2 / (1 + rho)
+	coef2 := math.Min(float64(mu)/float64(m), (1+rho)/2)
+	x2max := 1 / coef2
+	best := 0.0 // vertex (0,0)
+	if v := float64(m-mu) * x1max; v > best {
+		best = v
+	}
+	if v := float64(m-2*mu+1) * x2max; v > best {
+		best = v
+	}
+	return (base + best) / den
+}
+
+// MuHat returns the fractional allotment parameter of Eq. (20):
+// (113m - sqrt(6469 m^2 - 6300 m)) / 100, derived from Lemma 4.8 at
+// rho = 0.26.
+func MuHat(m int) float64 {
+	fm := float64(m)
+	return (113*fm - math.Sqrt(6469*fm*fm-6300*fm)) / 100
+}
+
+// MuFromLemma48 returns the optimal fractional mu of Lemma 4.8 for a fixed
+// rho > 2mu/m - 1:
+//
+//	mu = [(2+rho)m - sqrt((rho^2+2rho+2)m^2 - 2(1+rho)m)] / 2.
+func MuFromLemma48(m int, rho float64) float64 {
+	fm := float64(m)
+	return ((2+rho)*fm - math.Sqrt((rho*rho+2*rho+2)*fm*fm-2*(1+rho)*fm)) / 2
+}
+
+// Choice is the parameter selection for a machine size: the rounding
+// parameter Rho, the allotment threshold Mu, and the proven ratio R (the
+// Table 2 value).
+type Choice struct {
+	M   int
+	Mu  int
+	Rho float64
+	R   float64
+}
+
+// Choose returns the paper's parameter choice for machine size m >= 1,
+// reproducing Table 2: the special small cases m = 2, 3, 4 from
+// Subsection 4.1.1, and rho = 0.26 with mu the better of the floor/ceil
+// roundings of MuHat(m) for m >= 5.
+func Choose(m int) Choice {
+	switch {
+	case m < 1:
+		panic("params: m < 1")
+	case m == 1:
+		// Trivial machine: every allotment is 1 processor; list scheduling
+		// is exact on one processor for any DAG.
+		return Choice{M: 1, Mu: 1, Rho: 0, R: 1}
+	case m == 2:
+		return Choice{M: 2, Mu: 1, Rho: 0, R: Objective(2, 1, 0)}
+	case m == 3:
+		return Choice{M: 3, Mu: 2, Rho: 0.098, R: Objective(3, 2, 0.098)}
+	case m == 4:
+		return Choice{M: 4, Mu: 2, Rho: 0, R: Objective(4, 2, 0)}
+	}
+	const rho = 0.26
+	muHat := MuHat(m)
+	lo := int(math.Floor(muHat))
+	hi := int(math.Ceil(muHat))
+	lo = clampInt(lo, 1, m)
+	hi = clampInt(hi, 1, m)
+	best := Choice{M: m, Mu: lo, Rho: rho, R: Objective(m, lo, rho)}
+	if hi != lo {
+		if r := Objective(m, hi, rho); r < best.R {
+			best = Choice{M: m, Mu: hi, Rho: rho, R: r}
+		}
+	}
+	return best
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// TheoremBound returns the closed-form ratio of Theorem 4.1 for m >= 2.
+// For m >= 6 this is the Lemma 4.9 expression, which upper-bounds (not
+// always tightly) the Objective value reported in Table 2.
+func TheoremBound(m int) float64 {
+	fm := float64(m)
+	switch m {
+	case 2:
+		return 2
+	case 3:
+		return 2 * (2 + math.Sqrt(3)) / 3
+	case 4:
+		return 8.0 / 3
+	case 5:
+		return 2 * (7 + 2*math.Sqrt(10)) / 9
+	default:
+		return 100.0/63 + 100.0/345303*
+			(63*fm-87)*(math.Sqrt(6469*fm*fm-6300*fm)+13*fm)/(fm*fm-fm)
+	}
+}
+
+// Lemma47Bound returns the ratio bound of Lemma 4.7 for the case
+// rho <= 2mu/m - 1.
+func Lemma47Bound(m int) float64 {
+	fm := float64(m)
+	switch {
+	case m == 3:
+		return 2 * (2 + math.Sqrt(3)) / 3
+	case m == 5:
+		return 2 * (7 + 2*math.Sqrt(10)) / 9
+	case m >= 7 && m%2 == 1:
+		return 2 * fm * (4*fm*fm - fm + 1) / ((fm + 1) * (fm + 1) * (2*fm - 1))
+	default:
+		return 4 * fm / (fm + 2)
+	}
+}
+
+// CorollarySup is the Corollary 4.1 supremum over all m >= 2:
+// 100/63 + 100(sqrt(6469)+13)/5481 ~= 3.291919.
+func CorollarySup() float64 {
+	return 100.0/63 + 100*(math.Sqrt(6469)+13)/5481
+}
+
+// AsymptoticRatio is the m -> infinity limit of the ratio achievable with
+// the optimal rho* = 0.261917 (Section 4.3): r -> 3.291913.
+func AsymptoticRatio(rho float64) float64 {
+	beta := ((2 + rho) - math.Sqrt(rho*rho+2*rho+2)) / 2 // mu*/m limit
+	return 2/((2-rho)*(1-beta)) + 2/(1+rho)
+}
+
+// Table2Row is one row of Table 2 of the paper.
+type Table2Row struct {
+	M   int
+	Mu  int
+	Rho float64
+	R   float64
+}
+
+// Table2 regenerates Table 2 for m = 2..maxM.
+func Table2(maxM int) []Table2Row {
+	rows := make([]Table2Row, 0, maxM-1)
+	for m := 2; m <= maxM; m++ {
+		c := Choose(m)
+		rows = append(rows, Table2Row{M: m, Mu: c.Mu, Rho: c.Rho, R: c.R})
+	}
+	return rows
+}

@@ -1,0 +1,177 @@
+package params
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 2 of the paper, transcribed: m, mu(m), rho(m), r(m).
+var paperTable2 = []struct {
+	m   int
+	mu  int
+	rho float64
+	r   float64
+}{
+	{2, 1, 0, 2}, {3, 2, 0.098, 2.4880}, {4, 2, 0, 2.6667}, {5, 2, 0.260, 2.6868},
+	{6, 3, 0.260, 2.9146}, {7, 3, 0.260, 2.8790}, {8, 3, 0.260, 2.8659}, {9, 4, 0.260, 3.0469},
+	{10, 4, 0.260, 3.0026}, {11, 4, 0.260, 2.9693}, {12, 5, 0.260, 3.1130}, {13, 5, 0.260, 3.0712},
+	{14, 5, 0.260, 3.0378}, {15, 6, 0.260, 3.1527}, {16, 6, 0.260, 3.1149}, {17, 6, 0.260, 3.0834},
+	{18, 7, 0.260, 3.1792}, {19, 7, 0.260, 3.1451}, {20, 7, 0.260, 3.1160}, {21, 8, 0.260, 3.1981},
+	{22, 8, 0.260, 3.1673}, {23, 8, 0.260, 3.1404}, {24, 8, 0.260, 3.2110}, {25, 9, 0.260, 3.1843},
+	{26, 9, 0.260, 3.1594}, {27, 9, 0.260, 3.2123}, {28, 10, 0.260, 3.1976}, {29, 10, 0.260, 3.1746},
+	{30, 10, 0.260, 3.2135}, {31, 11, 0.260, 3.2085}, {32, 11, 0.260, 3.1870}, {33, 11, 0.260, 3.2144},
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	for _, row := range paperTable2 {
+		c := Choose(row.m)
+		if c.Mu != row.mu {
+			t.Errorf("m=%d: mu = %d, want %d", row.m, c.Mu, row.mu)
+		}
+		if math.Abs(c.Rho-row.rho) > 1e-9 {
+			t.Errorf("m=%d: rho = %v, want %v", row.m, c.Rho, row.rho)
+		}
+		if math.Abs(c.R-row.r) > 5e-5 { // table prints 4 decimals
+			t.Errorf("m=%d: r = %.6f, want %.4f", row.m, c.R, row.r)
+		}
+	}
+}
+
+func TestTable2Generator(t *testing.T) {
+	rows := Table2(33)
+	if len(rows) != 32 {
+		t.Fatalf("Table2(33) has %d rows, want 32", len(rows))
+	}
+	if rows[0].M != 2 || rows[31].M != 33 {
+		t.Errorf("row range wrong: %v..%v", rows[0].M, rows[31].M)
+	}
+}
+
+func TestObjectiveKnownValues(t *testing.T) {
+	// Hand-checked values from the analysis in Section 4.2.
+	cases := []struct {
+		m, mu int
+		rho   float64
+		want  float64
+	}{
+		{2, 1, 0, 2},
+		{4, 2, 0, 8.0 / 3},
+		{10, 4, 0.26, 3.0026},
+		{5, 2, 0.26, 2.6868},
+		{3, 2, 0.098, 2 * (2 + math.Sqrt(3)) / 3},
+	}
+	for _, c := range cases {
+		if got := Objective(c.m, c.mu, c.rho); math.Abs(got-c.want) > 5e-5 {
+			t.Errorf("Objective(%d,%d,%v) = %v, want %v", c.m, c.mu, c.rho, got, c.want)
+		}
+	}
+}
+
+func TestMuHatSatisfiesCaseCondition(t *testing.T) {
+	// Section 4.2 shows rho=0.26 > 2*muHat/m - 1 for all m >= 2.
+	for m := 2; m <= 200; m++ {
+		if 0.26 <= 2*MuHat(m)/float64(m)-1 {
+			t.Errorf("m=%d: rho=0.26 violates the case condition", m)
+		}
+	}
+}
+
+func TestMuHatIsLemma48AtRho026(t *testing.T) {
+	// Eq. (20) is Lemma 4.8 evaluated at rho = 0.26.
+	for m := 2; m <= 100; m++ {
+		if math.Abs(MuHat(m)-MuFromLemma48(m, 0.26)) > 1e-9 {
+			t.Errorf("m=%d: MuHat=%v != Lemma4.8=%v", m, MuHat(m), MuFromLemma48(m, 0.26))
+		}
+	}
+}
+
+func TestTheoremBoundSmallM(t *testing.T) {
+	// Theorem 4.1's stated values. Note m=5: the theorem states
+	// 2(7+2*sqrt(10))/9 ~= 2.961, while Table 2 reports the tighter actual
+	// objective 2.6868 (the paper remarks Lemma 4.9 is not tight there).
+	want := map[int]float64{2: 2, 3: 2.4880, 4: 2.6667, 5: 2 * (7 + 2*math.Sqrt(10)) / 9}
+	for m, w := range want {
+		if got := TheoremBound(m); math.Abs(got-w) > 5e-5 {
+			t.Errorf("TheoremBound(%d) = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func TestTheoremBoundDominatesObjective(t *testing.T) {
+	// Lemma 4.9 is an upper bound on the Table 2 objective for m >= 6.
+	for m := 6; m <= 128; m++ {
+		c := Choose(m)
+		if b := TheoremBound(m); b < c.R-1e-9 {
+			t.Errorf("m=%d: TheoremBound %v below objective %v", m, b, c.R)
+		}
+	}
+}
+
+func TestCorollarySup(t *testing.T) {
+	if got := CorollarySup(); math.Abs(got-3.291919) > 5e-7 {
+		t.Errorf("CorollarySup = %.7f, want 3.291919", got)
+	}
+	// The corollary dominates every finite-m ratio.
+	sup := CorollarySup()
+	for m := 2; m <= 300; m++ {
+		if r := Choose(m).R; r > sup+1e-9 {
+			t.Errorf("m=%d: ratio %v exceeds the corollary supremum %v", m, r, sup)
+		}
+	}
+}
+
+func TestAsymptoticRatio(t *testing.T) {
+	// Section 4.3: rho* = 0.261917 gives r -> 3.291913.
+	if got := AsymptoticRatio(0.261917); math.Abs(got-3.291913) > 5e-6 {
+		t.Errorf("AsymptoticRatio(0.261917) = %.6f, want 3.291913", got)
+	}
+	// And mu*/m -> 0.325907.
+	rho := 0.261917
+	beta := ((2 + rho) - math.Sqrt(rho*rho+2*rho+2)) / 2
+	if math.Abs(beta-0.325907) > 5e-6 {
+		t.Errorf("beta = %.6f, want 0.325907", beta)
+	}
+}
+
+func TestRatioAtFixedRhoApproachesCorollary(t *testing.T) {
+	// The Table 2 ratio at large m must approach (from below) the corollary
+	// value 3.291919.
+	r := Choose(100000).R
+	if r > CorollarySup() || r < CorollarySup()-1e-3 {
+		t.Errorf("r(100000) = %v, want just below %v", r, CorollarySup())
+	}
+}
+
+func TestLemma47BoundValues(t *testing.T) {
+	cases := []struct {
+		m    int
+		want float64
+	}{
+		{3, 2 * (2 + math.Sqrt(3)) / 3},
+		{5, 2 * (7 + 2*math.Sqrt(10)) / 9},
+		{7, 2.0 * 7 * (4*49 - 7 + 1) / (8.0 * 8 * 13)},
+		{4, 16.0 / 6},
+		{6, 3},
+	}
+	for _, c := range cases {
+		if got := Lemma47Bound(c.m); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Lemma47Bound(%d) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestChooseM1(t *testing.T) {
+	c := Choose(1)
+	if c.Mu != 1 || c.R != 1 {
+		t.Errorf("Choose(1) = %+v", c)
+	}
+}
+
+func TestObjectivePanicsOnBadMu(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Objective with mu=0 should panic")
+		}
+	}()
+	Objective(4, 0, 0.5)
+}

@@ -1,0 +1,260 @@
+// Package schedule defines the schedule objects produced by the two-phase
+// algorithm and the analysis tools of Section 4 of the paper: feasibility
+// verification, the busy-processor profile, the classification of the time
+// horizon into the three slot types T1/T2/T3, and the construction of the
+// "heavy" path of Lemma 4.3 (illustrated in the paper's Fig. 2).
+package schedule
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"malsched/internal/dag"
+)
+
+// Item is one scheduled task: it occupies Alloc processors during
+// [Start, Start+Duration).
+type Item struct {
+	Task     int
+	Start    float64
+	Duration float64
+	Alloc    int
+}
+
+// End returns the completion time of the item.
+func (it Item) End() float64 { return it.Start + it.Duration }
+
+// Schedule is a complete non-preemptive schedule on M identical processors.
+// Items are indexed by task: Items[j] schedules task j.
+type Schedule struct {
+	M     int
+	Items []Item
+}
+
+// Verification failure modes.
+var (
+	ErrCapacity   = errors.New("schedule: processor capacity exceeded")
+	ErrPrecedence = errors.New("schedule: precedence constraint violated")
+	ErrBadItem    = errors.New("schedule: malformed item")
+)
+
+const timeEps = 1e-7
+
+// Makespan returns the maximum completion time Cmax.
+func (s *Schedule) Makespan() float64 {
+	max := 0.0
+	for _, it := range s.Items {
+		if it.End() > max {
+			max = it.End()
+		}
+	}
+	return max
+}
+
+// TotalWork returns the executed work sum_j alloc_j * duration_j.
+func (s *Schedule) TotalWork() float64 {
+	w := 0.0
+	for _, it := range s.Items {
+		w += float64(it.Alloc) * it.Duration
+	}
+	return w
+}
+
+// Verify checks that the schedule is feasible: every item well-formed, at
+// every point in time at most M processors are active, and every precedence
+// arc (i, j) of g satisfies C_i <= tau_j.
+func (s *Schedule) Verify(g *dag.DAG) error {
+	if len(s.Items) != g.N() {
+		return fmt.Errorf("%w: %d items for %d tasks", ErrBadItem, len(s.Items), g.N())
+	}
+	for j, it := range s.Items {
+		if it.Task != j {
+			return fmt.Errorf("%w: item %d schedules task %d", ErrBadItem, j, it.Task)
+		}
+		if it.Start < -timeEps || it.Duration <= 0 || it.Alloc < 1 || it.Alloc > s.M {
+			return fmt.Errorf("%w: task %d start=%v dur=%v alloc=%d m=%d",
+				ErrBadItem, j, it.Start, it.Duration, it.Alloc, s.M)
+		}
+	}
+	// Capacity: sweep over start/end events.
+	type event struct {
+		t     float64
+		delta int
+	}
+	evs := make([]event, 0, 2*len(s.Items))
+	for _, it := range s.Items {
+		evs = append(evs, event{it.Start, it.Alloc}, event{it.End(), -it.Alloc})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if math.Abs(evs[a].t-evs[b].t) < timeEps {
+			return evs[a].delta < evs[b].delta // releases before acquires at a tie
+		}
+		return evs[a].t < evs[b].t
+	})
+	busy := 0
+	for _, e := range evs {
+		busy += e.delta
+		if busy > s.M {
+			return fmt.Errorf("%w: %d processors busy at t=%v (m=%d)", ErrCapacity, busy, e.t, s.M)
+		}
+	}
+	// Precedence.
+	for _, e := range g.Edges() {
+		if s.Items[e[0]].End() > s.Items[e[1]].Start+timeEps {
+			return fmt.Errorf("%w: task %d ends at %v but task %d starts at %v",
+				ErrPrecedence, e[0], s.Items[e[0]].End(), e[1], s.Items[e[1]].Start)
+		}
+	}
+	return nil
+}
+
+// ProfileStep is one step of the busy-processor profile: Busy processors
+// are active on [From, To).
+type ProfileStep struct {
+	From, To float64
+	Busy     int
+}
+
+// Profile returns the busy-processor step function over [0, Cmax), merging
+// adjacent steps with equal load.
+func (s *Schedule) Profile() []ProfileStep {
+	if len(s.Items) == 0 {
+		return nil
+	}
+	type event struct {
+		t     float64
+		delta int
+	}
+	evs := make([]event, 0, 2*len(s.Items))
+	for _, it := range s.Items {
+		evs = append(evs, event{it.Start, it.Alloc}, event{it.End(), -it.Alloc})
+	}
+	sort.Slice(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
+	var steps []ProfileStep
+	busy := 0
+	prev := 0.0
+	i := 0
+	for i < len(evs) {
+		t := evs[i].t
+		if t > prev+timeEps && busy >= 0 {
+			steps = append(steps, ProfileStep{From: prev, To: t, Busy: busy})
+			prev = t
+		}
+		for i < len(evs) && evs[i].t <= t+timeEps {
+			busy += evs[i].delta
+			i++
+		}
+		if t > prev {
+			prev = t
+		}
+	}
+	// Merge equal neighbours.
+	merged := steps[:0]
+	for _, st := range steps {
+		if n := len(merged); n > 0 && merged[n-1].Busy == st.Busy && math.Abs(merged[n-1].To-st.From) < timeEps {
+			merged[n-1].To = st.To
+			continue
+		}
+		merged = append(merged, st)
+	}
+	return merged
+}
+
+// SlotClasses is the Section 4 decomposition of [0, Cmax] into the three
+// slot types for threshold mu: T1 = time with at most mu-1 busy processors,
+// T2 = time with between mu and m-mu busy, T3 = time with at least m-mu+1
+// busy. T1+T2+T3 = Cmax (Eq. (14)).
+type SlotClasses struct {
+	T1, T2, T3 float64
+}
+
+// Classify computes the slot-class lengths for threshold mu.
+func (s *Schedule) Classify(mu int) SlotClasses {
+	var c SlotClasses
+	for _, st := range s.Profile() {
+		d := st.To - st.From
+		switch {
+		case st.Busy <= mu-1:
+			c.T1 += d
+		case st.Busy <= s.M-mu:
+			c.T2 += d
+		default:
+			c.T3 += d
+		}
+	}
+	return c
+}
+
+// HeavyPath constructs the "heavy" directed path P of Lemma 4.3 (Fig. 2 of
+// the paper): starting from a task finishing at Cmax, walk backwards; at
+// each step, find the latest T1-or-T2 slot before the current task's start
+// and hop to a predecessor (in the transitive sense used by the lemma, a
+// predecessor of the current path task) that is running during that slot.
+// The returned task indices are ordered by increasing start time. The path
+// covers all T1 and T2 slots of the schedule.
+func (s *Schedule) HeavyPath(g *dag.DAG, mu int) []int {
+	if len(s.Items) == 0 {
+		return nil
+	}
+	// Identify the low-load slots (T1 or T2 for threshold mu).
+	var low []ProfileStep
+	for _, st := range s.Profile() {
+		if st.Busy <= s.M-mu {
+			low = append(low, st)
+		}
+	}
+	// Last task: any task completing at Cmax.
+	cmax := s.Makespan()
+	cur := -1
+	for j, it := range s.Items {
+		if math.Abs(it.End()-cmax) < timeEps {
+			cur = j
+			break
+		}
+	}
+	path := []int{cur}
+	for {
+		start := s.Items[cur].Start
+		// Latest low slot strictly before the start of cur.
+		slot := -1
+		for i := len(low) - 1; i >= 0; i-- {
+			if low[i].From < start-timeEps {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			break
+		}
+		tmid := math.Min(low[slot].To, start) // probe inside the slot, before cur's start
+		t := (low[slot].From + tmid) / 2
+		// Find an ancestor of cur running at time t. Lemma 4.3 guarantees one
+		// exists: cur is not ready during the slot, so some predecessor chain
+		// is still executing.
+		next := -1
+		for j, it := range s.Items {
+			// Half-open execution interval [Start, End): a task ending
+			// exactly at t is not running at t.
+			if it.Start <= t+timeEps && it.End() > t+timeEps && j != cur {
+				if g.Reachable(j, cur) {
+					next = j
+					break
+				}
+			}
+		}
+		if next < 0 {
+			// No ancestor is running during the slot: the path is complete
+			// (cur starts before every low slot that matters).
+			break
+		}
+		path = append(path, next)
+		cur = next
+	}
+	// Reverse into start-time order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,203 @@
+package schedule
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"malsched/internal/dag"
+)
+
+// chain2 builds the DAG 0 -> 1 and a feasible 2-processor schedule.
+func chain2() (*dag.DAG, *Schedule) {
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	s := &Schedule{M: 2, Items: []Item{
+		{Task: 0, Start: 0, Duration: 3, Alloc: 2},
+		{Task: 1, Start: 3, Duration: 2, Alloc: 1},
+	}}
+	return g, s
+}
+
+func TestMakespanAndWork(t *testing.T) {
+	_, s := chain2()
+	if got := s.Makespan(); got != 5 {
+		t.Errorf("Makespan = %v, want 5", got)
+	}
+	if got := s.TotalWork(); got != 8 {
+		t.Errorf("TotalWork = %v, want 8", got)
+	}
+}
+
+func TestVerifyValid(t *testing.T) {
+	g, s := chain2()
+	if err := s.Verify(g); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestVerifyPrecedenceViolation(t *testing.T) {
+	g, s := chain2()
+	s.Items[0].Alloc = 1 // keep capacity legal so only precedence trips
+	s.Items[1].Start = 2.5
+	if err := s.Verify(g); !errors.Is(err, ErrPrecedence) {
+		t.Errorf("want ErrPrecedence, got %v", err)
+	}
+}
+
+func TestVerifyCapacityViolation(t *testing.T) {
+	g := dag.New(2)
+	s := &Schedule{M: 2, Items: []Item{
+		{Task: 0, Start: 0, Duration: 3, Alloc: 2},
+		{Task: 1, Start: 1, Duration: 2, Alloc: 1},
+	}}
+	if err := s.Verify(g); !errors.Is(err, ErrCapacity) {
+		t.Errorf("want ErrCapacity, got %v", err)
+	}
+}
+
+func TestVerifyBackToBackIsNotOverlap(t *testing.T) {
+	// A task releasing processors at t and another acquiring at t is legal.
+	g := dag.New(2)
+	s := &Schedule{M: 2, Items: []Item{
+		{Task: 0, Start: 0, Duration: 3, Alloc: 2},
+		{Task: 1, Start: 3, Duration: 2, Alloc: 2},
+	}}
+	if err := s.Verify(g); err != nil {
+		t.Errorf("back-to-back schedule rejected: %v", err)
+	}
+}
+
+func TestVerifyBadItems(t *testing.T) {
+	g := dag.New(1)
+	bad := []*Schedule{
+		{M: 2, Items: []Item{{Task: 0, Start: -1, Duration: 1, Alloc: 1}}},
+		{M: 2, Items: []Item{{Task: 0, Start: 0, Duration: 0, Alloc: 1}}},
+		{M: 2, Items: []Item{{Task: 0, Start: 0, Duration: 1, Alloc: 0}}},
+		{M: 2, Items: []Item{{Task: 0, Start: 0, Duration: 1, Alloc: 3}}},
+		{M: 2, Items: []Item{{Task: 1, Start: 0, Duration: 1, Alloc: 1}}},
+	}
+	for i, s := range bad {
+		if err := s.Verify(g); !errors.Is(err, ErrBadItem) {
+			t.Errorf("case %d: want ErrBadItem, got %v", i, err)
+		}
+	}
+	short := &Schedule{M: 2}
+	if err := short.Verify(g); !errors.Is(err, ErrBadItem) {
+		t.Errorf("missing items: want ErrBadItem, got %v", err)
+	}
+}
+
+func TestProfile(t *testing.T) {
+	// Two overlapping unit tasks on 3 processors:
+	// [0,1): 1 busy; [1,2): 3 busy; [2,3): 2 busy.
+	s := &Schedule{M: 3, Items: []Item{
+		{Task: 0, Start: 0, Duration: 2, Alloc: 1},
+		{Task: 1, Start: 1, Duration: 2, Alloc: 2},
+	}}
+	steps := s.Profile()
+	want := []ProfileStep{{0, 1, 1}, {1, 2, 3}, {2, 3, 2}}
+	if len(steps) != len(want) {
+		t.Fatalf("profile = %+v, want %+v", steps, want)
+	}
+	for i := range want {
+		if steps[i].Busy != want[i].Busy ||
+			math.Abs(steps[i].From-want[i].From) > 1e-9 ||
+			math.Abs(steps[i].To-want[i].To) > 1e-9 {
+			t.Errorf("step %d = %+v, want %+v", i, steps[i], want[i])
+		}
+	}
+}
+
+func TestProfileMergesEqualSteps(t *testing.T) {
+	// Sequential tasks with the same load produce one merged step.
+	s := &Schedule{M: 2, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 1},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 1},
+	}}
+	steps := s.Profile()
+	if len(steps) != 1 || steps[0].Busy != 1 || steps[0].To != 2 {
+		t.Errorf("profile = %+v, want single step [0,2)x1", steps)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	// m=4, mu=2: T1 = busy <= 1, T2 = busy in {2}, T3 = busy >= 3.
+	s := &Schedule{M: 4, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 1}, // T1
+		{Task: 1, Start: 1, Duration: 2, Alloc: 2}, // T2
+		{Task: 2, Start: 3, Duration: 1, Alloc: 4}, // T3
+	}}
+	c := s.Classify(2)
+	if math.Abs(c.T1-1) > 1e-9 || math.Abs(c.T2-2) > 1e-9 || math.Abs(c.T3-1) > 1e-9 {
+		t.Errorf("classes = %+v, want {1 2 1}", c)
+	}
+	// Eq. (14): T1 + T2 + T3 = Cmax.
+	if math.Abs(c.T1+c.T2+c.T3-s.Makespan()) > 1e-9 {
+		t.Errorf("slot classes do not partition the horizon")
+	}
+}
+
+func TestClassifyOddMuHalf(t *testing.T) {
+	// mu = (m+1)/2 with m odd makes T2 empty by construction (Sec. 4).
+	s := &Schedule{M: 5, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 3},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 2},
+	}}
+	c := s.Classify(3)
+	if c.T2 != 0 {
+		t.Errorf("T2 = %v, want 0 for mu=(m+1)/2", c.T2)
+	}
+}
+
+func TestHeavyPathChain(t *testing.T) {
+	// Chain 0->1->2 run sequentially on one processor each: the heavy path
+	// must be the whole chain (all slots are T1 for mu=2, m=4).
+	g := dag.New(3)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 2)
+	s := &Schedule{M: 4, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 1},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 1},
+		{Task: 2, Start: 2, Duration: 1, Alloc: 1},
+	}}
+	path := s.HeavyPath(g, 2)
+	if len(path) != 3 || path[0] != 0 || path[1] != 1 || path[2] != 2 {
+		t.Errorf("heavy path = %v, want [0 1 2]", path)
+	}
+}
+
+func TestHeavyPathIsAChain(t *testing.T) {
+	// Diamond: 0 -> {1,2} -> 3 with task 1 long. Heavy path must follow
+	// precedence (consecutive elements connected by directed paths).
+	g := dag.New(4)
+	g.MustEdge(0, 1)
+	g.MustEdge(0, 2)
+	g.MustEdge(1, 3)
+	g.MustEdge(2, 3)
+	s := &Schedule{M: 4, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 2},
+		{Task: 1, Start: 1, Duration: 4, Alloc: 1},
+		{Task: 2, Start: 1, Duration: 1, Alloc: 1},
+		{Task: 3, Start: 5, Duration: 1, Alloc: 2},
+	}}
+	path := s.HeavyPath(g, 2)
+	if len(path) < 2 {
+		t.Fatalf("heavy path too short: %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.Reachable(path[i-1], path[i]) {
+			t.Errorf("path %v: %d does not precede %d", path, path[i-1], path[i])
+		}
+	}
+	if path[len(path)-1] != 3 {
+		t.Errorf("heavy path should end at the makespan-defining task 3: %v", path)
+	}
+}
+
+func TestHeavyPathEmptySchedule(t *testing.T) {
+	s := &Schedule{M: 2}
+	if p := s.HeavyPath(dag.New(0), 1); p != nil {
+		t.Errorf("empty schedule heavy path = %v, want nil", p)
+	}
+}

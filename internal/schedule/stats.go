@@ -1,0 +1,81 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Stats summarises a schedule for reporting: the quantities Section 4 of
+// the paper reasons about, computed on a concrete schedule.
+type Stats struct {
+	Makespan  float64 `json:"makespan"`
+	TotalWork float64 `json:"total_work"`
+	// AvgBusy is the time-averaged number of busy processors.
+	AvgBusy float64 `json:"avg_busy"`
+	// Utilisation = TotalWork / (M * Makespan).
+	Utilisation float64 `json:"utilisation"`
+	// MaxBusy is the peak number of simultaneously busy processors.
+	MaxBusy int `json:"max_busy"`
+	Tasks   int `json:"tasks"`
+	M       int `json:"m"`
+}
+
+// ComputeStats derives summary statistics from the schedule.
+func (s *Schedule) ComputeStats() Stats {
+	st := Stats{
+		Makespan:  s.Makespan(),
+		TotalWork: s.TotalWork(),
+		Tasks:     len(s.Items),
+		M:         s.M,
+	}
+	for _, step := range s.Profile() {
+		if step.Busy > st.MaxBusy {
+			st.MaxBusy = step.Busy
+		}
+	}
+	if st.Makespan > 0 {
+		st.AvgBusy = st.TotalWork / st.Makespan
+		st.Utilisation = st.TotalWork / (float64(s.M) * st.Makespan)
+	}
+	return st
+}
+
+// scheduleJSON is the serialised form.
+type scheduleJSON struct {
+	M     int    `json:"m"`
+	Items []Item `json:"items"`
+}
+
+// WriteJSON serialises the schedule.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(scheduleJSON{M: s.M, Items: s.Items})
+}
+
+// ReadJSON deserialises a schedule and sanity-checks it (item ordering and
+// basic well-formedness; full feasibility needs the DAG via Verify).
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var sj scheduleJSON
+	if err := json.NewDecoder(r).Decode(&sj); err != nil {
+		return nil, fmt.Errorf("schedule: decoding: %w", err)
+	}
+	s := &Schedule{M: sj.M, Items: sj.Items}
+	if s.M < 1 {
+		return nil, fmt.Errorf("%w: m=%d", ErrBadItem, s.M)
+	}
+	for j, it := range s.Items {
+		if it.Task != j {
+			return nil, fmt.Errorf("%w: item %d schedules task %d", ErrBadItem, j, it.Task)
+		}
+		if it.Start < 0 || it.Duration <= 0 || math.IsNaN(it.Start) || math.IsInf(it.Duration, 0) {
+			return nil, fmt.Errorf("%w: item %d: %+v", ErrBadItem, j, it)
+		}
+		if it.Alloc < 1 || it.Alloc > s.M {
+			return nil, fmt.Errorf("%w: item %d allotment %d", ErrBadItem, j, it.Alloc)
+		}
+	}
+	return s, nil
+}

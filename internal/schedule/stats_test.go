@@ -1,0 +1,75 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestComputeStats(t *testing.T) {
+	s := &Schedule{M: 4, Items: []Item{
+		{Task: 0, Start: 0, Duration: 2, Alloc: 2}, // work 4
+		{Task: 1, Start: 0, Duration: 1, Alloc: 2}, // work 2
+		{Task: 2, Start: 2, Duration: 2, Alloc: 4}, // work 8
+	}}
+	st := s.ComputeStats()
+	if st.Makespan != 4 || st.TotalWork != 14 {
+		t.Errorf("makespan=%v work=%v", st.Makespan, st.TotalWork)
+	}
+	if st.MaxBusy != 4 {
+		t.Errorf("max busy = %d, want 4", st.MaxBusy)
+	}
+	if math.Abs(st.AvgBusy-3.5) > 1e-9 {
+		t.Errorf("avg busy = %v, want 3.5", st.AvgBusy)
+	}
+	if math.Abs(st.Utilisation-14.0/16) > 1e-9 {
+		t.Errorf("utilisation = %v, want 0.875", st.Utilisation)
+	}
+	if st.Tasks != 3 || st.M != 4 {
+		t.Errorf("counts: %+v", st)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	st := (&Schedule{M: 2}).ComputeStats()
+	if st.Makespan != 0 || st.Utilisation != 0 || st.MaxBusy != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := &Schedule{M: 3, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1.5, Alloc: 2},
+		{Task: 1, Start: 1.5, Duration: 2.25, Alloc: 3},
+	}}
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.M != 3 || len(back.Items) != 2 || back.Items[1].Duration != 2.25 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Makespan() != s.Makespan() {
+		t.Errorf("makespan changed: %v vs %v", back.Makespan(), s.Makespan())
+	}
+}
+
+func TestScheduleReadJSONRejects(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"m":0,"items":[]}`,
+		`{"m":2,"items":[{"Task":1,"Start":0,"Duration":1,"Alloc":1}]}`, // wrong index
+		`{"m":2,"items":[{"Task":0,"Start":-1,"Duration":1,"Alloc":1}]}`,
+		`{"m":2,"items":[{"Task":0,"Start":0,"Duration":0,"Alloc":1}]}`,
+		`{"m":2,"items":[{"Task":0,"Start":0,"Duration":1,"Alloc":5}]}`,
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}

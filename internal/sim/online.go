@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"malsched/internal/allot"
+	"malsched/internal/schedule"
+)
+
+// ExecuteOnline runs a priority-driven online dispatcher on the simulated
+// machine: whenever processors free up (or at time zero), it scans tasks in
+// priority order and starts every task whose predecessors have completed
+// and whose allotment fits the currently free processors. This is Graham
+// list scheduling as a *runtime* would execute it — no lookahead, decisions
+// only from the current machine state — and demonstrates that the phase-2
+// allotment can be dispatched online. The offline LIST of package listsched
+// may produce a different (sometimes better) schedule because it plans
+// starts into the future; both satisfy the same worst-case analysis.
+func ExecuteOnline(in *allot.Instance, alloc []int, priority []int) (*schedule.Schedule, error) {
+	n := in.G.N()
+	if len(alloc) != n {
+		return nil, fmt.Errorf("sim: allotment length %d != n=%d", len(alloc), n)
+	}
+	if priority == nil {
+		priority = make([]int, n)
+		for i := range priority {
+			priority[i] = i
+		}
+	}
+	if len(priority) != n {
+		return nil, fmt.Errorf("sim: priority length %d != n=%d", len(priority), n)
+	}
+	seen := make([]bool, n)
+	for _, j := range priority {
+		if j < 0 || j >= n || seen[j] {
+			return nil, fmt.Errorf("sim: priority list is not a permutation")
+		}
+		seen[j] = true
+	}
+	if err := in.G.Validate(); err != nil {
+		return nil, err
+	}
+	for j, l := range alloc {
+		if l < 1 || l > in.M {
+			return nil, fmt.Errorf("sim: allotment %d for task %d out of [1,%d]", l, j, in.M)
+		}
+	}
+
+	s := &schedule.Schedule{M: in.M, Items: make([]schedule.Item, n)}
+	done := make([]bool, n)
+	running := make([]bool, n)
+	endAt := make([]float64, n)
+	started := make([]bool, n)
+	free := in.M
+	t := 0.0
+	remaining := n
+
+	for remaining > 0 {
+		// Dispatch pass in priority order.
+		for _, j := range priority {
+			if started[j] || alloc[j] > free {
+				continue
+			}
+			ready := true
+			for _, p := range in.G.Preds(j) {
+				if !done[p] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			dur := in.Tasks[j].Time(alloc[j])
+			s.Items[j] = schedule.Item{Task: j, Start: t, Duration: dur, Alloc: alloc[j]}
+			started[j], running[j] = true, true
+			endAt[j] = t + dur
+			free -= alloc[j]
+		}
+		// Advance to the next completion.
+		next := math.Inf(1)
+		for j := 0; j < n; j++ {
+			if running[j] && endAt[j] < next {
+				next = endAt[j]
+			}
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("sim: deadlock at t=%v with %d tasks remaining", t, remaining)
+		}
+		t = next
+		for j := 0; j < n; j++ {
+			if running[j] && endAt[j] <= t+1e-12 {
+				running[j] = false
+				done[j] = true
+				free += alloc[j]
+				remaining--
+			}
+		}
+	}
+	return s, nil
+}

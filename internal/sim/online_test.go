@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/allot"
+	"malsched/internal/core"
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+	"malsched/internal/malleable"
+)
+
+func TestExecuteOnlineChain(t *testing.T) {
+	in := &allot.Instance{G: gen.Chain(3), M: 2}
+	for i := 0; i < 3; i++ {
+		in.Tasks = append(in.Tasks, malleable.Sequential("u", 1, 2))
+	}
+	s, err := ExecuteOnline(in, []int{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(in.G); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Makespan()-3) > 1e-9 {
+		t.Errorf("makespan = %v, want 3", s.Makespan())
+	}
+}
+
+func TestExecuteOnlinePriorityOrder(t *testing.T) {
+	// Two independent unit tasks, m=1: the priority list decides order.
+	in := &allot.Instance{G: dag.New(2), M: 1}
+	in.Tasks = []malleable.Task{
+		malleable.Sequential("a", 1, 1),
+		malleable.Sequential("b", 2, 1),
+	}
+	s, err := ExecuteOnline(in, []int{1, 1}, []int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Items[1].Start != 0 || math.Abs(s.Items[0].Start-2) > 1e-9 {
+		t.Errorf("priority not respected: %+v", s.Items)
+	}
+}
+
+func TestExecuteOnlineRejectsBadInput(t *testing.T) {
+	in := &allot.Instance{G: dag.New(2), M: 2}
+	in.Tasks = []malleable.Task{malleable.Sequential("a", 1, 2), malleable.Sequential("b", 1, 2)}
+	if _, err := ExecuteOnline(in, []int{1}, nil); err == nil {
+		t.Error("short allotment accepted")
+	}
+	if _, err := ExecuteOnline(in, []int{1, 3}, nil); err == nil {
+		t.Error("oversized allotment accepted")
+	}
+	if _, err := ExecuteOnline(in, []int{1, 1}, []int{0, 0}); err == nil {
+		t.Error("non-permutation priority accepted")
+	}
+	if _, err := ExecuteOnline(in, []int{1, 1}, []int{0}); err == nil {
+		t.Error("short priority accepted")
+	}
+}
+
+// The online dispatcher is a list scheduler: its schedule is always
+// feasible and, with every allotment <= mu, obeys the same structural bound
+// Cmax <= |T1|+|T2|+|T3| analysis. We check feasibility and compare against
+// the offline LIST on the same allotment (neither dominates universally,
+// but both must stay within the Graham-style certificate L + W/1 for m=1).
+func TestExecuteOnlineVsOfflineFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(12)
+		m := 1 + rng.Intn(6)
+		in := gen.Instance(gen.ErdosDAG(n, 0.3, rng), gen.FamilyMixed, m, rng)
+		alloc := make([]int, n)
+		for j := range alloc {
+			alloc[j] = 1 + rng.Intn(m)
+		}
+		s, err := ExecuteOnline(in, alloc, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Verify(in.G); err != nil {
+			t.Errorf("trial %d: online schedule infeasible: %v", trial, err)
+		}
+		// The online schedule also replays on the machine.
+		if _, err := Replay(s); err != nil {
+			t.Errorf("trial %d: replay: %v", trial, err)
+		}
+	}
+}
+
+// Online execution of the two-phase allotment still satisfies the paper's
+// end-to-end guarantee in practice: compare against the LP lower bound.
+func TestExecuteOnlineTwoPhaseGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(5)
+		in := gen.Instance(gen.ErdosDAG(n, 0.3, rng), gen.FamilyMixed, m, rng)
+		res, err := core.Solve(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := ExecuteOnline(in, res.Alpha, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := s.Makespan() / res.LowerBound; ratio > res.Params.R+1e-6 {
+			t.Errorf("trial %d: online ratio %.4f exceeds proven %.4f", trial, ratio, res.Params.R)
+		}
+	}
+}
+
+func TestExecuteOnlineDetectsCycle(t *testing.T) {
+	g := dag.New(2)
+	g.MustEdge(0, 1)
+	g.MustEdge(1, 0)
+	in := &allot.Instance{G: g, M: 2}
+	in.Tasks = []malleable.Task{malleable.Sequential("a", 1, 2), malleable.Sequential("b", 1, 2)}
+	if _, err := ExecuteOnline(in, []int{1, 1}, nil); err == nil {
+		t.Error("cyclic instance accepted")
+	}
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/core"
+	"malsched/internal/gen"
+	"malsched/internal/schedule"
+)
+
+func TestReplaySimple(t *testing.T) {
+	s := &schedule.Schedule{M: 2, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 2, Alloc: 1},
+		{Task: 1, Start: 0, Duration: 1, Alloc: 1},
+		{Task: 2, Start: 1, Duration: 1, Alloc: 1},
+	}}
+	rep, err := Replay(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 2 {
+		t.Errorf("makespan = %v, want 2", rep.Makespan)
+	}
+	// Task 1 releases P1 at t=1; task 2 reuses it.
+	if rep.Assignments[2].Procs[0] != 1 {
+		t.Errorf("task 2 ran on %v, want processor 1", rep.Assignments[2].Procs)
+	}
+	if math.Abs(rep.Utilisation-1) > 1e-9 {
+		t.Errorf("utilisation = %v, want 1 (fully packed)", rep.Utilisation)
+	}
+}
+
+func TestReplayDetectsOversubscription(t *testing.T) {
+	s := &schedule.Schedule{M: 1, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 2, Alloc: 1},
+		{Task: 1, Start: 1, Duration: 2, Alloc: 1},
+	}}
+	if _, err := Replay(s); !errors.Is(err, ErrReplay) {
+		t.Errorf("want ErrReplay, got %v", err)
+	}
+}
+
+func TestReplayBackToBackReuse(t *testing.T) {
+	s := &schedule.Schedule{M: 1, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 1},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 1},
+	}}
+	rep, err := Replay(s)
+	if err != nil {
+		t.Fatalf("release-then-acquire at the same instant must work: %v", err)
+	}
+	if rep.BusyTime[0] != 2 {
+		t.Errorf("busy time = %v, want 2", rep.BusyTime[0])
+	}
+}
+
+func TestReplayEmpty(t *testing.T) {
+	rep, err := Replay(&schedule.Schedule{M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan != 0 || rep.Utilisation != 0 {
+		t.Errorf("empty replay: %+v", rep)
+	}
+}
+
+// Every schedule the two-phase algorithm emits must replay cleanly on the
+// simulated machine — the end-to-end hardware-level feasibility check.
+func TestReplayTwoPhaseSchedules(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(12)
+		m := 2 + rng.Intn(6)
+		in := gen.Instance(gen.ErdosDAG(n, 0.3, rng), gen.FamilyMixed, m, rng)
+		res, err := core.Solve(in, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Replay(res.Schedule)
+		if err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+			continue
+		}
+		if math.Abs(rep.Makespan-res.Makespan) > 1e-6 {
+			t.Errorf("trial %d: replay makespan %v != schedule makespan %v",
+				trial, rep.Makespan, res.Makespan)
+		}
+		if rep.Utilisation < 0 || rep.Utilisation > 1+1e-9 {
+			t.Errorf("trial %d: utilisation %v out of [0,1]", trial, rep.Utilisation)
+		}
+		// Total busy time equals the schedule's work.
+		total := 0.0
+		for _, b := range rep.BusyTime {
+			total += b
+		}
+		if math.Abs(total-res.Schedule.TotalWork()) > 1e-6 {
+			t.Errorf("trial %d: busy %v != work %v", trial, total, res.Schedule.TotalWork())
+		}
+	}
+}

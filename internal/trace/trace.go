@@ -1,0 +1,121 @@
+// Package trace renders schedules and experiment data for humans and for
+// figure regeneration: ASCII Gantt charts of schedules (used to illustrate
+// the heavy path of the paper's Fig. 2), CSV series emitters for the
+// function plots of Figs. 1, 3 and 4, and aligned-column table writers for
+// Tables 2-4.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"malsched/internal/schedule"
+	"malsched/internal/sim"
+)
+
+// Gantt renders an ASCII Gantt chart of the schedule: one row per
+// processor, time quantised into width columns. Tasks are labelled by
+// base-36 digits of their index; '.' is idle. A processor assignment is
+// obtained by replaying the schedule through the machine simulator.
+func Gantt(w io.Writer, s *schedule.Schedule, width int) error {
+	if len(s.Items) == 0 {
+		_, err := fmt.Fprintln(w, "(empty schedule)")
+		return err
+	}
+	rep, err := sim.Replay(s)
+	if err != nil {
+		return err
+	}
+	cmax := s.Makespan()
+	if width < 10 {
+		width = 10
+	}
+	rows := make([][]byte, s.M)
+	for p := range rows {
+		rows[p] = []byte(strings.Repeat(".", width))
+	}
+	for j, it := range s.Items {
+		from := int(it.Start / cmax * float64(width))
+		to := int(it.End() / cmax * float64(width))
+		if to <= from {
+			to = from + 1
+		}
+		if to > width {
+			to = width
+		}
+		label := taskLabel(j)
+		for _, p := range rep.Assignments[j].Procs {
+			for c := from; c < to; c++ {
+				rows[p][c] = label
+			}
+		}
+	}
+	fmt.Fprintf(w, "time 0%sCmax=%.3f\n", strings.Repeat(" ", width-len(fmt.Sprintf("Cmax=%.3f", cmax))-5), cmax)
+	for p := range rows {
+		if _, err := fmt.Fprintf(w, "P%02d |%s|\n", p, rows[p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func taskLabel(j int) byte {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	return digits[j%len(digits)]
+}
+
+// CSV writes rows of float64 columns with a header line.
+func CSV(w io.Writer, header []string, rows [][]float64) error {
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = fmt.Sprintf("%g", v)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table writes an aligned text table.
+func Table(w io.Writer, header []string, rows [][]string) error {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

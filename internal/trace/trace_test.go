@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"malsched/internal/schedule"
+)
+
+func TestGantt(t *testing.T) {
+	s := &schedule.Schedule{M: 2, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 2},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 1},
+	}}
+	var b strings.Builder
+	if err := Gantt(&b, s, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "P00") || !strings.Contains(out, "P01") {
+		t.Errorf("missing processor rows:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, "1") {
+		t.Errorf("missing task labels:\n%s", out)
+	}
+	if !strings.Contains(out, "Cmax=2.000") {
+		t.Errorf("missing makespan header:\n%s", out)
+	}
+	// Task 0 used both processors; both rows must contain its label.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "0") || !strings.Contains(lines[2], "0") {
+		t.Errorf("wide task not on both rows:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Gantt(&b, &schedule.Schedule{M: 2}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "empty") {
+		t.Errorf("empty schedule output: %q", b.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	var b strings.Builder
+	err := CSV(&b, []string{"l", "s"}, [][]float64{{1, 1}, {2, 1.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "l,s\n1,1\n2,1.5\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTable(t *testing.T) {
+	var b strings.Builder
+	err := Table(&b, []string{"m", "ratio"}, [][]string{{"2", "2.0000"}, {"33", "3.2144"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "m   ratio") || !strings.Contains(out, "33  3.2144") {
+		t.Errorf("table misaligned:\n%s", out)
+	}
+}
+
+func TestTaskLabelWraps(t *testing.T) {
+	if taskLabel(0) != '0' || taskLabel(10) != 'a' || taskLabel(62) != '0' {
+		t.Errorf("labels: %c %c %c", taskLabel(0), taskLabel(10), taskLabel(62))
+	}
+}

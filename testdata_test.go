@@ -1,0 +1,54 @@
+package malsched
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The canned instances under testdata/ are the CLI's reference inputs;
+// every solver must handle all of them and every result must verify and
+// stay within its proven ratio.
+func TestCannedInstances(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata instances found: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			in, err := ReadJSON(f)
+			if err != nil {
+				t.Fatalf("instance invalid: %v", err)
+			}
+			ours, err := Solve(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Verify(in, ours); err != nil {
+				t.Fatal(err)
+			}
+			if ours.Guarantee > ours.ProvenRatio+1e-9 {
+				t.Errorf("guarantee %.4f exceeds proven %.4f", ours.Guarantee, ours.ProvenRatio)
+			}
+			for name, solve := range map[string]func(*Instance) (*Result, error){
+				"ltw": SolveLTW, "seq": SolveSequential, "greedy": SolveGreedyCP, "full": SolveFullAllotment,
+			} {
+				res, err := solve(in)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if err := Verify(in, res); err != nil {
+					t.Errorf("%s: %v", name, err)
+				}
+				if res.Makespan < ours.LowerBound-1e-9 {
+					t.Errorf("%s beat the certified lower bound", name)
+				}
+			}
+		})
+	}
+}
