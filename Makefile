@@ -1,0 +1,43 @@
+# Targets mirror .github/workflows/ci.yml one-for-one, so a green `make ci`
+# locally means a green pipeline.
+
+GO ?= go
+
+.PHONY: all build test race bench lint ci testdata
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The CI smoke job runs the same benchmarks with -benchtime=1x; locally the
+# default benchtime gives stable numbers.
+bench:
+	$(GO) test -run '^$$' -bench 'Phase1LP|WorkspaceReuse|PoolThroughput' -benchmem .
+
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+	$(GO) vet ./...
+
+ci: lint build race
+	$(GO) test -run '^$$' -bench 'Phase1LP|WorkspaceReuse|PoolThroughput' -benchtime=1x -benchmem .
+
+# Regenerate the canned instances under testdata/ (families x machine sizes
+# used by TestCannedInstances and the pool tests).
+testdata:
+	$(GO) run ./cmd/geninstance -dag chain -family powerlaw -n 10 -m 4 -seed 101 > testdata/chain_n10_m4.json
+	$(GO) run ./cmd/geninstance -dag chain -family mixed -n 12 -m 16 -seed 102 > testdata/chain_n12_m16.json
+	$(GO) run ./cmd/geninstance -dag forkjoin -family amdahl -n 10 -m 4 -seed 103 > testdata/forkjoin_n10_m4.json
+	$(GO) run ./cmd/geninstance -dag forkjoin -family mixed -n 14 -m 16 -seed 104 > testdata/forkjoin_n14_m16.json
+	$(GO) run ./cmd/geninstance -dag erdos -family mixed -n 12 -m 4 -p 0.25 -seed 105 > testdata/erdos_n12_m4.json
+	$(GO) run ./cmd/geninstance -dag erdos -family random -n 16 -m 16 -p 0.2 -seed 106 > testdata/erdos_n16_m16.json
+	$(GO) run ./cmd/geninstance -dag layered -family mixed -n 12 -m 8 -seed 107 > testdata/layered_n12_m8.json

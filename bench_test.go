@@ -6,9 +6,11 @@
 package malsched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"malsched/internal/allot"
@@ -135,15 +137,77 @@ func BenchmarkEndToEnd(b *testing.B) {
 	}
 }
 
-// E8 (phases): the two phases in isolation to show where time goes.
+// E8 (phases): the two phases in isolation to show where time goes. The LP
+// phase runs through a reusable workspace, the way the engine's workers and
+// any serious repeated-solve caller run it.
 func BenchmarkPhase1LP(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	in := gen.Instance(gen.ErdosDAG(24, 0.2, rng), gen.FamilyMixed, 8, rng)
+	ws := allot.NewWorkspace()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := allot.SolveLP(in); err != nil {
+		if _, err := allot.SolveLPWith(in, ws); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkWorkspaceReuse isolates what workspace reuse buys on the phase-1
+// LP: "fresh" allocates every solver buffer per solve (the seed path),
+// "reused" runs warm. Compare allocs/op and B/op between the two.
+func BenchmarkWorkspaceReuse(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	in := gen.Instance(gen.ErdosDAG(24, 0.2, rng), gen.FamilyMixed, 8, rng)
+	b.Run("fresh", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := allot.SolveLP(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		ws := allot.NewWorkspace()
+		if _, err := allot.SolveLPWith(in, ws); err != nil {
+			b.Fatal(err) // warm-up growth outside the timed loop
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := allot.SolveLPWith(in, ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPoolThroughput pushes a fixed batch through Pool.SolveBatch at
+// increasing worker counts; ns/op is the wall-clock per batch, so the
+// speedup across sub-benchmarks is the scaling curve.
+func BenchmarkPoolThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	const batch = 32
+	ins := make([]*Instance, batch)
+	for i := range ins {
+		ai := gen.Instance(gen.ErdosDAG(16, 0.2, rng), gen.FamilyMixed, 8, rng)
+		ins[i] = &Instance{M: ai.M, Tasks: ai.Tasks, Edges: ai.G.Edges()}
+	}
+	workerCounts := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			pool := NewPool(w)
+			defer pool.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j, o := range pool.SolveBatch(context.Background(), ins) {
+					if o.Err != nil {
+						b.Fatalf("instance %d: %v", j, o.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "solves/s")
+		})
 	}
 }
 

@@ -4,19 +4,27 @@
 // families and machine sizes, and (with -exact) against brute-force optimal
 // makespans on tiny instances. The paper proves a worst-case ratio; the
 // study confirms the proven bound holds and shows typical-case quality.
+//
+// The trial grid fans out across an internal/engine worker pool (-workers,
+// default GOMAXPROCS), so wall-clock scales with cores while instance
+// generation — and therefore every number printed — stays deterministic
+// for a fixed -seed regardless of the worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 
+	"malsched/internal/allot"
 	"malsched/internal/baseline"
 	"malsched/internal/bruteforce"
 	"malsched/internal/core"
 	"malsched/internal/dag"
+	"malsched/internal/engine"
 	"malsched/internal/gen"
 	"malsched/internal/params"
 	"malsched/internal/trace"
@@ -27,13 +35,16 @@ func main() {
 	trials := flag.Int("trials", 5, "instances per configuration")
 	exact := flag.Bool("exact", false, "run the brute-force exact study instead")
 	n := flag.Int("n", 24, "tasks per instance (approximate)")
+	workers := flag.Int("workers", 0, "solver workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	pool := engine.New(*workers)
+	defer pool.Close()
 	if *exact {
-		exactStudy(*seed, *trials)
+		exactStudy(pool, *seed, *trials)
 		return
 	}
-	ratioStudy(*seed, *trials, *n)
+	ratioStudy(pool, *seed, *trials, *n)
 }
 
 type dagFamily struct {
@@ -41,7 +52,42 @@ type dagFamily struct {
 	build func(n int, rng *rand.Rand) *dag.DAG
 }
 
-func ratioStudy(seed int64, trials, n int) {
+// trial is one solved instance of the grid: the instance is generated
+// sequentially (deterministic for a fixed seed), the solving runs on the
+// pool, and the ratios are aggregated in input order afterwards.
+type trial struct {
+	in *allot.Instance
+	// Outputs: the ratios are written by the worker that runs the trial,
+	// err by the pool after the batch (solve failure or cancellation).
+	ours, ltw, seq, greedy, full float64
+	err                          error
+}
+
+// run solves the trial's instance with the paper's algorithm and every
+// baseline, recording each makespan / LP-lower-bound ratio.
+func (tr *trial) run(ws *allot.Workspace) error {
+	res, err := core.SolveWith(tr.in, core.Options{}, ws)
+	if err != nil {
+		return err
+	}
+	lb := res.LowerBound
+	tr.ours = res.Makespan / lb
+	if r, err := baseline.LTW(tr.in); err == nil {
+		tr.ltw = r.Makespan / lb
+	}
+	if r, err := baseline.Sequential(tr.in); err == nil {
+		tr.seq = r.Makespan / lb
+	}
+	if r, err := baseline.GreedyCP(tr.in); err == nil {
+		tr.greedy = r.Makespan / lb
+	}
+	if r, err := baseline.FullAllotment(tr.in); err == nil {
+		tr.full = r.Makespan / lb
+	}
+	return nil
+}
+
+func ratioStudy(pool *engine.Pool, seed int64, trials, n int) {
 	rng := rand.New(rand.NewSource(seed))
 	dags := []dagFamily{
 		{"chain", func(n int, r *rand.Rand) *dag.DAG { return gen.Chain(n) }},
@@ -52,81 +98,131 @@ func ratioStudy(seed int64, trials, n int) {
 		{"erdos", func(n int, r *rand.Rand) *dag.DAG { return gen.ErdosDAG(n, 0.25, r) }},
 		{"cholesky", func(n int, r *rand.Rand) *dag.DAG { return gen.Cholesky(4) }},
 	}
+	ms := []int{4, 8, 16}
+
+	// Generate the full grid sequentially so the shared rng stream — and
+	// with it every instance — is independent of worker count.
+	type config struct {
+		df dagFamily
+		m  int
+		ts []*trial
+	}
+	var configs []*config
+	var all []*trial
+	var fns []engine.Func
+	for i := range dags {
+		for _, m := range ms {
+			cfg := &config{df: dags[i], m: m}
+			for t := 0; t < trials; t++ {
+				g := cfg.df.build(n, rng)
+				tr := &trial{in: gen.Instance(g, gen.FamilyMixed, m, rng)}
+				cfg.ts = append(cfg.ts, tr)
+				all = append(all, tr)
+				fns = append(fns, tr.run)
+			}
+			configs = append(configs, cfg)
+		}
+	}
+
+	// all[i] and fns[i] were appended together, so the pool's order-
+	// preserving errors attach directly to their trials.
+	for i, err := range pool.Run(context.Background(), fns) {
+		all[i].err = err
+	}
+
 	fmt.Println("E8: makespan / LP-lower-bound by algorithm (mean over trials)")
 	header := []string{"dag", "m", "ours", "proven", "ltw", "ltw-proven", "seq", "greedy", "full"}
 	var rows [][]string
-	for _, df := range dags {
-		for _, m := range []int{4, 8, 16} {
-			var ours, ltw, seq, greedy, full float64
-			cnt := 0
-			for trial := 0; trial < trials; trial++ {
-				g := df.build(n, rng)
-				in := gen.Instance(g, gen.FamilyMixed, m, rng)
-				res, err := core.Solve(in, core.Options{})
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "%s m=%d: %v\n", df.name, m, err)
-					continue
-				}
-				lb := res.LowerBound
-				ours += res.Makespan / lb
-				if r, err := baseline.LTW(in); err == nil {
-					ltw += r.Makespan / lb
-				}
-				if r, err := baseline.Sequential(in); err == nil {
-					seq += r.Makespan / lb
-				}
-				if r, err := baseline.GreedyCP(in); err == nil {
-					greedy += r.Makespan / lb
-				}
-				if r, err := baseline.FullAllotment(in); err == nil {
-					full += r.Makespan / lb
-				}
-				cnt++
-			}
-			if cnt == 0 {
+	for _, cfg := range configs {
+		var ours, ltw, seq, greedy, full float64
+		cnt := 0
+		for _, tr := range cfg.ts {
+			if tr.err != nil {
+				fmt.Fprintf(os.Stderr, "%s m=%d: %v\n", cfg.df.name, cfg.m, tr.err)
 				continue
 			}
-			f := float64(cnt)
-			_, ltwProven := baseline.LTWRatio(m)
-			rows = append(rows, []string{
-				df.name, fmt.Sprint(m),
-				fmt.Sprintf("%.3f", ours/f),
-				fmt.Sprintf("%.3f", params.Choose(m).R),
-				fmt.Sprintf("%.3f", ltw/f),
-				fmt.Sprintf("%.3f", ltwProven),
-				fmt.Sprintf("%.3f", seq/f),
-				fmt.Sprintf("%.3f", greedy/f),
-				fmt.Sprintf("%.3f", full/f),
-			})
+			ours += tr.ours
+			ltw += tr.ltw
+			seq += tr.seq
+			greedy += tr.greedy
+			full += tr.full
+			cnt++
 		}
+		if cnt == 0 {
+			continue
+		}
+		f := float64(cnt)
+		_, ltwProven := baseline.LTWRatio(cfg.m)
+		rows = append(rows, []string{
+			cfg.df.name, fmt.Sprint(cfg.m),
+			fmt.Sprintf("%.3f", ours/f),
+			fmt.Sprintf("%.3f", params.Choose(cfg.m).R),
+			fmt.Sprintf("%.3f", ltw/f),
+			fmt.Sprintf("%.3f", ltwProven),
+			fmt.Sprintf("%.3f", seq/f),
+			fmt.Sprintf("%.3f", greedy/f),
+			fmt.Sprintf("%.3f", full/f),
+		})
 	}
 	trace.Table(os.Stdout, header, rows)
 	fmt.Println("\nNote: columns are upper bounds on the true approximation factor")
 	fmt.Println("(the denominator is the LP lower bound, not OPT).")
 }
 
-func exactStudy(seed int64, trials int) {
+func exactStudy(pool *engine.Pool, seed int64, trials int) {
 	rng := rand.New(rand.NewSource(seed))
 	fmt.Println("E9: exact ratios versus brute-force OPT on tiny instances")
 	header := []string{"n", "m", "mean", "worst", "proven"}
+
+	type exactTrial struct {
+		in    *allot.Instance
+		ratio float64
+		err   error
+	}
+	configs := []struct{ n, m int }{{3, 2}, {4, 2}, {5, 2}, {4, 3}, {5, 3}, {6, 3}}
+	grid := make([][]*exactTrial, len(configs))
+	var all []*exactTrial
+	var fns []engine.Func
+	for c, cfg := range configs {
+		for t := 0; t < trials; t++ {
+			tr := &exactTrial{in: gen.Instance(gen.ErdosDAG(cfg.n, 0.35, rng), gen.FamilyMixed, cfg.m, rng)}
+			grid[c] = append(grid[c], tr)
+			all = append(all, tr)
+			fns = append(fns, func(ws *allot.Workspace) error {
+				opt := bruteforce.Optimal(tr.in)
+				res, err := core.SolveWith(tr.in, core.Options{}, ws)
+				if err != nil {
+					return err
+				}
+				tr.ratio = res.Makespan / opt
+				return nil
+			})
+		}
+	}
+
+	for i, err := range pool.Run(context.Background(), fns) {
+		all[i].err = err
+	}
+
 	var rows [][]string
-	for _, cfg := range []struct{ n, m int }{{3, 2}, {4, 2}, {5, 2}, {4, 3}, {5, 3}, {6, 3}} {
+	for c, cfg := range configs {
 		var sum, worst float64
-		for trial := 0; trial < trials; trial++ {
-			in := gen.Instance(gen.ErdosDAG(cfg.n, 0.35, rng), gen.FamilyMixed, cfg.m, rng)
-			opt := bruteforce.Optimal(in)
-			res, err := core.Solve(in, core.Options{})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
+		cnt := 0
+		for _, tr := range grid[c] {
+			if tr.err != nil {
+				fmt.Fprintln(os.Stderr, tr.err)
 				continue
 			}
-			ratio := res.Makespan / opt
-			sum += ratio
-			worst = math.Max(worst, ratio)
+			sum += tr.ratio
+			worst = math.Max(worst, tr.ratio)
+			cnt++
+		}
+		if cnt == 0 {
+			continue
 		}
 		rows = append(rows, []string{
 			fmt.Sprint(cfg.n), fmt.Sprint(cfg.m),
-			fmt.Sprintf("%.4f", sum/float64(trials)),
+			fmt.Sprintf("%.4f", sum/float64(cnt)),
 			fmt.Sprintf("%.4f", worst),
 			fmt.Sprintf("%.4f", params.Choose(cfg.m).R),
 		})

@@ -1,6 +1,7 @@
 package malsched_test
 
 import (
+	"context"
 	"fmt"
 
 	"malsched"
@@ -34,6 +35,33 @@ func ExampleSolve() {
 	// Output:
 	// makespan 8.0 on 2 processors (lower bound 4.0, proven ratio 2)
 	// with mu=2: makespan 4.0
+}
+
+// ExamplePool solves a batch of instances concurrently. Results come back
+// in input order and are identical to sequential Solve calls for any worker
+// count; each worker reuses its solver workspace across instances.
+func ExamplePool() {
+	stage := func(name string) malsched.Task { return malsched.NewTask(name, []float64{4, 2}) }
+	batch := make([]*malsched.Instance, 3)
+	for i := range batch {
+		batch[i] = &malsched.Instance{
+			M:     2,
+			Tasks: []malsched.Task{stage("stage1"), stage("stage2")},
+			Edges: [][2]int{{0, 1}},
+		}
+	}
+	pool := malsched.NewPool(2) // 2 workers; 0 means GOMAXPROCS
+	defer pool.Close()
+	for i, out := range pool.SolveBatch(context.Background(), batch) {
+		if out.Err != nil {
+			panic(out.Err)
+		}
+		fmt.Printf("instance %d: makespan %.1f\n", i, out.Result.Makespan)
+	}
+	// Output:
+	// instance 0: makespan 8.0
+	// instance 1: makespan 8.0
+	// instance 2: makespan 8.0
 }
 
 // ExampleParams looks up the paper's Theorem 4.1 parameters for a machine.

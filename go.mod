@@ -1,0 +1,3 @@
+module malsched
+
+go 1.22

@@ -75,40 +75,48 @@ type Fractional struct {
 // SolveLP builds and solves LP (9) for the instance. The returned C
 // satisfies max{L, W/m} <= C <= OPT.
 func SolveLP(in *Instance) (*Fractional, error) {
+	return SolveLPWith(in, nil)
+}
+
+// SolveLPWith is SolveLP with a reusable workspace (a nil ws solves with
+// fresh buffers). The tableau, basis, pricing buffers, LP problem and task
+// frontiers all live in ws and are reused across calls, so repeated solves
+// on same-shaped instances allocate almost nothing beyond the returned
+// Fractional.
+func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	n := in.G.N()
-	fronts := in.Frontiers()
+	fronts := ws.frontiers(in)
 
-	p := lp.NewProblem()
 	// Variables, all non-negative: completion C_j, processing x_j, work
 	// wbar_j for each task, plus the critical-path length L and makespan C.
-	cj := make([]int, n)
-	xj := make([]int, n)
-	wj := make([]int, n)
-	for j := 0; j < n; j++ {
-		cj[j] = p.AddVar(fmt.Sprintf("C_%d", j))
+	// AddVar assigns indices sequentially, so the layout is deterministic:
+	// C_j = j, x_j = n+j, wbar_j = 2n+j, L = 3n, C = 3n+1.
+	p := ws.problem()
+	for j := 0; j < 3*n+2; j++ {
+		p.AddVar("")
 	}
-	for j := 0; j < n; j++ {
-		xj[j] = p.AddVar(fmt.Sprintf("x_%d", j))
-	}
-	for j := 0; j < n; j++ {
-		wj[j] = p.AddVar(fmt.Sprintf("w_%d", j))
-	}
-	vL := p.AddVar("L")
-	vC := p.AddVar("C")
+	cj := func(j int) int { return j }
+	xj := func(j int) int { return n + j }
+	wj := func(j int) int { return 2*n + j }
+	vL := 3 * n
+	vC := 3*n + 1
 	p.SetObj(vC, 1)
 
 	for j := 0; j < n; j++ {
 		f := fronts[j]
 		// Domain of the processing time: p_j(m) <= x_j <= p_j(1).
-		p.AddConstraint(lp.GE, f.XMin(), lp.Term{Var: xj[j], Coef: 1})
-		p.AddConstraint(lp.LE, f.XMax(), lp.Term{Var: xj[j], Coef: 1})
+		p.AddConstraint(lp.GE, f.XMin(), lp.Term{Var: xj(j), Coef: 1})
+		p.AddConstraint(lp.LE, f.XMax(), lp.Term{Var: xj(j), Coef: 1})
 		// Completion ordering: x_j <= C_j (valid for every task and required
 		// for sources, which have no precedence row), C_j <= L.
-		p.AddConstraint(lp.LE, 0, lp.Term{Var: xj[j], Coef: 1}, lp.Term{Var: cj[j], Coef: -1})
-		p.AddConstraint(lp.LE, 0, lp.Term{Var: cj[j], Coef: 1}, lp.Term{Var: vL, Coef: -1})
+		p.AddConstraint(lp.LE, 0, lp.Term{Var: xj(j), Coef: 1}, lp.Term{Var: cj(j), Coef: -1})
+		p.AddConstraint(lp.LE, 0, lp.Term{Var: cj(j), Coef: 1}, lp.Term{Var: vL, Coef: -1})
 		// Work linearisation (Eq. (8)): one supporting line per segment.
 		for s := 0; s < f.Segments(); s++ {
 			hi, lo := f.X[s], f.X[s+1] // p(l) > p(l+1)
@@ -118,30 +126,30 @@ func SolveLP(in *Instance) (*Fractional, error) {
 			intercept := (whi*lo - wlo*hi) / den
 			// slope*x + intercept <= wbar  <=>  slope*x - wbar <= -intercept
 			p.AddConstraint(lp.LE, -intercept,
-				lp.Term{Var: xj[j], Coef: slope}, lp.Term{Var: wj[j], Coef: -1})
+				lp.Term{Var: xj(j), Coef: slope}, lp.Term{Var: wj(j), Coef: -1})
 		}
 		if f.Segments() == 0 {
 			// Degenerate frontier: the work is the constant W(l_min).
-			p.AddConstraint(lp.GE, f.W[0], lp.Term{Var: wj[j], Coef: 1})
+			p.AddConstraint(lp.GE, f.W[0], lp.Term{Var: wj(j), Coef: 1})
 		}
 	}
 	// Precedence: C_i + x_j <= C_j for every arc (i, j).
 	for _, e := range in.G.Edges() {
 		p.AddConstraint(lp.LE, 0,
-			lp.Term{Var: cj[e[0]], Coef: 1},
-			lp.Term{Var: xj[e[1]], Coef: 1},
-			lp.Term{Var: cj[e[1]], Coef: -1})
+			lp.Term{Var: cj(e[0]), Coef: 1},
+			lp.Term{Var: xj(e[1]), Coef: 1},
+			lp.Term{Var: cj(e[1]), Coef: -1})
 	}
 	// L <= C and total work W/m <= C.
 	p.AddConstraint(lp.LE, 0, lp.Term{Var: vL, Coef: 1}, lp.Term{Var: vC, Coef: -1})
 	workTerms := make([]lp.Term, 0, n+1)
 	for j := 0; j < n; j++ {
-		workTerms = append(workTerms, lp.Term{Var: wj[j], Coef: 1 / float64(in.M)})
+		workTerms = append(workTerms, lp.Term{Var: wj(j), Coef: 1 / float64(in.M)})
 	}
 	workTerms = append(workTerms, lp.Term{Var: vC, Coef: -1})
 	p.AddConstraint(lp.LE, 0, workTerms...)
 
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(&ws.LP)
 	if err != nil {
 		return nil, fmt.Errorf("allot: LP (9) failed: %w", err)
 	}
@@ -154,7 +162,7 @@ func SolveLP(in *Instance) (*Fractional, error) {
 		L:     sol.X[vL],
 	}
 	for j := 0; j < n; j++ {
-		out.X[j] = clamp(sol.X[xj[j]], fronts[j].XMin(), fronts[j].XMax())
+		out.X[j] = clamp(sol.X[xj(j)], fronts[j].XMin(), fronts[j].XMax())
 		// Evaluate the work on the frontier rather than trusting the slack
 		// LP variable: when the total-work row is not binding the LP may
 		// leave wbar_j above w_j(x*_j).
@@ -175,7 +183,19 @@ func clamp(x, lo, hi float64) float64 {
 // time is at most 2x*_j/(1+rho) and the rounded work at most
 // 2 w_j(x*_j)/(2-rho).
 func Round(in *Instance, frac *Fractional, rho float64) []int {
-	fronts := in.Frontiers()
+	return RoundWith(in, frac, rho, nil)
+}
+
+// RoundWith is Round with a reusable workspace: the per-task frontiers are
+// recomputed into ws's buffers instead of freshly allocated (a nil ws
+// behaves like Round).
+func RoundWith(in *Instance, frac *Fractional, rho float64, ws *Workspace) []int {
+	var fronts []malleable.Frontier
+	if ws != nil {
+		fronts = ws.frontiers(in)
+	} else {
+		fronts = in.Frontiers()
+	}
 	alloc := make([]int, len(in.Tasks))
 	for j := range in.Tasks {
 		alloc[j] = fronts[j].Round(frac.X[j], rho)

@@ -1,0 +1,65 @@
+package allot
+
+import (
+	"malsched/internal/lp"
+	"malsched/internal/malleable"
+)
+
+// Workspace bundles the reusable solver state for the phase-1 LP path: the
+// simplex workspace (tableau, basis, pricing buffers), the LP problem under
+// construction, and the per-task efficient frontiers. All of it is grown
+// geometrically and reused across solves, so repeated SolveLPWith calls on
+// same-shaped instances do near-zero allocation beyond the returned
+// Fractional. A Workspace is owned by one goroutine at a time; it is not
+// safe for concurrent use.
+type Workspace struct {
+	// LP is the simplex scratch memory, reused across solves.
+	LP lp.Workspace
+
+	prob      *lp.Problem
+	fronts    []malleable.Frontier
+	frontsFor *Instance // instance the cached fronts were computed for
+}
+
+// NewWorkspace returns an empty workspace ready for SolveLPWith.
+func NewWorkspace() *Workspace {
+	return &Workspace{prob: lp.NewProblem()}
+}
+
+// Release drops the workspace's reference to the last-solved instance (the
+// frontier cache key) so long-lived pooled workspaces do not pin instances
+// in memory between solves. The grown buffers are kept.
+func (ws *Workspace) Release() {
+	ws.frontsFor = nil
+}
+
+// problem returns the reusable LP problem, reset to empty.
+func (ws *Workspace) problem() *lp.Problem {
+	if ws.prob == nil {
+		ws.prob = lp.NewProblem()
+	}
+	ws.prob.Reset()
+	return ws.prob
+}
+
+// frontiers returns the efficient frontiers of in's tasks, computed into
+// the workspace's reusable frontier slice. Consecutive calls for the same
+// instance reuse the cached fronts without recomputation (instances are
+// treated as immutable once solving starts, as everywhere in this package).
+// The returned slice is valid until the next call.
+func (ws *Workspace) frontiers(in *Instance) []malleable.Frontier {
+	n := len(in.Tasks)
+	if ws.frontsFor == in && len(ws.fronts) >= n {
+		return ws.fronts[:n]
+	}
+	ws.frontsFor = nil
+	for len(ws.fronts) < n {
+		ws.fronts = append(ws.fronts, malleable.Frontier{})
+	}
+	fs := ws.fronts[:n]
+	for j := range fs {
+		malleable.FrontierInto(&fs[j], in.Tasks[j], in.M)
+	}
+	ws.frontsFor = in
+	return fs
+}

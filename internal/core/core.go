@@ -55,6 +55,14 @@ type Result struct {
 
 // Solve runs the two-phase algorithm on the instance.
 func Solve(in *allot.Instance, opt Options) (*Result, error) {
+	return SolveWith(in, opt, nil)
+}
+
+// SolveWith is Solve with a reusable phase-1 workspace: the LP tableau,
+// pricing buffers and task frontiers live in ws and are reused across calls
+// (a nil ws solves with fresh buffers). The returned Result never aliases
+// workspace memory, so it stays valid across subsequent solves.
+func SolveWith(in *allot.Instance, opt Options, ws *allot.Workspace) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,11 +82,16 @@ func Solve(in *allot.Instance, opt Options) (*Result, error) {
 		choice.R = params.Objective(in.M, opt.Mu, choice.Rho)
 	}
 
-	frac, err := allot.SolveLP(in)
+	// The frontier cache in ws is shared by SolveLPWith and RoundWith;
+	// release it on exit so a pooled workspace does not pin the instance.
+	if ws != nil {
+		defer ws.Release()
+	}
+	frac, err := allot.SolveLPWith(in, ws)
 	if err != nil {
 		return nil, err
 	}
-	alphaPrime := allot.Round(in, frac, choice.Rho)
+	alphaPrime := allot.RoundWith(in, frac, choice.Rho, ws)
 	alpha := listsched.CapAllotment(alphaPrime, choice.Mu)
 	sched, err := listsched.Run(in, alpha)
 	if err != nil {

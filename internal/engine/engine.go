@@ -1,0 +1,154 @@
+// Package engine provides the concurrent batch-solving machinery behind
+// malsched.Pool: a fixed set of long-lived worker goroutines, each owning a
+// reusable phase-1 solver workspace (see internal/allot.Workspace), fed
+// from a shared job channel.
+//
+// Jobs are plain closures receiving the worker's workspace, so the engine
+// is independent of what is being solved; the public API layers instance
+// conversion and result collection on top. Batches are order-preserving
+// (result i belongs to input i regardless of which worker ran it), errors
+// are isolated per job (one failing or panicking job never affects its
+// siblings), and a cancelled context drains the remainder of a batch
+// without running it.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"malsched/internal/allot"
+)
+
+// ErrClosed is reported for jobs submitted after Close.
+var ErrClosed = errors.New("engine: pool is closed")
+
+// Func is one unit of work. It receives the calling worker's reusable
+// workspace, which is valid only for the duration of the call.
+type Func func(ws *allot.Workspace) error
+
+// job couples a queued Func with its result slot and completion latch.
+type job struct {
+	ctx  context.Context
+	fn   Func
+	err  *error
+	done *sync.WaitGroup
+}
+
+// Pool is a fixed-size worker pool. Workers and their workspaces live for
+// the lifetime of the pool, so workspace warm-up cost is paid once, not per
+// batch. All methods are safe for concurrent use, except that Close must
+// not be called concurrently with itself.
+type Pool struct {
+	workers int
+	jobs    chan job
+	wg      sync.WaitGroup // running workers
+
+	mu     sync.RWMutex // guards closed vs. in-flight submissions
+	closed bool
+}
+
+// New starts a pool of the given number of workers; workers <= 0 means
+// GOMAXPROCS. The pool holds its goroutines until Close.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, jobs: make(chan job)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close shuts the pool down and waits for its workers to exit. Jobs
+// submitted after Close fail with ErrClosed; Close does not interrupt jobs
+// already running.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	ws := allot.NewWorkspace()
+	for j := range p.jobs {
+		*j.err = runJob(j.ctx, j.fn, ws)
+		j.done.Done()
+	}
+}
+
+// runJob executes one job with context short-circuiting and panic
+// isolation: a job queued behind a cancelled context is skipped, and a
+// panicking job is converted into an error instead of killing the worker.
+func runJob(ctx context.Context, fn Func, ws *allot.Workspace) (err error) {
+	if e := ctx.Err(); e != nil {
+		return e
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: job panicked: %v", r)
+		}
+	}()
+	return fn(ws)
+}
+
+// Run executes every Func on the pool and returns one error slot per input,
+// order-preserving: errs[i] is the outcome of fns[i] no matter which worker
+// ran it. Errors are isolated per job. When ctx is cancelled, jobs not yet
+// started fail with the context's error while running jobs complete; Run
+// always waits for the jobs it managed to start.
+func (p *Pool) Run(ctx context.Context, fns []Func) []error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, len(fns))
+
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return errs
+	}
+	var done sync.WaitGroup
+	done.Add(len(fns))
+	cancelled := false
+	for i, fn := range fns {
+		if cancelled {
+			errs[i] = ctx.Err()
+			done.Done()
+			continue
+		}
+		select {
+		case p.jobs <- job{ctx: ctx, fn: fn, err: &errs[i], done: &done}:
+		case <-ctx.Done():
+			cancelled = true
+			errs[i] = ctx.Err()
+			done.Done()
+		}
+	}
+	p.mu.RUnlock()
+
+	done.Wait()
+	return errs
+}
+
+// RunOne executes a single job on the pool and blocks for its result.
+func (p *Pool) RunOne(ctx context.Context, fn Func) error {
+	return p.Run(ctx, []Func{fn})[0]
+}

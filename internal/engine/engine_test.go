@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"malsched/internal/allot"
+)
+
+func TestRunPreservesOrder(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	const n = 64
+	results := make([]int, n)
+	fns := make([]Func, n)
+	for i := 0; i < n; i++ {
+		i := i
+		fns[i] = func(ws *allot.Workspace) error {
+			results[i] = i * i
+			return nil
+		}
+	}
+	for i, err := range p.Run(context.Background(), fns) {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Errorf("results[%d] = %d, want %d", i, r, i*i)
+		}
+	}
+}
+
+func TestRunIsolatesErrors(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	boom := errors.New("boom")
+	fns := []Func{
+		func(ws *allot.Workspace) error { return nil },
+		func(ws *allot.Workspace) error { return boom },
+		func(ws *allot.Workspace) error { return nil },
+	}
+	errs := p.Run(context.Background(), fns)
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("healthy jobs failed: %v %v", errs[0], errs[2])
+	}
+	if !errors.Is(errs[1], boom) {
+		t.Errorf("errs[1] = %v, want boom", errs[1])
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	fns := []Func{
+		func(ws *allot.Workspace) error { panic("kaboom") },
+		// The same (sole) worker must survive to run this one.
+		func(ws *allot.Workspace) error { return nil },
+	}
+	errs := p.Run(context.Background(), fns)
+	if errs[0] == nil || !strings.Contains(errs[0].Error(), "kaboom") {
+		t.Errorf("panic not converted to error: %v", errs[0])
+	}
+	if errs[1] != nil {
+		t.Errorf("worker did not survive the panic: %v", errs[1])
+	}
+}
+
+func TestWorkersOwnDistinctWorkspaces(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	defer p.Close()
+	var mu sync.Mutex
+	seen := make(map[*allot.Workspace]bool)
+	var gate sync.WaitGroup
+	gate.Add(workers)
+	fns := make([]Func, workers)
+	for i := range fns {
+		fns[i] = func(ws *allot.Workspace) error {
+			if ws == nil {
+				return errors.New("nil workspace")
+			}
+			mu.Lock()
+			seen[ws] = true
+			mu.Unlock()
+			// Hold every worker until all have checked in, so each of the
+			// four jobs provably ran on a different worker.
+			gate.Done()
+			gate.Wait()
+			return nil
+		}
+	}
+	for i, err := range p.Run(context.Background(), fns) {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if len(seen) != workers {
+		t.Errorf("saw %d distinct workspaces, want %d", len(seen), workers)
+	}
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	fns := make([]Func, 8)
+	for i := range fns {
+		fns[i] = func(ws *allot.Workspace) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		}
+	}
+	for i, err := range p.Run(ctx, fns) {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+	if n := atomic.LoadInt32(&ran); n != 0 {
+		t.Errorf("%d jobs ran under a cancelled context", n)
+	}
+}
+
+func TestRunCancelledMidBatch(t *testing.T) {
+	const workers = 2
+	p := New(workers)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// The first two jobs occupy both workers and block on release; the
+	// remaining jobs sit behind a context we cancel while the batch is in
+	// flight, so cancellation provably lands mid-batch.
+	started := make(chan struct{}, workers)
+	release := make(chan struct{})
+	const n = 10
+	ran := int32(0)
+	fns := make([]Func, n)
+	for i := 0; i < n; i++ {
+		blocking := i < workers
+		fns[i] = func(ws *allot.Workspace) error {
+			atomic.AddInt32(&ran, 1)
+			if blocking {
+				started <- struct{}{}
+				<-release
+			}
+			return nil
+		}
+	}
+	go func() {
+		for i := 0; i < workers; i++ {
+			<-started
+		}
+		cancel()
+		close(release)
+	}()
+	errs := p.Run(ctx, fns)
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Errorf("in-flight job %d: %v", i, errs[i])
+		}
+	}
+	for i := workers; i < n; i++ {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("queued job %d: %v, want context.Canceled", i, errs[i])
+		}
+	}
+	if got := atomic.LoadInt32(&ran); got != workers {
+		t.Errorf("%d jobs ran, want exactly %d", got, workers)
+	}
+}
+
+func TestRunOnClosedPool(t *testing.T) {
+	p := New(1)
+	p.Close()
+	p.Close() // idempotent
+	err := p.RunOne(context.Background(), func(ws *allot.Workspace) error { return nil })
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("RunOne on closed pool: %v, want ErrClosed", err)
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	p := New(0) // GOMAXPROCS default
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d", p.Workers())
+	}
+	err := p.RunOne(context.Background(), func(ws *allot.Workspace) error {
+		return fmt.Errorf("expected")
+	})
+	if err == nil || err.Error() != "expected" {
+		t.Errorf("RunOne error = %v", err)
+	}
+}
+
+func TestConcurrentRunCallers(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fns := make([]Func, 16)
+			for i := range fns {
+				fns[i] = func(ws *allot.Workspace) error {
+					time.Sleep(time.Microsecond)
+					return nil
+				}
+			}
+			for i, err := range p.Run(context.Background(), fns) {
+				if err != nil {
+					t.Errorf("job %d: %v", i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

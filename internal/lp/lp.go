@@ -11,6 +11,11 @@
 // to find a basic feasible solution, phase 2 minimises the true objective.
 // Dantzig pricing is used by default with a switch to Bland's rule after an
 // iteration budget to guarantee termination on degenerate problems.
+//
+// For repeated solves the package supports amortised allocation: a Workspace
+// owns the tableau, basis and pricing buffers (grown geometrically, reused
+// across solves), and Problem.Reset lets a caller rebuild a same-shaped
+// problem in place. See SolveWith.
 package lp
 
 import (
@@ -56,19 +61,28 @@ type constraint struct {
 // explicit constraints or variable splitting by the caller.
 type Problem struct {
 	nvars int
-	names []string
-	obj   map[int]float64
+	obj   []float64 // objective coefficient per variable
 	cons  []constraint
 }
 
 // NewProblem returns an empty minimisation problem.
 func NewProblem() *Problem {
-	return &Problem{obj: make(map[int]float64)}
+	return &Problem{}
 }
 
-// AddVar introduces a new non-negative variable and returns its index.
+// Reset clears the problem to empty while keeping the allocated capacity of
+// its variable, objective and constraint storage, so a caller rebuilding a
+// same-shaped problem performs (almost) no allocation.
+func (p *Problem) Reset() {
+	p.nvars = 0
+	p.obj = p.obj[:0]
+	p.cons = p.cons[:0]
+}
+
+// AddVar introduces a new non-negative variable and returns its index. The
+// name documents the call site only; the solver does not retain it.
 func (p *Problem) AddVar(name string) int {
-	p.names = append(p.names, name)
+	p.obj = append(p.obj, 0)
 	p.nvars++
 	return p.nvars - 1
 }
@@ -85,14 +99,22 @@ func (p *Problem) SetObj(v int, c float64) {
 	p.obj[v] = c
 }
 
-// AddConstraint appends the constraint terms (sense) rhs.
+// AddConstraint appends the constraint terms (sense) rhs. After a Reset the
+// term storage of previously built constraints is reused.
 func (p *Problem) AddConstraint(sense Sense, rhs float64, terms ...Term) {
 	for _, t := range terms {
 		p.checkVar(t.Var)
 	}
-	cp := make([]Term, len(terms))
-	copy(cp, terms)
-	p.cons = append(p.cons, constraint{terms: cp, sense: sense, rhs: rhs})
+	if len(p.cons) < cap(p.cons) {
+		// Reuse the retired constraint's term buffer (Reset keeps capacity).
+		p.cons = p.cons[:len(p.cons)+1]
+	} else {
+		p.cons = append(p.cons, constraint{})
+	}
+	c := &p.cons[len(p.cons)-1]
+	c.terms = append(c.terms[:0], terms...)
+	c.sense = sense
+	c.rhs = rhs
 }
 
 func (p *Problem) checkVar(v int) {
@@ -126,90 +148,143 @@ var (
 
 const tol = 1e-9
 
-// Solve runs two-phase simplex and returns an optimal solution.
+// Workspace owns the solver's scratch memory: the dense tableau (backed by
+// one flat buffer), the basis, the reduced-cost and cost rows, and the
+// solution vector. Buffers grow geometrically and are reused across solves,
+// so repeated SolveWith calls on same-shaped problems do near-zero
+// allocation. A Workspace is owned by one goroutine at a time; it is not
+// safe for concurrent use.
+type Workspace struct {
+	flat   []float64   // backing array for the tableau rows
+	rows   [][]float64 // row views into flat
+	basis  []int
+	red    []float64 // reduced-cost row
+	cost   []float64 // current phase's cost row
+	x      []float64 // solution values, aliased by Solution.X
+	senses []Sense   // per-row sense after rhs normalisation
+	sol    Solution  // returned by SolveWith; overwritten by the next call
+	sx     simplex
+}
+
+// NewWorkspace returns an empty workspace. The zero value is also ready to
+// use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// grow returns s resized to n, reallocating geometrically when the capacity
+// is insufficient. Contents are unspecified (callers zero-fill).
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	return make([]T, n, c)
+}
+
+// Solve runs two-phase simplex and returns an optimal solution. It is
+// equivalent to SolveWith on a fresh workspace: the returned solution does
+// not alias solver state and the problem is left unmodified.
 func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveWith(NewWorkspace())
+}
+
+// SolveWith runs two-phase simplex using ws's buffers (a nil ws behaves
+// like Solve). The returned Solution and its X slice alias workspace memory
+// and are invalidated by the next SolveWith call on the same workspace;
+// callers keeping results across solves must copy them out. The problem
+// itself is never modified, so it may be re-solved or rebuilt freely.
+func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 	m := len(p.cons)
 	n := p.nvars
 	if n == 0 {
-		return &Solution{X: nil, Obj: 0}, nil
+		ws.sol = Solution{}
+		return &ws.sol, nil
 	}
 
-	// Count structural columns: one slack/surplus per inequality row, one
-	// artificial per GE/EQ row (and per LE row with negative rhs, handled by
-	// negating the row to GE form first).
-	type rowSpec struct {
-		coefs []float64
-		rhs   float64
-		sense Sense
-	}
-	rows := make([]rowSpec, m)
+	// Pass 1: normalise senses (a negative rhs flips LE<->GE) and count the
+	// slack/surplus and artificial columns.
+	ws.senses = grow(ws.senses, m)
+	nslack, nart := 0, 0
 	for i, c := range p.cons {
-		coefs := make([]float64, n)
-		for _, t := range c.terms {
-			coefs[t.Var] += t.Coef
-		}
-		rhs, sense := c.rhs, c.sense
-		if rhs < 0 { // normalise to rhs >= 0
-			for j := range coefs {
-				coefs[j] = -coefs[j]
-			}
-			rhs = -rhs
-			switch sense {
+		s := c.sense
+		if c.rhs < 0 {
+			switch s {
 			case LE:
-				sense = GE
+				s = GE
 			case GE:
-				sense = LE
+				s = LE
 			}
 		}
-		rows[i] = rowSpec{coefs: coefs, rhs: rhs, sense: sense}
-	}
-
-	nslack := 0
-	nart := 0
-	for _, r := range rows {
-		if r.sense != EQ {
+		ws.senses[i] = s
+		if s != EQ {
 			nslack++
 		}
-		if r.sense != LE {
+		if s != LE {
 			nart++
 		}
 	}
 	total := n + nslack + nart
 	artStart := n + nslack
+	stride := total + 1
 
-	// Build tableau: m rows x (total+1) columns, last column = rhs.
-	t := make([][]float64, m)
-	basis := make([]int, m)
+	// Pass 2: write the tableau directly into the flat workspace buffer:
+	// m rows x (total+1) columns, last column = rhs.
+	ws.flat = grow(ws.flat, m*stride)
+	clear(ws.flat)
+	ws.rows = grow(ws.rows, m)
+	for i := 0; i < m; i++ {
+		ws.rows[i] = ws.flat[i*stride : (i+1)*stride : (i+1)*stride]
+	}
+	ws.basis = grow(ws.basis, m)
 	si, ai := 0, 0
-	for i, r := range rows {
-		row := make([]float64, total+1)
-		copy(row, r.coefs)
-		row[total] = r.rhs
-		switch r.sense {
+	for i, c := range p.cons {
+		row := ws.rows[i]
+		neg := c.rhs < 0
+		for _, t := range c.terms {
+			if neg {
+				row[t.Var] -= t.Coef
+			} else {
+				row[t.Var] += t.Coef
+			}
+		}
+		rhs := c.rhs
+		if neg {
+			rhs = -rhs
+		}
+		row[total] = rhs
+		switch ws.senses[i] {
 		case LE:
 			row[n+si] = 1
-			basis[i] = n + si
+			ws.basis[i] = n + si
 			si++
 		case GE:
 			row[n+si] = -1
 			si++
 			row[artStart+ai] = 1
-			basis[i] = artStart + ai
+			ws.basis[i] = artStart + ai
 			ai++
 		case EQ:
 			row[artStart+ai] = 1
-			basis[i] = artStart + ai
+			ws.basis[i] = artStart + ai
 			ai++
 		}
-		t[i] = row
 	}
 
-	s := &simplex{t: t, basis: basis, ncols: total, nrows: m}
+	ws.red = grow(ws.red, total)
+	ws.cost = grow(ws.cost, total)
+	s := &ws.sx
+	*s = simplex{t: ws.rows, basis: ws.basis, ncols: total, nrows: m, red: ws.red}
 
 	stats := Stats{Rows: m, Cols: total}
 	if nart > 0 {
 		// Phase 1: minimise the sum of artificials.
-		cost := make([]float64, total)
+		cost := ws.cost
+		clear(cost)
 		for j := artStart; j < total; j++ {
 			cost[j] = 1
 		}
@@ -243,10 +318,9 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 
 	// Phase 2: minimise the real objective; artificial columns forbidden.
-	cost := make([]float64, total)
-	for v, c := range p.obj {
-		cost[v] = c
-	}
+	cost := ws.cost
+	clear(cost)
+	copy(cost, p.obj)
 	forbid := total
 	if nart > 0 {
 		forbid = artStart
@@ -256,17 +330,19 @@ func (p *Problem) Solve() (*Solution, error) {
 	}
 	stats.Phase2Iters = s.iters
 
-	x := make([]float64, n)
+	ws.x = grow(ws.x, n)
+	clear(ws.x)
 	for i, b := range s.basis {
 		if b < n {
-			x[b] = s.t[i][total]
+			ws.x[b] = s.t[i][total]
 		}
 	}
 	obj := 0.0
 	for v, c := range p.obj {
-		obj += c * x[v]
+		obj += c * ws.x[v]
 	}
-	return &Solution{X: x, Obj: obj, Stats: stats}, nil
+	ws.sol = Solution{X: ws.x, Obj: obj, Stats: stats}
+	return &ws.sol, nil
 }
 
 // simplex holds the working tableau. Columns >= limit are not eligible to
@@ -274,6 +350,7 @@ func (p *Problem) Solve() (*Solution, error) {
 type simplex struct {
 	t     [][]float64
 	basis []int
+	red   []float64 // reduced-cost scratch row, len ncols
 	nrows int
 	ncols int
 	iters int // pivots performed in the most recent run
@@ -285,15 +362,16 @@ func (s *simplex) run(cost []float64, limit int) (float64, error) {
 	s.iters = 0
 	// Build the reduced-cost row: z_j = cost_j - cost_B · column_j for the
 	// current basis.
-	red := make([]float64, s.ncols)
+	red := s.red
 	copy(red, cost)
 	for i, b := range s.basis {
 		cb := cost[b]
 		if cb == 0 {
 			continue
 		}
+		row := s.t[i]
 		for j := 0; j < s.ncols; j++ {
-			red[j] -= cb * s.t[i][j]
+			red[j] -= cb * row[j]
 		}
 	}
 
@@ -350,8 +428,9 @@ func (s *simplex) run(cost []float64, limit int) (float64, error) {
 		// Update the reduced-cost row with the same elimination.
 		f := red[enter]
 		if f != 0 {
+			prow := s.t[leave]
 			for j := 0; j < s.ncols; j++ {
-				red[j] -= f * s.t[leave][j]
+				red[j] -= f * prow[j]
 			}
 			red[enter] = 0
 		}

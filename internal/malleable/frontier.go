@@ -24,10 +24,21 @@ type Frontier struct {
 // 1..m. Consecutive equal processing times are collapsed onto the smallest
 // allotment.
 func NewFrontier(t Task, m int) Frontier {
+	var f Frontier
+	FrontierInto(&f, t, m)
+	return f
+}
+
+// FrontierInto recomputes the frontier of t in place, reusing f's backing
+// arrays so repeated calls on same-shaped tasks allocate nothing once the
+// arrays have grown to size.
+func FrontierInto(f *Frontier, t Task, m int) {
 	if m > len(t.Times) {
 		m = len(t.Times)
 	}
-	f := Frontier{}
+	f.L = f.L[:0]
+	f.X = f.X[:0]
+	f.W = f.W[:0]
 	for l := 1; l <= m; l++ {
 		x := t.Time(l)
 		if len(f.X) > 0 && x >= f.X[len(f.X)-1]-1e-12*f.X[len(f.X)-1] {
@@ -37,7 +48,6 @@ func NewFrontier(t Task, m int) Frontier {
 		f.X = append(f.X, x)
 		f.W = append(f.W, float64(l)*x)
 	}
-	return f
 }
 
 // Segments returns the number of linear pieces of w(x) (breakpoints - 1).

@@ -158,8 +158,16 @@ func WithMu(mu int) Option {
 }
 
 // Solve runs the paper's two-phase approximation algorithm with the
-// parameter choices of Theorem 4.1 (overridable through options).
+// parameter choices of Theorem 4.1 (overridable through options). For
+// solving many instances, or many requests concurrently, prefer a Pool: it
+// amortises solver allocations across solves and saturates all cores.
 func Solve(in *Instance, opts ...Option) (*Result, error) {
+	return solveWith(in, nil, opts)
+}
+
+// solveWith is the shared implementation behind Solve and Pool: it runs the
+// two-phase algorithm with an optional reusable phase-1 workspace.
+func solveWith(in *Instance, ws *allot.Workspace, opts []Option) (*Result, error) {
 	ai, err := in.internal()
 	if err != nil {
 		return nil, err
@@ -168,7 +176,7 @@ func Solve(in *Instance, opts ...Option) (*Result, error) {
 	for _, f := range opts {
 		f(&o)
 	}
-	res, err := core.Solve(ai, o)
+	res, err := core.SolveWith(ai, o, ws)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,207 @@
+package malsched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testBatch loads every canned instance (plus a few synthetic ones) as the
+// reference batch for pool tests.
+func testBatch(t *testing.T) []*Instance {
+	t.Helper()
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata instances: %v", err)
+	}
+	var ins []*Instance
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := ReadJSON(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		ins = append(ins, in)
+	}
+	ins = append(ins, exampleInstance())
+	return ins
+}
+
+// fingerprint renders every observable field of a result so comparisons
+// across solver paths are byte-level, not approximate.
+func fingerprint(res *Result) string {
+	return fmt.Sprintf("%.17g|%.17g|%.17g|%v|%d|%.17g|%.17g|%+v",
+		res.Makespan, res.LowerBound, res.Guarantee, res.Alloc,
+		res.Mu, res.Rho, res.ProvenRatio, res.Schedule.Items)
+}
+
+func TestPoolMatchesSequentialSolve(t *testing.T) {
+	ins := testBatch(t)
+	pool := NewPool(4)
+	defer pool.Close()
+	out := pool.SolveBatch(context.Background(), ins)
+	if len(out) != len(ins) {
+		t.Fatalf("got %d outcomes for %d instances", len(out), len(ins))
+	}
+	for i, o := range out {
+		if o.Err != nil {
+			t.Fatalf("instance %d: %v", i, o.Err)
+		}
+		seq, err := Solve(ins[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(o.Result) != fingerprint(seq) {
+			t.Errorf("instance %d: pool result differs from sequential Solve:\n%s\n%s",
+				i, fingerprint(o.Result), fingerprint(seq))
+		}
+		if err := Verify(ins[i], o.Result); err != nil {
+			t.Errorf("instance %d: %v", i, err)
+		}
+	}
+}
+
+func TestPoolDeterministicAcrossWorkerCounts(t *testing.T) {
+	ins := testBatch(t)
+	var reference []string
+	for _, workers := range []int{1, 2, 8} {
+		pool := NewPool(workers)
+		// Two rounds per pool: the second runs on warm workspaces and must
+		// still be byte-identical.
+		for round := 0; round < 2; round++ {
+			out := pool.SolveBatch(context.Background(), ins)
+			var got []string
+			for i, o := range out {
+				if o.Err != nil {
+					t.Fatalf("workers=%d round=%d instance %d: %v", workers, round, i, o.Err)
+				}
+				got = append(got, fingerprint(o.Result))
+			}
+			if reference == nil {
+				reference = got
+				continue
+			}
+			for i := range got {
+				if got[i] != reference[i] {
+					t.Errorf("workers=%d round=%d instance %d: result differs from workers=1",
+						workers, round, i)
+				}
+			}
+		}
+		pool.Close()
+	}
+}
+
+func TestPoolIsolatesInstanceErrors(t *testing.T) {
+	good := exampleInstance()
+	bad := &Instance{M: 2, Tasks: []Task{NewTask("x", []float64{1, 2})}} // increasing times
+	pool := NewPool(2)
+	defer pool.Close()
+	out := pool.SolveBatch(context.Background(), []*Instance{good, bad, nil, good})
+	if out[0].Err != nil || out[3].Err != nil {
+		t.Errorf("healthy instances failed: %v %v", out[0].Err, out[3].Err)
+	}
+	if out[1].Err == nil {
+		t.Error("invalid instance did not error")
+	}
+	if out[2].Err == nil {
+		t.Error("nil instance did not error")
+	}
+	if out[0].Result == nil || out[0].Result.Makespan <= 0 {
+		t.Errorf("degenerate result alongside failures: %+v", out[0].Result)
+	}
+}
+
+func TestPoolSolveSingle(t *testing.T) {
+	pool := NewPool(2, WithMu(2))
+	defer pool.Close()
+	in := exampleInstance()
+	res, err := pool.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mu != 2 {
+		t.Errorf("pool-level option ignored: mu=%d", res.Mu)
+	}
+	// Per-call options override pool options.
+	res, err = pool.Solve(context.Background(), in, WithMu(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mu != 1 {
+		t.Errorf("per-call option ignored: mu=%d", res.Mu)
+	}
+}
+
+func TestPoolCancelledContext(t *testing.T) {
+	ins := testBatch(t)
+	pool := NewPool(2)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, o := range pool.SolveBatch(ctx, ins) {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Errorf("instance %d: err=%v, want context.Canceled", i, o.Err)
+		}
+		if o.Result != nil {
+			t.Errorf("instance %d: result produced under cancelled context", i)
+		}
+	}
+	if _, err := pool.Solve(ctx, ins[0]); !errors.Is(err, context.Canceled) {
+		t.Errorf("Solve: err=%v, want context.Canceled", err)
+	}
+}
+
+func TestPoolClosed(t *testing.T) {
+	pool := NewPool(1)
+	pool.Close()
+	if _, err := pool.Solve(context.Background(), exampleInstance()); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("Solve on closed pool: %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolConcurrentSolvers stresses concurrent Pool.Solve callers sharing
+// one pool; run with -race this checks the worker/workspace handoff.
+func TestPoolConcurrentSolvers(t *testing.T) {
+	ins := testBatch(t)
+	pool := NewPool(4)
+	defer pool.Close()
+	want := make([]string, len(ins))
+	for i, in := range ins {
+		res, err := Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fingerprint(res)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for k := 0; k < 12; k++ {
+				i := rng.Intn(len(ins))
+				res, err := pool.Solve(context.Background(), ins[i])
+				if err != nil {
+					t.Errorf("instance %d: %v", i, err)
+					return
+				}
+				if fingerprint(res) != want[i] {
+					t.Errorf("instance %d: concurrent result differs from sequential", i)
+					return
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+}
