@@ -1,8 +1,8 @@
 // Benchmarks regenerating every table and figure of the paper (experiments
-// E1-E7 of DESIGN.md) plus end-to-end and ablation benchmarks (E8-E9).
-// Each BenchmarkTableN/BenchmarkFigN run both times the regeneration and
-// re-verifies the headline numbers, so `go test -bench=. -benchmem` is the
-// full reproduction harness.
+// E1-E7 of EXPERIMENTS.md) plus end-to-end, ablation and phase-2 scaling
+// benchmarks (E8-E10). Each BenchmarkTableN/BenchmarkFigN run both times
+// the regeneration and re-verifies the headline numbers, so
+// `go test -bench=. -benchmem` is the full reproduction harness.
 package malsched
 
 import (
@@ -17,6 +17,7 @@ import (
 	"malsched/internal/baseline"
 	"malsched/internal/bruteforce"
 	"malsched/internal/core"
+	"malsched/internal/dag"
 	"malsched/internal/gen"
 	"malsched/internal/listsched"
 	"malsched/internal/malleable"
@@ -224,6 +225,98 @@ func BenchmarkPhase2List(b *testing.B) {
 		if _, err := listsched.Run(in, alloc); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// listScenario is one large-n phase-2 workload (EXPERIMENTS.md E10): the
+// instance is generated deterministically, the allotment is a fixed random
+// cap, and both LIST implementations can be driven on it.
+type listScenario struct {
+	name   string
+	n, m   int
+	dag    string // "layered", "erdos" or "independent"
+	p      float64
+	seed   int64
+	maxCap int // random allotment cap; 0 means saturated (alloc = m)
+}
+
+var listScenarios = []listScenario{
+	{"layered_n1000_m64", 1000, 64, "layered", 0, 20, 16},
+	{"layered_n2000_m64", 2000, 64, "layered", 0, 21, 16},
+	{"erdos_n2000_m128", 2000, 128, "erdos", 0.004, 22, 32},
+	{"layered_n10000_m256", 10000, 256, "layered", 0, 23, 32},
+	// The adversarial shape for the lazy ready-heap: every commit moves
+	// every queued start, so the queue churn is quadratic (see the package
+	// doc of internal/listsched). Tracked here so the degradation stays
+	// bounded; the reference needs ~12s at n=500 (kept runnable for the
+	// EXPERIMENTS.md E10 speedup figures) and minutes beyond.
+	{"independent_full_n500_m16", 500, 16, "independent", 0, 25, 0},
+	{"independent_full_n2000_m16", 2000, 16, "independent", 0, 24, 0},
+}
+
+func (sc listScenario) build(b testing.TB) (*allot.Instance, []int) {
+	rng := rand.New(rand.NewSource(sc.seed))
+	var g *dag.DAG
+	switch sc.dag {
+	case "layered":
+		w := 20
+		g = gen.Layered(sc.n/w, w, 3, rng)
+	case "erdos":
+		g = gen.ErdosDAG(sc.n, sc.p, rng)
+	case "independent":
+		g = gen.Independent(sc.n)
+	default:
+		b.Fatalf("unknown dag %q", sc.dag)
+	}
+	in := gen.Instance(g, gen.FamilyMixed, sc.m, rng)
+	alloc := make([]int, g.N())
+	for j := range alloc {
+		if sc.maxCap == 0 {
+			alloc[j] = sc.m
+		} else {
+			alloc[j] = 1 + rng.Intn(sc.maxCap)
+		}
+	}
+	return in, alloc
+}
+
+// E10: the phase-2 profile scheduler at production scale (n up to 10 000,
+// m up to 256). Compare against BenchmarkListReference on the same
+// scenarios for the speedup of the incremental-profile rewrite.
+func BenchmarkList(b *testing.B) {
+	for _, sc := range listScenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			in, alloc := sc.build(b)
+			ws := listsched.NewWorkspace()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := listsched.RunWith(in, alloc, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E10 (baseline): the retained seed implementation of LIST on the smaller
+// large-n scenarios, including the n=500 saturated shape (~12s per run —
+// excluded from the CI smoke selection, which takes only the layered
+// sub-benchmarks). The n=10000 and larger saturated scenarios are omitted
+// entirely: the quadratic rescans make them minutes per run.
+func BenchmarkListReference(b *testing.B) {
+	for _, sc := range listScenarios {
+		if sc.n > 2000 || (sc.maxCap == 0 && sc.n > 500) {
+			continue
+		}
+		b.Run(sc.name, func(b *testing.B) {
+			in, alloc := sc.build(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := listsched.RunReference(in, alloc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

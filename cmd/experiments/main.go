@@ -1,5 +1,5 @@
-// Command experiments runs the empirical study (experiment E8/E9 of
-// DESIGN.md): it measures realised makespans of the two-phase algorithm and
+// Command experiments runs the empirical study (experiments E8/E9 of
+// EXPERIMENTS.md): it measures realised makespans of the two-phase algorithm and
 // the baselines against the LP lower bound across DAG families, task
 // families and machine sizes, and (with -exact) against brute-force optimal
 // makespans on tiny instances. The paper proves a worst-case ratio; the
@@ -27,6 +27,7 @@ import (
 	"malsched/internal/engine"
 	"malsched/internal/gen"
 	"malsched/internal/params"
+	"malsched/internal/solver"
 	"malsched/internal/trace"
 )
 
@@ -64,24 +65,25 @@ type trial struct {
 }
 
 // run solves the trial's instance with the paper's algorithm and every
-// baseline, recording each makespan / LP-lower-bound ratio.
-func (tr *trial) run(ws *allot.Workspace) error {
+// baseline, recording each makespan / LP-lower-bound ratio. Every solve —
+// ours and the four baselines — reuses the worker's cross-phase workspace.
+func (tr *trial) run(ws *solver.Workspace) error {
 	res, err := core.SolveWith(tr.in, core.Options{}, ws)
 	if err != nil {
 		return err
 	}
 	lb := res.LowerBound
 	tr.ours = res.Makespan / lb
-	if r, err := baseline.LTW(tr.in); err == nil {
+	if r, err := baseline.LTWWith(tr.in, ws); err == nil {
 		tr.ltw = r.Makespan / lb
 	}
-	if r, err := baseline.Sequential(tr.in); err == nil {
+	if r, err := baseline.SequentialWith(tr.in, ws); err == nil {
 		tr.seq = r.Makespan / lb
 	}
-	if r, err := baseline.GreedyCP(tr.in); err == nil {
+	if r, err := baseline.GreedyCPWith(tr.in, ws); err == nil {
 		tr.greedy = r.Makespan / lb
 	}
-	if r, err := baseline.FullAllotment(tr.in); err == nil {
+	if r, err := baseline.FullAllotmentWith(tr.in, ws); err == nil {
 		tr.full = r.Makespan / lb
 	}
 	return nil
@@ -188,7 +190,7 @@ func exactStudy(pool *engine.Pool, seed int64, trials int) {
 			tr := &exactTrial{in: gen.Instance(gen.ErdosDAG(cfg.n, 0.35, rng), gen.FamilyMixed, cfg.m, rng)}
 			grid[c] = append(grid[c], tr)
 			all = append(all, tr)
-			fns = append(fns, func(ws *allot.Workspace) error {
+			fns = append(fns, func(ws *solver.Workspace) error {
 				opt := bruteforce.Optimal(tr.in)
 				res, err := core.SolveWith(tr.in, core.Options{}, ws)
 				if err != nil {

@@ -19,6 +19,7 @@ import (
 	"malsched/internal/allot"
 	"malsched/internal/listsched"
 	"malsched/internal/schedule"
+	"malsched/internal/solver"
 )
 
 // LTWRatio returns the proven approximation ratio of the LTW algorithm for
@@ -52,15 +53,23 @@ type Result struct {
 // LTW runs the Lepère–Trystram–Woeginger two-phase algorithm: phase 1 via
 // the shared LP with rho = 1/2 rounding, allotments capped at mu_LTW(m),
 // then LIST.
-func LTW(in *allot.Instance) (*Result, error) {
-	frac, err := allot.SolveLP(in)
+func LTW(in *allot.Instance) (*Result, error) { return LTWWith(in, nil) }
+
+// LTWWith is LTW with a reusable cross-phase workspace (nil behaves like
+// LTW): both the LP solve and the list scheduling run warm.
+func LTWWith(in *allot.Instance, ws *solver.Workspace) (*Result, error) {
+	// The LP path pins the instance in the workspace's frontier cache;
+	// release it on exit so a pooled workspace does not retain the
+	// instance between solves (same contract as core.SolveWith).
+	defer ws.Release()
+	frac, err := allot.SolveLPWith(in, ws.LP())
 	if err != nil {
 		return nil, err
 	}
-	alphaPrime := allot.Round(in, frac, 0.5)
+	alphaPrime := allot.RoundWith(in, frac, 0.5, ws.LP())
 	mu, _ := LTWRatio(in.M)
 	alpha := listsched.CapAllotment(alphaPrime, mu)
-	s, err := listsched.Run(in, alpha)
+	s, err := listsched.RunWith(in, alpha, ws.Sched())
 	if err != nil {
 		return nil, err
 	}
@@ -71,26 +80,33 @@ func LTW(in *allot.Instance) (*Result, error) {
 
 // Sequential schedules every task on a single processor with LIST: the
 // no-malleability baseline.
-func Sequential(in *allot.Instance) (*Result, error) {
+func Sequential(in *allot.Instance) (*Result, error) { return SequentialWith(in, nil) }
+
+// SequentialWith is Sequential with a reusable workspace.
+func SequentialWith(in *allot.Instance, ws *solver.Workspace) (*Result, error) {
 	alpha := make([]int, in.G.N())
 	for j := range alpha {
 		alpha[j] = 1
 	}
-	s, err := listsched.Run(in, alpha)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Schedule: s, Alpha: alpha, Makespan: s.Makespan()}, nil
+	return runAllotment(in, alpha, ws)
 }
 
 // FullAllotment gives every task all m processors, serialising the whole
 // DAG: the maximum-parallelism-per-task baseline.
-func FullAllotment(in *allot.Instance) (*Result, error) {
+func FullAllotment(in *allot.Instance) (*Result, error) { return FullAllotmentWith(in, nil) }
+
+// FullAllotmentWith is FullAllotment with a reusable workspace.
+func FullAllotmentWith(in *allot.Instance, ws *solver.Workspace) (*Result, error) {
 	alpha := make([]int, in.G.N())
 	for j := range alpha {
 		alpha[j] = in.M
 	}
-	s, err := listsched.Run(in, alpha)
+	return runAllotment(in, alpha, ws)
+}
+
+// runAllotment finishes a fixed-allotment baseline with LIST.
+func runAllotment(in *allot.Instance, alpha []int, ws *solver.Workspace) (*Result, error) {
+	s, err := listsched.RunWith(in, alpha, ws.Sched())
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +118,10 @@ func FullAllotment(in *allot.Instance) (*Result, error) {
 // the task on the current critical path with the best marginal gain, while
 // the average load W/m stays below the critical-path length. A natural
 // practitioner's heuristic with no worst-case guarantee.
-func GreedyCP(in *allot.Instance) (*Result, error) {
+func GreedyCP(in *allot.Instance) (*Result, error) { return GreedyCPWith(in, nil) }
+
+// GreedyCPWith is GreedyCP with a reusable workspace.
+func GreedyCPWith(in *allot.Instance, ws *solver.Workspace) (*Result, error) {
 	n := in.G.N()
 	alpha := make([]int, n)
 	for j := range alpha {
@@ -147,11 +166,7 @@ func GreedyCP(in *allot.Instance) (*Result, error) {
 		work += in.Tasks[bestJ].Work(alpha[bestJ]+1) - in.Tasks[bestJ].Work(alpha[bestJ])
 		alpha[bestJ]++
 	}
-	s, err := listsched.Run(in, alpha)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Schedule: s, Alpha: alpha, Makespan: s.Makespan()}, nil
+	return runAllotment(in, alpha, ws)
 }
 
 // Table3Row is one row of Table 3 of the paper.

@@ -18,6 +18,7 @@ import (
 	"malsched/internal/listsched"
 	"malsched/internal/params"
 	"malsched/internal/schedule"
+	"malsched/internal/solver"
 )
 
 // Options tunes the solver. The zero value requests the paper's parameter
@@ -58,11 +59,12 @@ func Solve(in *allot.Instance, opt Options) (*Result, error) {
 	return SolveWith(in, opt, nil)
 }
 
-// SolveWith is Solve with a reusable phase-1 workspace: the LP tableau,
-// pricing buffers and task frontiers live in ws and are reused across calls
-// (a nil ws solves with fresh buffers). The returned Result never aliases
-// workspace memory, so it stays valid across subsequent solves.
-func SolveWith(in *allot.Instance, opt Options, ws *allot.Workspace) (*Result, error) {
+// SolveWith is Solve with a reusable cross-phase workspace: the phase-1 LP
+// tableau, pricing buffers and task frontiers plus the phase-2 capacity
+// profile and ready queue live in ws and are reused across calls (a nil ws
+// solves with fresh buffers). The returned Result never aliases workspace
+// memory, so it stays valid across subsequent solves.
+func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,16 +86,14 @@ func SolveWith(in *allot.Instance, opt Options, ws *allot.Workspace) (*Result, e
 
 	// The frontier cache in ws is shared by SolveLPWith and RoundWith;
 	// release it on exit so a pooled workspace does not pin the instance.
-	if ws != nil {
-		defer ws.Release()
-	}
-	frac, err := allot.SolveLPWith(in, ws)
+	defer ws.Release()
+	frac, err := allot.SolveLPWith(in, ws.LP())
 	if err != nil {
 		return nil, err
 	}
-	alphaPrime := allot.RoundWith(in, frac, choice.Rho, ws)
+	alphaPrime := allot.RoundWith(in, frac, choice.Rho, ws.LP())
 	alpha := listsched.CapAllotment(alphaPrime, choice.Mu)
-	sched, err := listsched.Run(in, alpha)
+	sched, err := listsched.RunWith(in, alpha, ws.Sched())
 	if err != nil {
 		return nil, err
 	}

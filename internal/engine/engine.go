@@ -1,6 +1,6 @@
 // Package engine provides the concurrent batch-solving machinery behind
 // malsched.Pool: a fixed set of long-lived worker goroutines, each owning a
-// reusable phase-1 solver workspace (see internal/allot.Workspace), fed
+// reusable cross-phase solver workspace (see internal/solver.Workspace), fed
 // from a shared job channel.
 //
 // Jobs are plain closures receiving the worker's workspace, so the engine
@@ -19,7 +19,7 @@ import (
 	"runtime"
 	"sync"
 
-	"malsched/internal/allot"
+	"malsched/internal/solver"
 )
 
 // ErrClosed is reported for jobs submitted after Close.
@@ -27,7 +27,7 @@ var ErrClosed = errors.New("engine: pool is closed")
 
 // Func is one unit of work. It receives the calling worker's reusable
 // workspace, which is valid only for the duration of the call.
-type Func func(ws *allot.Workspace) error
+type Func func(ws *solver.Workspace) error
 
 // job couples a queued Func with its result slot and completion latch.
 type job struct {
@@ -84,7 +84,7 @@ func (p *Pool) Close() {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	ws := allot.NewWorkspace()
+	ws := solver.NewWorkspace()
 	for j := range p.jobs {
 		*j.err = runJob(j.ctx, j.fn, ws)
 		j.done.Done()
@@ -94,7 +94,7 @@ func (p *Pool) worker() {
 // runJob executes one job with context short-circuiting and panic
 // isolation: a job queued behind a cancelled context is skipped, and a
 // panicking job is converted into an error instead of killing the worker.
-func runJob(ctx context.Context, fn Func, ws *allot.Workspace) (err error) {
+func runJob(ctx context.Context, fn Func, ws *solver.Workspace) (err error) {
 	if e := ctx.Err(); e != nil {
 		return e
 	}

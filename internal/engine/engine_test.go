@@ -10,7 +10,7 @@ import (
 	"testing"
 	"time"
 
-	"malsched/internal/allot"
+	"malsched/internal/solver"
 )
 
 func TestRunPreservesOrder(t *testing.T) {
@@ -21,7 +21,7 @@ func TestRunPreservesOrder(t *testing.T) {
 	fns := make([]Func, n)
 	for i := 0; i < n; i++ {
 		i := i
-		fns[i] = func(ws *allot.Workspace) error {
+		fns[i] = func(ws *solver.Workspace) error {
 			results[i] = i * i
 			return nil
 		}
@@ -43,9 +43,9 @@ func TestRunIsolatesErrors(t *testing.T) {
 	defer p.Close()
 	boom := errors.New("boom")
 	fns := []Func{
-		func(ws *allot.Workspace) error { return nil },
-		func(ws *allot.Workspace) error { return boom },
-		func(ws *allot.Workspace) error { return nil },
+		func(ws *solver.Workspace) error { return nil },
+		func(ws *solver.Workspace) error { return boom },
+		func(ws *solver.Workspace) error { return nil },
 	}
 	errs := p.Run(context.Background(), fns)
 	if errs[0] != nil || errs[2] != nil {
@@ -60,9 +60,9 @@ func TestRunRecoversPanics(t *testing.T) {
 	p := New(1)
 	defer p.Close()
 	fns := []Func{
-		func(ws *allot.Workspace) error { panic("kaboom") },
+		func(ws *solver.Workspace) error { panic("kaboom") },
 		// The same (sole) worker must survive to run this one.
-		func(ws *allot.Workspace) error { return nil },
+		func(ws *solver.Workspace) error { return nil },
 	}
 	errs := p.Run(context.Background(), fns)
 	if errs[0] == nil || !strings.Contains(errs[0].Error(), "kaboom") {
@@ -78,12 +78,12 @@ func TestWorkersOwnDistinctWorkspaces(t *testing.T) {
 	p := New(workers)
 	defer p.Close()
 	var mu sync.Mutex
-	seen := make(map[*allot.Workspace]bool)
+	seen := make(map[*solver.Workspace]bool)
 	var gate sync.WaitGroup
 	gate.Add(workers)
 	fns := make([]Func, workers)
 	for i := range fns {
-		fns[i] = func(ws *allot.Workspace) error {
+		fns[i] = func(ws *solver.Workspace) error {
 			if ws == nil {
 				return errors.New("nil workspace")
 			}
@@ -115,7 +115,7 @@ func TestRunCancelledBeforeStart(t *testing.T) {
 	ran := int32(0)
 	fns := make([]Func, 8)
 	for i := range fns {
-		fns[i] = func(ws *allot.Workspace) error {
+		fns[i] = func(ws *solver.Workspace) error {
 			atomic.AddInt32(&ran, 1)
 			return nil
 		}
@@ -146,7 +146,7 @@ func TestRunCancelledMidBatch(t *testing.T) {
 	fns := make([]Func, n)
 	for i := 0; i < n; i++ {
 		blocking := i < workers
-		fns[i] = func(ws *allot.Workspace) error {
+		fns[i] = func(ws *solver.Workspace) error {
 			atomic.AddInt32(&ran, 1)
 			if blocking {
 				started <- struct{}{}
@@ -182,7 +182,7 @@ func TestRunOnClosedPool(t *testing.T) {
 	p := New(1)
 	p.Close()
 	p.Close() // idempotent
-	err := p.RunOne(context.Background(), func(ws *allot.Workspace) error { return nil })
+	err := p.RunOne(context.Background(), func(ws *solver.Workspace) error { return nil })
 	if !errors.Is(err, ErrClosed) {
 		t.Errorf("RunOne on closed pool: %v, want ErrClosed", err)
 	}
@@ -194,7 +194,7 @@ func TestRunOne(t *testing.T) {
 	if p.Workers() < 1 {
 		t.Fatalf("Workers() = %d", p.Workers())
 	}
-	err := p.RunOne(context.Background(), func(ws *allot.Workspace) error {
+	err := p.RunOne(context.Background(), func(ws *solver.Workspace) error {
 		return fmt.Errorf("expected")
 	})
 	if err == nil || err.Error() != "expected" {
@@ -212,7 +212,7 @@ func TestConcurrentRunCallers(t *testing.T) {
 			defer wg.Done()
 			fns := make([]Func, 16)
 			for i := range fns {
-				fns[i] = func(ws *allot.Workspace) error {
+				fns[i] = func(ws *solver.Workspace) error {
 					time.Sleep(time.Microsecond)
 					return nil
 				}

@@ -1,0 +1,226 @@
+package listsched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+	"malsched/internal/schedule"
+	"malsched/internal/sim"
+)
+
+// buildDAG constructs one graph of the named family, the same families the
+// phase-2 scenarios cover.
+func buildDAG(family string, n int, p float64, rng *rand.Rand) *dag.DAG {
+	switch family {
+	case "chain":
+		return gen.Chain(n)
+	case "independent":
+		return gen.Independent(n)
+	case "forkjoin":
+		return gen.ForkJoin(n - 2)
+	case "layered":
+		w := 4
+		return gen.Layered((n+w-1)/w, w, 3, rng)
+	case "outtree":
+		return gen.OutTree(n, rng)
+	case "erdos":
+		return gen.ErdosDAG(n, p, rng)
+	default:
+		panic("unknown dag family " + family)
+	}
+}
+
+var equivFamilies = []string{"chain", "independent", "forkjoin", "layered", "outtree", "erdos"}
+
+// sameSchedule reports the first difference between two schedules; the
+// profile scheduler and the reference must agree bit for bit.
+func sameSchedule(t *testing.T, a, b *schedule.Schedule) {
+	t.Helper()
+	if a.M != b.M || len(a.Items) != len(b.Items) {
+		t.Fatalf("shape differs: m=%d/%d items=%d/%d", a.M, b.M, len(a.Items), len(b.Items))
+	}
+	for j := range a.Items {
+		if a.Items[j] != b.Items[j] {
+			t.Fatalf("task %d differs: profile %+v, reference %+v", j, a.Items[j], b.Items[j])
+		}
+	}
+}
+
+// TestRunMatchesReference is the differential test for the profile
+// scheduler: across DAG families, machine sizes and allotments, Run must
+// place every task exactly where the retained seed implementation does.
+func TestRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ws := NewWorkspace() // shared across runs: reuse must not leak state
+	for trial := 0; trial < 60; trial++ {
+		family := equivFamilies[trial%len(equivFamilies)]
+		n := 3 + rng.Intn(40)
+		m := 1 + rng.Intn(16)
+		g := buildDAG(family, n, 0.1+0.3*rng.Float64(), rng)
+		in := gen.Instance(g, gen.FamilyMixed, m, rng)
+		alloc := make([]int, g.N())
+		for j := range alloc {
+			alloc[j] = 1 + rng.Intn(m)
+		}
+		t.Run(fmt.Sprintf("%s_n%d_m%d", family, g.N(), m), func(t *testing.T) {
+			want, err := RunReference(in, alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunWith(in, alloc, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSchedule(t, got, want)
+		})
+	}
+}
+
+// TestRunMatchesReferenceLarger spot-checks the equivalence at sizes where
+// the reference is still tolerable but the ready sets get wide.
+func TestRunMatchesReferenceLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference implementation is quadratic")
+	}
+	rng := rand.New(rand.NewSource(78))
+	for _, cfg := range []struct {
+		family string
+		n, m   int
+		p      float64
+	}{
+		{"layered", 240, 32, 0},
+		{"erdos", 200, 64, 0.02},
+		{"independent", 300, 24, 0},
+	} {
+		g := buildDAG(cfg.family, cfg.n, cfg.p, rng)
+		in := gen.Instance(g, gen.FamilyMixed, cfg.m, rng)
+		alloc := make([]int, g.N())
+		for j := range alloc {
+			alloc[j] = 1 + rng.Intn(cfg.m)
+		}
+		want, err := RunReference(in, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(in, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchedule(t, got, want)
+	}
+}
+
+// TestRunPhase2Invariants is the randomized phase-2 property test: for
+// seeded instances across DAG families, the scheduler's output must pass
+// both feasibility oracles — the interval-based Verify and the
+// discrete-event Replay that binds concrete processor IDs.
+func TestRunPhase2Invariants(t *testing.T) {
+	cases := []struct {
+		family string
+		n, m   int
+		p      float64
+		seed   int64
+	}{
+		{"chain", 50, 8, 0, 1},
+		{"independent", 120, 16, 0, 2},
+		{"forkjoin", 80, 12, 0, 3},
+		{"layered", 200, 32, 0, 4},
+		{"layered", 1000, 64, 0, 5},
+		{"outtree", 300, 24, 0, 6},
+		{"erdos", 150, 16, 0.05, 7},
+		{"erdos", 600, 128, 0.01, 8},
+	}
+	if !testing.Short() {
+		cases = append(cases,
+			struct {
+				family string
+				n, m   int
+				p      float64
+				seed   int64
+			}{"layered", 4000, 256, 0, 9},
+		)
+	}
+	ws := NewWorkspace()
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%s_n%d_m%d", tc.family, tc.n, tc.m), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			g := buildDAG(tc.family, tc.n, tc.p, rng)
+			in := gen.Instance(g, gen.FamilyMixed, tc.m, rng)
+			alloc := make([]int, g.N())
+			for j := range alloc {
+				alloc[j] = 1 + rng.Intn(tc.m)
+			}
+			s, err := RunWith(in, alloc, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Verify(in.G); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := sim.Replay(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Makespan > s.Makespan()+1e-9 {
+				t.Errorf("replay makespan %v exceeds schedule makespan %v", rep.Makespan, s.Makespan())
+			}
+		})
+	}
+}
+
+// TestWorkspaceReuseMatchesFresh runs the same instance repeatedly through
+// one workspace interleaved with unrelated instances; results must be
+// identical to fresh runs every time.
+func TestWorkspaceReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	ws := NewWorkspace()
+	g := gen.ErdosDAG(30, 0.2, rng)
+	in := gen.Instance(g, gen.FamilyMixed, 8, rng)
+	alloc := make([]int, 30)
+	for j := range alloc {
+		alloc[j] = 1 + rng.Intn(8)
+	}
+	fresh, err := Run(in, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := gen.Instance(gen.Layered(10, 5, 2, rng), gen.FamilyPowerLaw, 16, rng)
+	otherAlloc := make([]int, other.G.N())
+	for j := range otherAlloc {
+		otherAlloc[j] = 1 + rng.Intn(16)
+	}
+	for round := 0; round < 3; round++ {
+		warm, err := RunWith(in, alloc, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSchedule(t, warm, fresh)
+		if _, err := RunWith(other, otherAlloc, ws); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRunMatchesReferenceSaturated pins the adversarial shape for the lazy
+// ready-heap (every task allotted the whole machine, every commit
+// invalidating the entire queue) to the reference implementation.
+func TestRunMatchesReferenceSaturated(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	in := gen.Instance(gen.Independent(120), gen.FamilyMixed, 8, rng)
+	alloc := make([]int, 120)
+	for j := range alloc {
+		alloc[j] = 8
+	}
+	want, err := RunReference(in, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(in, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSchedule(t, got, want)
+}

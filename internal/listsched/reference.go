@@ -1,0 +1,119 @@
+package listsched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"malsched/internal/allot"
+	"malsched/internal/schedule"
+)
+
+// RunReference is the straightforward O(n^2 * k^2) implementation of LIST:
+// every iteration rescans all unscheduled tasks, and each candidate start
+// re-derives capacity from the full list of placed items. It is retained as
+// the differential-testing oracle for Run (both must place every task at
+// the same start time) and as the benchmark baseline the profile scheduler
+// is measured against; production paths should call Run.
+func RunReference(in *allot.Instance, alloc []int) (*schedule.Schedule, error) {
+	if err := validate(in, alloc); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+	s := &schedule.Schedule{M: in.M, Items: make([]schedule.Item, n)}
+	scheduled := make([]bool, n)
+	nsched := 0
+	// placed tracks the items already committed, for capacity queries.
+	var placed []schedule.Item
+
+	for nsched < n {
+		// READY = tasks whose predecessors are all scheduled.
+		best, bestStart := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if scheduled[j] {
+				continue
+			}
+			ready := true
+			readyAt := 0.0
+			for _, p := range in.G.Preds(j) {
+				if !scheduled[p] {
+					ready = false
+					break
+				}
+				if end := s.Items[p].End(); end > readyAt {
+					readyAt = end
+				}
+			}
+			if !ready {
+				continue
+			}
+			dur := in.Tasks[j].Time(alloc[j])
+			start := earliestFit(placed, in.M, readyAt, dur, alloc[j])
+			if start < bestStart {
+				best, bestStart = j, start
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("listsched: no ready task (cycle?)")
+		}
+		it := schedule.Item{
+			Task:     best,
+			Start:    bestStart,
+			Duration: in.Tasks[best].Time(alloc[best]),
+			Alloc:    alloc[best],
+		}
+		s.Items[best] = it
+		placed = append(placed, it)
+		scheduled[best] = true
+		nsched++
+	}
+	return s, nil
+}
+
+// earliestFit returns the earliest time t >= readyAt such that need
+// processors are simultaneously free throughout [t, t+dur), given the
+// already placed items on m processors. Candidate start times are readyAt
+// and the completion times of placed items (shifting any start earlier
+// would cross one of these events).
+func earliestFit(placed []schedule.Item, m int, readyAt, dur float64, need int) float64 {
+	cands := []float64{readyAt}
+	for _, it := range placed {
+		if e := it.End(); e > readyAt {
+			cands = append(cands, e)
+		}
+	}
+	sort.Float64s(cands)
+	for _, t := range cands {
+		if fits(placed, m, t, dur, need) {
+			return t
+		}
+	}
+	// Unreachable: after the last completion the machine is empty.
+	return cands[len(cands)-1]
+}
+
+// fits reports whether need processors are free on [t, t+dur) for machine
+// size m given the placed items.
+func fits(placed []schedule.Item, m int, t, dur float64, need int) bool {
+	const eps = 1e-9
+	// The busy level within [t, t+dur) changes only at item starts/ends;
+	// checking at t and at every event inside the window suffices.
+	points := []float64{t}
+	for _, it := range placed {
+		if it.Start > t+eps && it.Start < t+dur-eps {
+			points = append(points, it.Start)
+		}
+	}
+	for _, pt := range points {
+		busy := 0
+		for _, it := range placed {
+			if it.Start <= pt+eps && it.End() > pt+eps {
+				busy += it.Alloc
+			}
+		}
+		if busy+need > m {
+			return false
+		}
+	}
+	return true
+}

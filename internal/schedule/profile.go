@@ -1,0 +1,190 @@
+package schedule
+
+import "sort"
+
+// Profile is the canonical busy-processor timeline: a step function over
+// time maintained as strictly increasing breakpoints. It is the one event
+// sweep shared by the analysis tools (Schedule.Profile, Classify, HeavyPath
+// via Profile) and by the phase-2 LIST scheduler, which updates it in place
+// as items are committed and queries it for earliest feasible start times.
+//
+// Invariants: times is strictly increasing; busy[i] is the load on
+// [times[i], times[i+1]) and busy[len-1] the load on [times[last], +inf);
+// the load before times[0] is 0. After any sequence of well-formed Add
+// calls (positive alloc over a finite interval) the final step's load is 0,
+// because every added interval ends at one of the breakpoints.
+//
+// All arithmetic is exact: breakpoints are inserted at the exact float64
+// start/end times and compared with ==/<. Epsilon tolerance is applied only
+// when rendering Steps, never while maintaining the timeline, so the order
+// of operations can never make two sweeps disagree (the non-strict-weak-
+// order comparator bug the eps-tolerant sorts used to have).
+type Profile struct {
+	times []float64
+	busy  []int
+}
+
+// Reset empties the profile, keeping its capacity for reuse.
+func (p *Profile) Reset() {
+	p.times = p.times[:0]
+	p.busy = p.busy[:0]
+}
+
+// stepAt returns the greatest index i with times[i] <= t, or -1 when t lies
+// before the first breakpoint (where the load is 0).
+func (p *Profile) stepAt(t float64) int {
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return i
+	}
+	return i - 1
+}
+
+// ensureBreak inserts a breakpoint at exactly t if none exists and returns
+// its index. The new step inherits the load of the step containing t.
+func (p *Profile) ensureBreak(t float64) int {
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return i
+	}
+	level := 0
+	if i > 0 {
+		level = p.busy[i-1]
+	}
+	p.times = append(p.times, 0)
+	copy(p.times[i+1:], p.times[i:])
+	p.times[i] = t
+	p.busy = append(p.busy, 0)
+	copy(p.busy[i+1:], p.busy[i:])
+	p.busy[i] = level
+	return i
+}
+
+// Add raises the load by alloc on [start, end). Intervals without positive
+// extent — end <= start, NaN endpoints — or with alloc == 0 are ignored.
+func (p *Profile) Add(start, end float64, alloc int) {
+	if !(end > start) || alloc == 0 { // negated so NaN endpoints are skipped too
+		return
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end) // j > i, and inserting end does not shift i
+	for k := i; k < j; k++ {
+		p.busy[k] += alloc
+	}
+}
+
+// Build populates the profile from a complete set of items in one
+// O(k log k) pass: all start/end events are sorted once and swept, instead
+// of k incremental Adds whose array-shift insertions are quadratic when
+// items arrive out of time order. The resulting timeline is identical to
+// adding every item individually. Zero-load items (end <= start, NaN
+// endpoints, or alloc == 0) are skipped, as in Add.
+func (p *Profile) Build(items []Item) {
+	p.Reset()
+	type event struct {
+		t     float64
+		delta int
+	}
+	evs := make([]event, 0, 2*len(items))
+	for _, it := range items {
+		if !(it.End() > it.Start) || it.Alloc == 0 {
+			continue
+		}
+		evs = append(evs, event{it.Start, it.Alloc}, event{it.End(), -it.Alloc})
+	}
+	sort.Slice(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
+	busy := 0
+	for i := 0; i < len(evs); {
+		t := evs[i].t
+		for i < len(evs) && evs[i].t == t {
+			busy += evs[i].delta
+			i++
+		}
+		p.times = append(p.times, t)
+		p.busy = append(p.busy, busy)
+	}
+}
+
+// EarliestFit returns the earliest time t >= ready such that need
+// processors are free throughout [t, t+dur) on a machine of m processors.
+// It walks the timeline from ready, restarting the window after every step
+// that violates capacity, so the cost is proportional to the number of
+// steps between ready and the returned start — not to the number of items
+// ever added. Requires 1 <= need <= m and dur > 0; the load beyond the last
+// breakpoint is 0 (see the type invariant), so a fit always exists.
+func (p *Profile) EarliestFit(m int, ready, dur float64, need int) float64 {
+	t := ready
+	i := p.stepAt(t)
+	for {
+		fits := true
+		for j := i; ; j++ {
+			level := 0
+			if j >= 0 {
+				level = p.busy[j]
+			}
+			if level+need > m {
+				// A violating step always has a successor breakpoint:
+				// the final step's load is 0 and need <= m.
+				t = p.times[j+1]
+				i = j + 1
+				fits = false
+				break
+			}
+			// Step j extends to times[j+1] (or +inf for the last step).
+			if j+1 >= len(p.times) || p.times[j+1] >= t+dur {
+				break
+			}
+		}
+		if fits {
+			return t
+		}
+	}
+}
+
+// Steps renders the profile as merged ProfileSteps over [0, last
+// breakpoint): breakpoints within timeEps of a window anchored at the
+// window's first breakpoint are coalesced into one boundary, and adjacent
+// steps with equal load are merged. The anchored window keeps the
+// coalescing bounded — a chain of closely spaced breakpoints spanning more
+// than timeEps still yields distinct steps — and happens strictly after
+// the timeline is built, on an already totally ordered sequence, so it is
+// deterministic.
+func (p *Profile) Steps() []ProfileStep {
+	if len(p.times) < 2 {
+		return nil
+	}
+	var out []ProfileStep
+	prev := 0.0
+	busy := 0
+	for i := 0; i < len(p.times); {
+		t := p.times[i]
+		j := i
+		for j+1 < len(p.times) && p.times[j+1] <= t+timeEps {
+			j++
+		}
+		if t > prev+timeEps {
+			if n := len(out); n > 0 && out[n-1].Busy == busy {
+				out[n-1].To = t
+			} else {
+				out = append(out, ProfileStep{From: prev, To: t, Busy: busy})
+			}
+			prev = t
+		} else if t > prev {
+			prev = t
+		}
+		busy = p.busy[j]
+		i = j + 1
+	}
+	return out
+}
+
+// MaxBusy returns the peak load of the profile.
+func (p *Profile) MaxBusy() int {
+	max := 0
+	for _, b := range p.busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}

@@ -1,0 +1,297 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestProfileAddAndSteps(t *testing.T) {
+	var p Profile
+	p.Add(0, 2, 1)
+	p.Add(1, 3, 2)
+	steps := p.Steps()
+	want := []ProfileStep{{0, 1, 1}, {1, 2, 3}, {2, 3, 2}}
+	if len(steps) != len(want) {
+		t.Fatalf("steps = %+v, want %+v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Errorf("step %d = %+v, want %+v", i, steps[i], want[i])
+		}
+	}
+	if p.MaxBusy() != 3 {
+		t.Errorf("MaxBusy = %d, want 3", p.MaxBusy())
+	}
+}
+
+func TestProfileResetReuses(t *testing.T) {
+	var p Profile
+	p.Add(0, 5, 3)
+	p.Reset()
+	if got := p.Steps(); got != nil {
+		t.Fatalf("steps after Reset = %+v, want nil", got)
+	}
+	p.Add(1, 2, 1)
+	steps := p.Steps()
+	// The idle prefix [0,1) is part of the horizon.
+	want := []ProfileStep{{0, 1, 0}, {1, 2, 1}}
+	if len(steps) != 2 || steps[0] != want[0] || steps[1] != want[1] {
+		t.Errorf("steps = %+v, want %+v", steps, want)
+	}
+}
+
+func TestProfileEarliestFitBasics(t *testing.T) {
+	var p Profile
+	const m = 4
+	p.Add(0, 10, 3) // one processor free on [0,10)
+	cases := []struct {
+		ready, dur float64
+		need       int
+		want       float64
+	}{
+		{0, 5, 1, 0},   // fits alongside
+		{0, 5, 2, 10},  // must wait for the release
+		{3, 2, 4, 10},  // full machine only after t=10
+		{12, 1, 4, 12}, // ready time after the profile ends
+	}
+	for i, tc := range cases {
+		if got := p.EarliestFit(m, tc.ready, tc.dur, tc.need); got != tc.want {
+			t.Errorf("case %d: EarliestFit = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestProfileEarliestFitSkipsShortGap(t *testing.T) {
+	var p Profile
+	const m = 2
+	p.Add(0, 1, 2)
+	p.Add(2, 4, 2) // free gap [1,2) of length 1
+	if got := p.EarliestFit(m, 0, 0.5, 1); got != 1 {
+		t.Errorf("short task start = %v, want 1 (fits in the gap)", got)
+	}
+	if got := p.EarliestFit(m, 0, 1.5, 1); got != 4 {
+		t.Errorf("long task start = %v, want 4 (gap too short)", got)
+	}
+}
+
+// bruteFit is an oracle for EarliestFit: it checks candidate starts (ready
+// plus every breakpoint) by sampling the exact interval load.
+func bruteFit(items [][3]float64, m int, ready, dur float64, need int) float64 {
+	cands := []float64{ready}
+	for _, it := range items {
+		if it[0] > ready {
+			cands = append(cands, it[0])
+		}
+		if it[1] > ready {
+			cands = append(cands, it[1])
+		}
+	}
+	best := math.Inf(1)
+	for _, t := range cands {
+		ok := true
+		// Load is constant between breakpoints; checking at every
+		// breakpoint inside [t, t+dur) plus t itself is exact.
+		points := []float64{t}
+		for _, it := range items {
+			for _, b := range []float64{it[0], it[1]} {
+				if b > t && b < t+dur {
+					points = append(points, b)
+				}
+			}
+		}
+		for _, pt := range points {
+			busy := 0
+			for _, it := range items {
+				if it[0] <= pt && it[1] > pt {
+					busy += int(it[2])
+				}
+			}
+			if busy+need > m {
+				ok = false
+				break
+			}
+		}
+		if ok && t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+func TestProfileEarliestFitAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		const m = 6
+		var p Profile
+		var items [][3]float64
+		k := rng.Intn(12)
+		for i := 0; i < k; i++ {
+			start := float64(rng.Intn(20)) / 2
+			dur := 0.5 + float64(rng.Intn(8))/2
+			alloc := 1 + rng.Intn(m)
+			p.Add(start, start+dur, alloc)
+			items = append(items, [3]float64{start, start + dur, float64(alloc)})
+		}
+		ready := float64(rng.Intn(10)) / 2
+		dur := 0.5 + float64(rng.Intn(6))/2
+		need := 1 + rng.Intn(m)
+		got := p.EarliestFit(m, ready, dur, need)
+		want := bruteFit(items, m, ready, dur, need)
+		if got != want {
+			t.Fatalf("trial %d: EarliestFit(ready=%v dur=%v need=%v) = %v, oracle %v\nitems: %v",
+				trial, ready, dur, need, got, want, items)
+		}
+	}
+}
+
+// referenceSteps is an independent rendering oracle: it derives the step
+// function from a plain event sweep over exact, well-separated times (the
+// test data uses quarter-integer times, so no eps coalescing applies) and
+// merges equal neighbours. Schedule.Profile delegates to Profile.Add/Steps,
+// so this oracle is what keeps the rendering honest.
+func referenceSteps(items []Item) []ProfileStep {
+	type event struct {
+		t     float64
+		delta int
+	}
+	var evs []event
+	for _, it := range items {
+		evs = append(evs, event{it.Start, it.Alloc}, event{it.End(), -it.Alloc})
+	}
+	sort.Slice(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
+	var out []ProfileStep
+	prev, busy := 0.0, 0
+	for i := 0; i < len(evs); {
+		t := evs[i].t
+		if t > prev {
+			if n := len(out); n > 0 && out[n-1].Busy == busy {
+				out[n-1].To = t
+			} else {
+				out = append(out, ProfileStep{From: prev, To: t, Busy: busy})
+			}
+			prev = t
+		}
+		for i < len(evs) && evs[i].t == t {
+			busy += evs[i].delta
+			i++
+		}
+	}
+	return out
+}
+
+func TestProfileMatchesEventSweepOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		s := &Schedule{M: 64, Items: make([]Item, n)}
+		var p Profile
+		for j := 0; j < n; j++ {
+			it := Item{
+				Task:     j,
+				Start:    float64(rng.Intn(30)) / 4,
+				Duration: 0.25 + float64(rng.Intn(20))/4,
+				Alloc:    1 + rng.Intn(8),
+			}
+			s.Items[j] = it
+			p.Add(it.Start, it.End(), it.Alloc)
+		}
+		want := referenceSteps(s.Items)
+		for which, got := range map[string][]ProfileStep{
+			"incremental": p.Steps(),
+			"schedule":    s.Profile(),
+		} {
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %s %+v vs oracle %+v", trial, which, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d step %d: %s %+v vs oracle %+v", trial, i, which, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestProfileStepsCoalescesNearTiedBreakpoints(t *testing.T) {
+	// Two loads swapping within timeEps of t=1: the sliver step between
+	// the near-tied breakpoints must be coalesced away, with the boundary
+	// at the earliest breakpoint of the run.
+	var p Profile
+	p.Add(0, 1, 2)
+	p.Add(1+4e-8, 3, 1)
+	steps := p.Steps()
+	want := []ProfileStep{{0, 1, 2}, {1, 3, 1}}
+	if len(steps) != len(want) || steps[0] != want[0] || steps[1] != want[1] {
+		t.Errorf("steps = %+v, want %+v", steps, want)
+	}
+}
+
+func TestProfileBuildMatchesIncrementalAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(40)
+		items := make([]Item, n)
+		var inc Profile
+		for j := range items {
+			items[j] = Item{
+				Task:     j,
+				Start:    float64(rng.Intn(40)) / 4,
+				Duration: float64(rng.Intn(16)) / 4, // may be zero: skipped by both
+				Alloc:    rng.Intn(5),               // may be zero: skipped by both
+			}
+			inc.Add(items[j].Start, items[j].End(), items[j].Alloc)
+		}
+		var built Profile
+		built.Build(items)
+		if len(built.times) != len(inc.times) {
+			t.Fatalf("trial %d: Build %v/%v vs Add %v/%v", trial, built.times, built.busy, inc.times, inc.busy)
+		}
+		for i := range built.times {
+			if built.times[i] != inc.times[i] || built.busy[i] != inc.busy[i] {
+				t.Fatalf("trial %d breakpoint %d: Build (%v,%d) vs Add (%v,%d)",
+					trial, i, built.times[i], built.busy[i], inc.times[i], inc.busy[i])
+			}
+		}
+	}
+}
+
+func TestProfileIgnoresNaNItems(t *testing.T) {
+	// NaN-tainted items must be skipped by both construction paths, not
+	// corrupt the timeline (Add) or hang the event sweep (Build).
+	items := []Item{
+		{Task: 0, Start: 0, Duration: math.NaN(), Alloc: 1},
+		{Task: 1, Start: math.NaN(), Duration: 1, Alloc: 1},
+		{Task: 2, Start: 1, Duration: 1, Alloc: 2},
+	}
+	var inc, built Profile
+	for _, it := range items {
+		inc.Add(it.Start, it.End(), it.Alloc)
+	}
+	built.Build(items)
+	want := []ProfileStep{{0, 1, 0}, {1, 2, 2}}
+	for which, got := range map[string][]ProfileStep{"add": inc.Steps(), "build": built.Steps()} {
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Errorf("%s: steps = %+v, want %+v", which, got, want)
+		}
+	}
+}
+
+func TestProfileStepsChainLongerThanEpsKeepsStructure(t *testing.T) {
+	// Breakpoints spaced just under timeEps apart over a span several
+	// times timeEps: the anchored coalescing window must not chain them
+	// all into one boundary and erase the intermediate load levels.
+	var p Profile
+	const step = 0.9e-7 // < timeEps, but 10 steps span 9e-7 >> timeEps
+	for k := 0; k < 10; k++ {
+		p.Add(float64(k)*step, 1, 1) // staircase: load k+1 from k*step on
+	}
+	steps := p.Steps()
+	if len(steps) < 4 {
+		t.Errorf("staircase collapsed to %d steps: %+v", len(steps), steps)
+	}
+	if last := steps[len(steps)-1]; last.Busy != 10 {
+		t.Errorf("final load = %d, want 10 (%+v)", last.Busy, steps)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"malsched/internal/dag"
 )
@@ -73,31 +72,55 @@ func (s *Schedule) Verify(g *dag.DAG) error {
 		if it.Task != j {
 			return fmt.Errorf("%w: item %d schedules task %d", ErrBadItem, j, it.Task)
 		}
-		if it.Start < -timeEps || it.Duration <= 0 || it.Alloc < 1 || it.Alloc > s.M {
+		// Negated comparisons so NaN fails too: a NaN time reaching the
+		// event sort would make its comparator non-strict-weak again.
+		if !(it.Start >= -timeEps) || !(it.Duration > 0) ||
+			math.IsInf(it.Start, 0) || math.IsInf(it.Duration, 0) ||
+			it.Alloc < 1 || it.Alloc > s.M {
 			return fmt.Errorf("%w: task %d start=%v dur=%v alloc=%d m=%d",
 				ErrBadItem, j, it.Start, it.Duration, it.Alloc, s.M)
 		}
 	}
-	// Capacity: sweep over start/end events.
-	type event struct {
-		t     float64
-		delta int
-	}
-	evs := make([]event, 0, 2*len(s.Items))
-	for _, it := range s.Items {
-		evs = append(evs, event{it.Start, it.Alloc}, event{it.End(), -it.Alloc})
-	}
-	sort.Slice(evs, func(a, b int) bool {
-		if math.Abs(evs[a].t-evs[b].t) < timeEps {
-			return evs[a].delta < evs[b].delta // releases before acquires at a tie
-		}
-		return evs[a].t < evs[b].t
-	})
-	busy := 0
-	for _, e := range evs {
-		busy += e.delta
-		if busy > s.M {
-			return fmt.Errorf("%w: %d processors busy at t=%v (m=%d)", ErrCapacity, busy, e.t, s.M)
+	// Capacity: walk the canonical busy-processor timeline (the same
+	// Profile the phase-2 scheduler maintains; Build sorts events by
+	// exact time, a strict weak ordering — no epsilon enters the
+	// ordering). The timeEps handoff tolerance is applied to the *load*
+	// instead: the exact timeline may overshoot M across a sliver of
+	// near-tied boundaries (a release a hair after the acquires it
+	// feeds), so overload intervals are forgiven while their accumulated
+	// length stays within timeEps over the whole schedule. The
+	// accumulated bound keeps the check sound — neither one long
+	// violation, nor a chain of close events cancelling an acquire with a
+	// distant release, nor a sawtooth of many sub-eps overload slivers
+	// can hide more than timeEps of total oversubscription — while
+	// forgiving rounding-noise overlaps of any internal structure (ulp-
+	// scale handoff slivers sum far below timeEps even across thousands
+	// of tasks). On adversarial inputs whose accumulated overload exceeds
+	// the budget, Verify is deliberately stricter than sim.Replay's
+	// per-window event tolerance: a measure-based feasibility oracle
+	// fails closed.
+	var p Profile
+	p.Build(s.Items)
+	worst := 0
+	overFrom, forgiven := 0.0, 0.0
+	over := false
+	for i, load := range p.busy {
+		// load applies on [times[i], times[i+1]); the final step's load is
+		// 0 (every item ends at a breakpoint), closing any open interval.
+		if load > s.M {
+			if !over {
+				over, overFrom, worst = true, p.times[i], load
+			} else if load > worst {
+				worst = load
+			}
+		} else if over {
+			over = false
+			forgiven += p.times[i] - overFrom
+			if forgiven > timeEps {
+				return fmt.Errorf("%w: accumulated overload %v exceeds tolerance %v "+
+					"(last interval [%v, %v) with %d busy, m=%d)",
+					ErrCapacity, forgiven, timeEps, overFrom, p.times[i], worst, s.M)
+			}
 		}
 	}
 	// Precedence.
@@ -118,48 +141,13 @@ type ProfileStep struct {
 }
 
 // Profile returns the busy-processor step function over [0, Cmax), merging
-// adjacent steps with equal load.
+// adjacent steps with equal load. It is built on the canonical Profile
+// timeline (exact breakpoints, eps-coalescing only at rendering), the same
+// sweep the phase-2 scheduler maintains incrementally.
 func (s *Schedule) Profile() []ProfileStep {
-	if len(s.Items) == 0 {
-		return nil
-	}
-	type event struct {
-		t     float64
-		delta int
-	}
-	evs := make([]event, 0, 2*len(s.Items))
-	for _, it := range s.Items {
-		evs = append(evs, event{it.Start, it.Alloc}, event{it.End(), -it.Alloc})
-	}
-	sort.Slice(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
-	var steps []ProfileStep
-	busy := 0
-	prev := 0.0
-	i := 0
-	for i < len(evs) {
-		t := evs[i].t
-		if t > prev+timeEps && busy >= 0 {
-			steps = append(steps, ProfileStep{From: prev, To: t, Busy: busy})
-			prev = t
-		}
-		for i < len(evs) && evs[i].t <= t+timeEps {
-			busy += evs[i].delta
-			i++
-		}
-		if t > prev {
-			prev = t
-		}
-	}
-	// Merge equal neighbours.
-	merged := steps[:0]
-	for _, st := range steps {
-		if n := len(merged); n > 0 && merged[n-1].Busy == st.Busy && math.Abs(merged[n-1].To-st.From) < timeEps {
-			merged[n-1].To = st.To
-			continue
-		}
-		merged = append(merged, st)
-	}
-	return merged
+	var p Profile
+	p.Build(s.Items)
+	return p.Steps()
 }
 
 // SlotClasses is the Section 4 decomposition of [0, Cmax] into the three
@@ -205,7 +193,10 @@ func (s *Schedule) HeavyPath(g *dag.DAG, mu int) []int {
 			low = append(low, st)
 		}
 	}
-	// Last task: any task completing at Cmax.
+	// Last task: any task completing at Cmax. For externally constructed or
+	// NaN-tainted schedules no item's completion may match Makespan within
+	// timeEps; there is no heavy path then, rather than an out-of-range
+	// index below.
 	cmax := s.Makespan()
 	cur := -1
 	for j, it := range s.Items {
@@ -213,6 +204,9 @@ func (s *Schedule) HeavyPath(g *dag.DAG, mu int) []int {
 			cur = j
 			break
 		}
+	}
+	if cur < 0 {
+		return nil
 	}
 	path := []int{cur}
 	for {

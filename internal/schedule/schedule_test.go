@@ -201,3 +201,127 @@ func TestHeavyPathEmptySchedule(t *testing.T) {
 		t.Errorf("empty schedule heavy path = %v, want nil", p)
 	}
 }
+
+func TestVerifyNearTiedEventsDeterministic(t *testing.T) {
+	// A long chain of handoffs whose boundaries are perturbed by less than
+	// timeEps. The old epsilon-banded comparator was not a strict weak
+	// ordering on exactly this input (a ~ b and b ~ c but a < c), leaving
+	// the event order — and the Verify outcome — undefined. The strict sort
+	// plus post-sort coalescing must accept every permutation of it.
+	g := dag.New(6)
+	const jitter = 2e-8 // < timeEps = 1e-7
+	s := &Schedule{M: 2, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 2},
+		{Task: 1, Start: 1 + 1*jitter, Duration: 1, Alloc: 2},
+		{Task: 2, Start: 2 + 2*jitter, Duration: 1, Alloc: 2},
+		{Task: 3, Start: 3 + 3*jitter, Duration: 1, Alloc: 2},
+		{Task: 4, Start: 4 + 4*jitter, Duration: 1, Alloc: 2},
+		{Task: 5, Start: 5 + 5*jitter, Duration: 1, Alloc: 2},
+	}}
+	if err := s.Verify(g); err != nil {
+		t.Errorf("near-tied handoff chain rejected: %v", err)
+	}
+}
+
+func TestVerifyNearTiedOverlapStillRejected(t *testing.T) {
+	// Overlap far beyond timeEps must still trip ErrCapacity even when
+	// other events are near-tied.
+	g := dag.New(3)
+	s := &Schedule{M: 2, Items: []Item{
+		{Task: 0, Start: 0, Duration: 1, Alloc: 2},
+		{Task: 1, Start: 1 + 5e-8, Duration: 1, Alloc: 2},
+		{Task: 2, Start: 1.5, Duration: 1, Alloc: 1},
+	}}
+	if err := s.Verify(g); !errors.Is(err, ErrCapacity) {
+		t.Errorf("want ErrCapacity, got %v", err)
+	}
+}
+
+func TestHeavyPathNoMakespanTask(t *testing.T) {
+	// A NaN-tainted schedule has Makespan 0 while no item's completion is
+	// within timeEps of it: HeavyPath must return nil, not panic.
+	g := dag.New(1)
+	s := &Schedule{M: 2, Items: []Item{
+		{Task: 0, Start: 0, Duration: math.NaN(), Alloc: 1},
+	}}
+	if p := s.HeavyPath(g, 1); p != nil {
+		t.Errorf("heavy path = %v, want nil", p)
+	}
+}
+
+func TestVerifyReleaseAfterStraddledAcquires(t *testing.T) {
+	// The releasing task ends within timeEps of BOTH acquiring tasks, but
+	// the three events do not fit one anchored eps-window starting at the
+	// first acquire. Gap-chained coalescing must still put the release in
+	// the acquires' group and accept the schedule.
+	g := dag.New(3)
+	s := &Schedule{M: 4, Items: []Item{
+		{Task: 0, Start: 0, Duration: 5.00000013, Alloc: 2}, // releases at 5+1.3e-7
+		{Task: 1, Start: 5.0, Duration: 1, Alloc: 2},        // acquires at 5
+		{Task: 2, Start: 5.00000009, Duration: 1, Alloc: 2}, // acquires at 5+9e-8
+	}}
+	if err := s.Verify(g); err != nil {
+		t.Errorf("eps-feasible straddled handoff rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsNonFiniteTimes(t *testing.T) {
+	g := dag.New(2)
+	for i, s := range []*Schedule{
+		{M: 1, Items: []Item{{Task: 0, Start: 0, Duration: math.NaN(), Alloc: 1}, {Task: 1, Start: 0, Duration: 1, Alloc: 1}}},
+		{M: 1, Items: []Item{{Task: 0, Start: math.NaN(), Duration: 1, Alloc: 1}, {Task: 1, Start: 0, Duration: 1, Alloc: 1}}},
+		{M: 1, Items: []Item{{Task: 0, Start: math.Inf(1), Duration: 1, Alloc: 1}, {Task: 1, Start: 0, Duration: 1, Alloc: 1}}},
+		{M: 1, Items: []Item{{Task: 0, Start: 0, Duration: math.Inf(1), Alloc: 1}, {Task: 1, Start: 0, Duration: 1, Alloc: 1}}},
+	} {
+		if err := s.Verify(g); !errors.Is(err, ErrBadItem) {
+			t.Errorf("case %d: non-finite time accepted: %v", i, err)
+		}
+	}
+}
+
+func TestVerifyBridgeChainCannotMaskOverload(t *testing.T) {
+	// Adversarial shape for eps-coalescing: tasks X and Y (2 procs each,
+	// m=3) overlap for 1e-6 — ten times timeEps — while a chain of
+	// sub-timeEps-spaced single-processor bridge events connects Y's start
+	// to X's completion. No amount of event bridging may let X's release
+	// cancel Y's acquire: the overload persists longer than timeEps and
+	// must be reported.
+	items := []Item{
+		{Task: 0, Start: 0, Duration: 1 + 1e-6, Alloc: 2},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 2},
+	}
+	const step = 0.8e-7 // < timeEps
+	for k := 0; k < 14; k++ {
+		items = append(items, Item{
+			Task:     2 + k,
+			Start:    1 + float64(k)*step,
+			Duration: step / 2,
+			Alloc:    1,
+		})
+	}
+	g := dag.New(len(items))
+	s := &Schedule{M: 3, Items: items}
+	if err := s.Verify(g); !errors.Is(err, ErrCapacity) {
+		t.Errorf("bridged 1e-6 overload accepted: %v", err)
+	}
+}
+
+func TestVerifySawtoothOverloadRejected(t *testing.T) {
+	// Many disjoint overload slivers, each shorter than timeEps: their
+	// accumulated length far exceeds timeEps, so the forgiveness budget
+	// must run out and the oversubscription be reported.
+	items := []Item{{Task: 0, Start: 0, Duration: 1, Alloc: 1}}
+	for k := 0; k < 20; k++ {
+		items = append(items, Item{
+			Task:     1 + k,
+			Start:    0.5 + float64(k)*1e-7,
+			Duration: 0.9e-7,
+			Alloc:    1,
+		})
+	}
+	g := dag.New(len(items))
+	s := &Schedule{M: 1, Items: items}
+	if err := s.Verify(g); !errors.Is(err, ErrCapacity) {
+		t.Errorf("sawtooth oversubscription accepted: %v", err)
+	}
+}

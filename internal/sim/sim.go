@@ -11,6 +11,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"malsched/internal/schedule"
@@ -50,18 +51,40 @@ func Replay(s *schedule.Schedule) (*Report, error) {
 	}
 	evs := make([]ev, 0, 2*len(s.Items))
 	for j, it := range s.Items {
+		if math.IsNaN(it.Start) || math.IsInf(it.Start, 0) ||
+			!(it.Duration > 0) || math.IsInf(it.Duration, 0) || it.Alloc < 1 {
+			// NaN times would make the event comparator non-strict-weak
+			// and the replay order undefined; an infinite time puts start
+			// and completion at the same instant (+Inf) with the
+			// completion sorting first, leaking the processors; a
+			// non-positive duration does the same at a finite instant; a
+			// non-positive allotment would acquire nothing and silently
+			// skew the report. (The negated comparison rejects NaN
+			// durations too.) Verify rejects the same item classes.
+			return nil, fmt.Errorf("%w: task %d has start=%v duration=%v alloc=%d",
+				ErrReplay, j, it.Start, it.Duration, it.Alloc)
+		}
 		evs = append(evs, ev{it.Start, true, j}, ev{it.End(), false, j})
 	}
+	// Events are sorted by exact time with completions before starts (and
+	// task index for determinism) as tie-breakers — a strict weak ordering,
+	// unlike an epsilon-banded "equality" whose intransitivity leaves
+	// sort.Slice's output undefined on near-tied times. The eps tolerance
+	// (a completion up to eps after a start still frees its processors
+	// first) is applied after sorting, by coalescing events into windows
+	// anchored at each window's first event and spanning at most eps, and
+	// replaying each window's completions before its starts. The anchored
+	// bound keeps the tolerance finite: no chain of closely spaced events
+	// can pull a completion arbitrarily far in the future before a start.
 	const eps = 1e-9
 	sort.Slice(evs, func(a, b int) bool {
-		if evs[a].t < evs[b].t-eps {
-			return true
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
 		}
-		if evs[a].t > evs[b].t+eps {
-			return false
+		if evs[a].start != evs[b].start {
+			return !evs[a].start
 		}
-		// Releases before acquisitions at equal times.
-		return !evs[a].start && evs[b].start
+		return evs[a].task < evs[b].task
 	})
 
 	free := make([]bool, m)
@@ -73,9 +96,49 @@ func Replay(s *schedule.Schedule) (*Report, error) {
 		BusyTime:    make([]float64, m),
 	}
 	held := make([][]int, len(s.Items))
-	for _, e := range evs {
+	release := func(e ev) {
 		rep.Events++
-		if e.start {
+		for _, p := range held[e.task] {
+			free[p] = true
+			rep.BusyTime[p] += s.Items[e.task].Duration
+		}
+		held[e.task] = nil
+		if e.t > rep.Makespan {
+			rep.Makespan = e.t
+		}
+	}
+	for i := 0; i < len(evs); {
+		j := i + 1
+		for j < len(evs) && evs[j].t <= evs[i].t+eps {
+			j++
+		}
+		// First pass: completions of tasks that acquired in an earlier
+		// group release before any of this group's acquisitions (the eps
+		// handoff tolerance). A completion whose task has not acquired yet
+		// (held == nil) belongs to a task whose whole execution — start
+		// and end — falls inside this group (duration at or below eps);
+		// it is left to the second pass, which replays the remaining
+		// events in exact time order so such a task still frees its
+		// processors before any strictly later start in the group. In both
+		// passes held identifies the completions still owed a release:
+		// pass one empties held for the tasks it releases, and a deferred
+		// completion's own start (earlier in the second pass) refills it.
+		for k := i; k < j; k++ {
+			e := evs[k]
+			if e.start || held[e.task] == nil {
+				continue
+			}
+			release(e)
+		}
+		for k := i; k < j; k++ {
+			e := evs[k]
+			if !e.start {
+				if held[e.task] != nil {
+					release(e)
+				}
+				continue
+			}
+			rep.Events++
 			need := s.Items[e.task].Alloc
 			var got []int
 			for p := 0; p < m && len(got) < need; p++ {
@@ -90,16 +153,11 @@ func Replay(s *schedule.Schedule) (*Report, error) {
 			}
 			held[e.task] = got
 			rep.Assignments[e.task] = Assignment{Task: e.task, Procs: got}
-		} else {
-			for _, p := range held[e.task] {
-				free[p] = true
-				rep.BusyTime[p] += s.Items[e.task].Duration
+			if e.t > rep.Makespan {
+				rep.Makespan = e.t
 			}
-			held[e.task] = nil
 		}
-		if e.t > rep.Makespan {
-			rep.Makespan = e.t
-		}
+		i = j
 	}
 	if rep.Makespan > 0 {
 		total := 0.0

@@ -101,3 +101,147 @@ func TestReplayTwoPhaseSchedules(t *testing.T) {
 		}
 	}
 }
+
+func TestReplayNearTiedHandoff(t *testing.T) {
+	// The releasing task completes a hair *after* the acquiring task's
+	// start (within the eps band). The strict sort alone would order the
+	// acquisition first and fail; the post-sort coalescing must replay the
+	// completion first, as the old epsilon-banded comparator intended.
+	s := &schedule.Schedule{M: 2, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 1 + 4e-10, Alloc: 2},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 2},
+	}}
+	rep, err := Replay(s)
+	if err != nil {
+		t.Fatalf("near-tied handoff must replay: %v", err)
+	}
+	if rep.Events != 4 {
+		t.Errorf("events = %d, want 4", rep.Events)
+	}
+}
+
+func TestReplayNearTiedChainDeterministic(t *testing.T) {
+	// A chain of handoffs jittered by less than eps each: the comparator
+	// on exact times is a strict weak ordering, so sort.Slice's output —
+	// and hence the replay outcome — is fully determined.
+	const jitter = 4e-10
+	items := make([]schedule.Item, 8)
+	for j := range items {
+		items[j] = schedule.Item{
+			Task:     j,
+			Start:    float64(j) + float64(j)*jitter,
+			Duration: 1,
+			Alloc:    3,
+		}
+	}
+	s := &schedule.Schedule{M: 3, Items: items}
+	for round := 0; round < 5; round++ {
+		rep, err := Replay(s)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for j := range items {
+			if len(rep.Assignments[j].Procs) != 3 {
+				t.Fatalf("round %d: task %d got %v", round, j, rep.Assignments[j].Procs)
+			}
+		}
+	}
+}
+
+func TestReplayStraddledOverloadRejected(t *testing.T) {
+	// Three tasks of 2 processors each genuinely overlap on
+	// [1+0.9e-9, 1+1.3e-9) with m=4, and task 0's completion falls outside
+	// the eps window anchored at task 1's start. The anchored (bounded)
+	// coalescing must not let that completion jump the queue, so the
+	// oversubscription is reported.
+	s := &schedule.Schedule{M: 4, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 1 + 1.3e-9, Alloc: 2},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 2},
+		{Task: 2, Start: 1 + 0.9e-9, Duration: 1, Alloc: 2},
+	}}
+	if _, err := Replay(s); !errors.Is(err, ErrReplay) {
+		t.Errorf("exactly-infeasible straddled overlap: want ErrReplay, got %v", err)
+	}
+}
+
+func TestReplaySubEpsDurationTask(t *testing.T) {
+	// Task 0's whole execution fits inside one coalesced event group
+	// (duration below eps): its completion must not be replayed before its
+	// own start, or the processor would be acquired and never freed.
+	s := &schedule.Schedule{M: 1, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 5e-10, Alloc: 1},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 1},
+	}}
+	rep, err := Replay(s)
+	if err != nil {
+		t.Fatalf("sub-eps-duration task must not leak its processor: %v", err)
+	}
+	if rep.Events != 4 {
+		t.Errorf("events = %d, want 4", rep.Events)
+	}
+	if math.Abs(rep.BusyTime[0]-(5e-10+1)) > 1e-12 {
+		t.Errorf("busy time = %v, want %v", rep.BusyTime[0], 5e-10+1)
+	}
+}
+
+func TestReplaySubEpsTaskBeforeDisjointLaterStart(t *testing.T) {
+	// Task 0 occupies [0, 5e-10); task 1 starts at 8e-10 — temporally
+	// disjoint, yet all three events coalesce into one group. Task 0's
+	// deferred completion must be replayed before task 1's strictly later
+	// start, or the single processor looks permanently taken.
+	s := &schedule.Schedule{M: 1, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 5e-10, Alloc: 1},
+		{Task: 1, Start: 8e-10, Duration: 1, Alloc: 1},
+	}}
+	rep, err := Replay(s)
+	if err != nil {
+		t.Fatalf("disjoint sub-eps execution must replay: %v", err)
+	}
+	if rep.Events != 4 {
+		t.Errorf("events = %d, want 4", rep.Events)
+	}
+}
+
+func TestReplayRejectsNaN(t *testing.T) {
+	for _, s := range []*schedule.Schedule{
+		{M: 1, Items: []schedule.Item{{Task: 0, Start: math.NaN(), Duration: 1, Alloc: 1}}},
+		{M: 1, Items: []schedule.Item{{Task: 0, Start: 0, Duration: math.NaN(), Alloc: 1}}},
+	} {
+		if _, err := Replay(s); !errors.Is(err, ErrReplay) {
+			t.Errorf("NaN-tainted schedule: want ErrReplay, got %v", err)
+		}
+	}
+}
+
+func TestReplayRejectsNonPositiveDuration(t *testing.T) {
+	// A zero-duration item's completion would sort at/before its own start
+	// and its processors would never be released; Replay must reject it
+	// like Verify does.
+	s := &schedule.Schedule{M: 1, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 0, Alloc: 1},
+		{Task: 1, Start: 1, Duration: 1, Alloc: 1},
+	}}
+	if _, err := Replay(s); !errors.Is(err, ErrReplay) {
+		t.Errorf("zero-duration item: want ErrReplay, got %v", err)
+	}
+}
+
+func TestReplayRejectsNonPositiveAlloc(t *testing.T) {
+	s := &schedule.Schedule{M: 1, Items: []schedule.Item{
+		{Task: 0, Start: 0, Duration: 5, Alloc: 0},
+	}}
+	if _, err := Replay(s); !errors.Is(err, ErrReplay) {
+		t.Errorf("zero-alloc item: want ErrReplay, got %v", err)
+	}
+}
+
+func TestReplayRejectsInfiniteTimes(t *testing.T) {
+	for _, s := range []*schedule.Schedule{
+		{M: 1, Items: []schedule.Item{{Task: 0, Start: math.Inf(1), Duration: 1, Alloc: 1}}},
+		{M: 1, Items: []schedule.Item{{Task: 0, Start: 0, Duration: math.Inf(1), Alloc: 1}}},
+	} {
+		if _, err := Replay(s); !errors.Is(err, ErrReplay) {
+			t.Errorf("infinite-time schedule: want ErrReplay, got %v", err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package solver bundles the reusable per-worker state of the full
+// two-phase pipeline: the phase-1 LP workspace (simplex tableau, pricing
+// buffers, task frontiers — see internal/allot) and the phase-2 list
+// scheduler workspace (capacity profile, ready queue — see
+// internal/listsched). One Workspace is owned by one goroutine at a time
+// and is threaded through core.SolveWith, the baseline heuristics and the
+// engine's workers, so repeated solves amortise every solver allocation in
+// both phases.
+package solver
+
+import (
+	"malsched/internal/allot"
+	"malsched/internal/listsched"
+)
+
+// Workspace is the cross-phase reusable solver state. The zero value is not
+// useful; call NewWorkspace. A nil *Workspace is accepted everywhere and
+// means "solve with fresh buffers".
+type Workspace struct {
+	// Allot is the phase-1 LP workspace.
+	Allot *allot.Workspace
+	// List is the phase-2 scheduler workspace.
+	List *listsched.Workspace
+}
+
+// NewWorkspace returns a workspace with both phases' buffers ready.
+func NewWorkspace() *Workspace {
+	return &Workspace{Allot: allot.NewWorkspace(), List: listsched.NewWorkspace()}
+}
+
+// LP returns the phase-1 workspace; nil-safe, so callers can pass
+// ws.LP() straight into allot.SolveLPWith regardless of ws being nil.
+func (ws *Workspace) LP() *allot.Workspace {
+	if ws == nil {
+		return nil
+	}
+	return ws.Allot
+}
+
+// Sched returns the phase-2 workspace; nil-safe like LP.
+func (ws *Workspace) Sched() *listsched.Workspace {
+	if ws == nil {
+		return nil
+	}
+	return ws.List
+}
+
+// Release drops the instance references the workspace pins between solves
+// (the phase-1 frontier cache), so a long-lived pooled workspace does not
+// keep solved instances alive. The grown buffers are kept. Nil-safe.
+func (ws *Workspace) Release() {
+	if ws != nil && ws.Allot != nil {
+		ws.Allot.Release()
+	}
+}

@@ -1,0 +1,76 @@
+package malsched
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"malsched/internal/allot"
+	"malsched/internal/baseline"
+	"malsched/internal/listsched"
+	"malsched/internal/params"
+)
+
+// TestListSchedulerMatchesReferenceOnCanned drives both LIST
+// implementations with the real phase-1 allotments on every canned
+// instance: the profile scheduler must produce byte-identical schedules to
+// the retained seed implementation, for the paper's parameters and for
+// every allotment the baselines feed it.
+func TestListSchedulerMatchesReferenceOnCanned(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata instances found: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			in, err := ReadJSON(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ai, err := in.internal()
+			if err != nil {
+				t.Fatal(err)
+			}
+			frac, err := allot.SolveLP(ai)
+			if err != nil {
+				t.Fatal(err)
+			}
+			choice := params.Choose(ai.M)
+			muLTW, _ := baseline.LTWRatio(ai.M)
+			allocs := map[string][]int{
+				"paper": listsched.CapAllotment(allot.Round(ai, frac, choice.Rho), choice.Mu),
+				"ltw":   listsched.CapAllotment(allot.Round(ai, frac, 0.5), muLTW),
+				"seq":   make([]int, ai.G.N()),
+				"full":  make([]int, ai.G.N()),
+			}
+			for j := 0; j < ai.G.N(); j++ {
+				allocs["seq"][j] = 1
+				allocs["full"][j] = ai.M
+			}
+			for name, alloc := range allocs {
+				got, err := listsched.Run(ai, alloc)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				want, err := listsched.RunReference(ai, alloc)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if got.M != want.M || len(got.Items) != len(want.Items) {
+					t.Fatalf("%s: schedule shape differs", name)
+				}
+				for j := range got.Items {
+					if got.Items[j] != want.Items[j] {
+						t.Errorf("%s: task %d: profile %+v, reference %+v",
+							name, j, got.Items[j], want.Items[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"malsched/internal/params"
 	"malsched/internal/schedule"
 	"malsched/internal/sim"
+	"malsched/internal/solver"
 	"malsched/internal/trace"
 )
 
@@ -166,8 +167,8 @@ func Solve(in *Instance, opts ...Option) (*Result, error) {
 }
 
 // solveWith is the shared implementation behind Solve and Pool: it runs the
-// two-phase algorithm with an optional reusable phase-1 workspace.
-func solveWith(in *Instance, ws *allot.Workspace, opts []Option) (*Result, error) {
+// two-phase algorithm with an optional reusable cross-phase workspace.
+func solveWith(in *Instance, ws *solver.Workspace, opts []Option) (*Result, error) {
 	ai, err := in.internal()
 	if err != nil {
 		return nil, err

@@ -4,8 +4,8 @@ import (
 	"context"
 	"errors"
 
-	"malsched/internal/allot"
 	"malsched/internal/engine"
+	"malsched/internal/solver"
 )
 
 // ErrPoolClosed is reported for solves submitted to a closed Pool.
@@ -14,10 +14,11 @@ var ErrPoolClosed = engine.ErrClosed
 var errNilInstance = errors.New("malsched: nil instance")
 
 // Pool solves instances concurrently on a fixed set of worker goroutines.
-// Each worker owns a reusable solver workspace (preallocated simplex
-// tableau, basis and pricing buffers), so a warm pool does near-zero
-// allocation per solve and saturates every core on batch workloads while
-// producing exactly the same results as Solve.
+// Each worker owns a reusable cross-phase solver workspace (preallocated
+// simplex tableau, basis and pricing buffers for phase 1; capacity profile
+// and ready queue for phase 2), so a warm pool does near-zero allocation
+// per solve and saturates every core on batch workloads while producing
+// exactly the same results as Solve.
 //
 // A Pool is safe for concurrent use by multiple goroutines and holds its
 // workers until Close.
@@ -60,7 +61,7 @@ func (p *Pool) Solve(ctx context.Context, in *Instance, opts ...Option) (*Result
 		return nil, errNilInstance
 	}
 	var res *Result
-	err := p.eng.RunOne(ctx, func(ws *allot.Workspace) error {
+	err := p.eng.RunOne(ctx, func(ws *solver.Workspace) error {
 		r, err := solveWith(in, ws, p.combined(opts))
 		res = r
 		return err
@@ -87,7 +88,7 @@ func (p *Pool) SolveBatch(ctx context.Context, ins []*Instance, opts ...Option) 
 	all := p.combined(opts)
 	fns := make([]engine.Func, len(ins))
 	for i := range ins {
-		fns[i] = func(ws *allot.Workspace) error {
+		fns[i] = func(ws *solver.Workspace) error {
 			if ins[i] == nil {
 				return errNilInstance
 			}
