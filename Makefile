@@ -12,7 +12,7 @@ GO ?= go
 # local-only (go test -bench ListReference .).
 BENCH_SMOKE = Phase1LP|WorkspaceReuse|PoolThroughput|List$$|ListReference/layered
 
-.PHONY: all build test race bench lint staticcheck ci testdata
+.PHONY: all build test race bench bench-json lint staticcheck ci testdata
 
 all: build
 
@@ -29,6 +29,15 @@ race:
 # default benchtime gives stable numbers.
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchmem .
+
+# Machine-readable benchmark records for the two phases, one file each
+# (CI uploads them, so the bench trajectory is recorded per push). The
+# files are go test -json streams; the Output fields carry the standard
+# benchmark lines, so `jq -r 'select(.Action=="output").Output' | benchstat -`
+# feeds them straight into benchstat.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Phase1LP|Phase1Reference/erdos|WorkspaceReuse' -benchtime=1x -benchmem -json . > BENCH_phase1.json
+	$(GO) test -run '^$$' -bench 'List$$|ListReference/layered' -benchtime=1x -benchmem -json . > BENCH_phase2.json
 
 lint:
 	@unformatted=$$(gofmt -l .); \

@@ -138,18 +138,75 @@ func BenchmarkEndToEnd(b *testing.B) {
 	}
 }
 
-// E8 (phases): the two phases in isolation to show where time goes. The LP
-// phase runs through a reusable workspace, the way the engine's workers and
-// any serious repeated-solve caller run it.
+// phase1Scenario is one phase-1 LP workload (EXPERIMENTS.md E11): the
+// sizes beyond a few hundred tasks were unreachable under the dense
+// tableau (its footprint is O((n·m + E)^2) doubles) and exist only since
+// the lazy-cut sparse revised simplex rewrite.
+type phase1Scenario struct {
+	name string
+	n, m int
+	dag  string // "erdos" or "layered"
+	p    float64
+	seed int64
+}
+
+var phase1Scenarios = []phase1Scenario{
+	{"erdos_n24_m8", 24, 8, "erdos", 0.2, 9}, // the historical small scenario
+	{"layered_n200_m16", 200, 16, "layered", 0, 9},
+	{"layered_n500_m32", 500, 32, "layered", 0, 9},
+	{"layered_n2000_m64", 2000, 64, "layered", 0, 9},
+}
+
+func (sc phase1Scenario) build() *allot.Instance {
+	rng := rand.New(rand.NewSource(sc.seed))
+	var g *dag.DAG
+	switch sc.dag {
+	case "layered":
+		w := 20
+		g = gen.Layered(sc.n/w, w, 3, rng)
+	default:
+		g = gen.ErdosDAG(sc.n, sc.p, rng)
+	}
+	return gen.Instance(g, gen.FamilyMixed, sc.m, rng)
+}
+
+// E8/E11 (phase 1): the lazy-cut sparse LP across instance scales, run
+// through a reusable workspace the way the engine's workers and any
+// serious repeated-solve caller run it.
 func BenchmarkPhase1LP(b *testing.B) {
-	rng := rand.New(rand.NewSource(9))
-	in := gen.Instance(gen.ErdosDAG(24, 0.2, rng), gen.FamilyMixed, 8, rng)
-	ws := allot.NewWorkspace()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := allot.SolveLPWith(in, ws); err != nil {
-			b.Fatal(err)
+	for _, sc := range phase1Scenarios {
+		b.Run(sc.name, func(b *testing.B) {
+			in := sc.build()
+			ws := allot.NewWorkspace()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := allot.SolveLPWith(in, ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E11 (baseline): the retained full dense build on the scenarios small
+// enough for its O((rows+cols)^2) tableau; compare against
+// BenchmarkPhase1LP on the same scenarios for the rewrite's speedup.
+func BenchmarkPhase1Reference(b *testing.B) {
+	for _, sc := range phase1Scenarios {
+		if sc.n > 200 {
+			continue // the dense tableau at n=500/m=32 already needs ~10 GB
 		}
+		b.Run(sc.name, func(b *testing.B) {
+			in := sc.build()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := allot.SolveLPReference(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -9,6 +9,10 @@
 // default GOMAXPROCS), so wall-clock scales with cores while instance
 // generation — and therefore every number printed — stays deterministic
 // for a fixed -seed regardless of the worker count.
+//
+// -phase1 runs the phase-1 LP scaling study instead (EXPERIMENTS.md E11):
+// the lazy-cut sparse simplex across instance sizes up to -phase1max
+// tasks, reporting solve time, generated cuts and separation rounds.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"time"
 
 	"malsched/internal/allot"
 	"malsched/internal/baseline"
@@ -35,10 +40,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	trials := flag.Int("trials", 5, "instances per configuration")
 	exact := flag.Bool("exact", false, "run the brute-force exact study instead")
+	phase1 := flag.Bool("phase1", false, "run the phase-1 LP scaling study instead")
+	phase1max := flag.Int("phase1max", 2000, "largest task count for -phase1")
 	n := flag.Int("n", 24, "tasks per instance (approximate)")
 	workers := flag.Int("workers", 0, "solver workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *phase1 {
+		phase1Study(*seed, *phase1max)
+		return
+	}
 	pool := engine.New(*workers)
 	defer pool.Close()
 	if *exact {
@@ -46,6 +57,36 @@ func main() {
 		return
 	}
 	ratioStudy(pool, *seed, *trials, *n)
+}
+
+// phase1Study measures the lazy-cut sparse phase 1 across instance sizes
+// (EXPERIMENTS.md E11): layered DAGs, mixed task families, machine sizes
+// growing with n. Each row reports the warm-workspace solve time, the
+// model size, and how many supporting-line cuts the separation loop
+// materialised out of the Θ(n·m) it avoided building.
+func phase1Study(seed int64, nmax int) {
+	fmt.Println("phase-1 LP scaling (lazy cuts + sparse revised simplex)")
+	fmt.Println("n\tm\tedges\ttime\tcuts\trounds\tC*")
+	ws := allot.NewWorkspace()
+	for _, cfg := range []struct{ n, m int }{
+		{100, 16}, {200, 16}, {500, 32}, {1000, 64}, {2000, 64}, {5000, 64}, {10000, 64},
+	} {
+		if cfg.n > nmax {
+			break
+		}
+		rng := rand.New(rand.NewSource(seed))
+		w := 20
+		g := gen.Layered(cfg.n/w, w, 3, rng)
+		in := gen.Instance(g, gen.FamilyMixed, cfg.m, rng)
+		start := time.Now()
+		frac, err := allot.SolveLPWith(in, ws)
+		el := time.Since(start)
+		if err != nil {
+			fmt.Printf("%d\t%d\t%d\tERROR: %v\n", cfg.n, cfg.m, g.M(), err)
+			continue
+		}
+		fmt.Printf("%d\t%d\t%d\t%v\t%d\t%d\t%.4f\n", g.N(), cfg.m, g.M(), el.Round(time.Millisecond), frac.Cuts, frac.Rounds, frac.C)
+	}
 }
 
 type dagFamily struct {

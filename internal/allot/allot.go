@@ -1,6 +1,6 @@
 // Package allot implements the first phase of the Jansen–Zhang two-phase
 // algorithm (Section 3.1 of the paper): it formulates the allotment problem
-// as the linear program (9), solves it with the simplex solver from
+// as the linear program (9), solves it with the sparse revised simplex from
 // internal/lp, extracts the fractional processing times x*_j together with
 // the LP lower bound C* >= max{L*, W*/m}, and rounds the fractional solution
 // with parameter rho into an integral allotment alpha'.
@@ -8,12 +8,23 @@
 // The LP is built on the efficient frontier of each task, so the convexity
 // of the work function in the processing time (Theorem 2.2) turns the
 // piecewise linear program (7) into the ordinary linear program (9): for
-// every frontier segment l the constraint
+// every frontier segment l the supporting line
 //
 //	[(l+1)p(l+1) - l p(l)]/[p(l+1) - p(l)] * x_j
 //	  - p(l)p(l+1)/[p(l+1) - p(l)]  <=  wbar_j
 //
-// lower-bounds the work variable wbar_j by the segment's supporting line.
+// lower-bounds the work variable wbar_j. Materialising all Θ(n·m) of those
+// rows up front is what made large instances unreachable, so SolveLPWith
+// generates them lazily: the model starts with just the two endpoint lines
+// per task (plus implicit variable bounds standing in for the 2n domain
+// rows), and after each solve the most violated missing line of every task
+// is added and the LP is re-solved warm via a dual-simplex restart from the
+// previous basis. Convexity makes each round's cuts valid for the full LP
+// and every round adds at least one new row, so the loop terminates — the
+// same monotone-iteration discipline Esparza–Kiefer–Luttenberger use for
+// least-fixed-point systems — and in practice a handful of cuts per task
+// suffice. SolveLPReference (reference.go) retains the full dense build as
+// the differential-testing oracle.
 package allot
 
 import (
@@ -70,7 +81,17 @@ type Fractional struct {
 	L     float64   // L*: fractional critical-path length
 	W     float64   // W*: fractional total work
 	LStar []float64 // l*_j = w_j(x*_j)/x*_j (Eq. 12)
+	// Cuts is the number of supporting-line rows generated lazily beyond
+	// the two endpoint lines per task; Rounds the number of dual-simplex
+	// warm restarts the cut loop needed. Diagnostics only.
+	Cuts, Rounds int
 }
+
+// cutEps is the relative supporting-line violation below which a task
+// counts as satisfied in the lazy cut loop. It sits well above the
+// simplex feasibility tolerance (1e-9) and well below the differential
+// test tolerance (1e-6 relative).
+const cutEps = 1e-8
 
 // SolveLP builds and solves LP (9) for the instance. The returned C
 // satisfies max{L, W/m} <= C <= OPT.
@@ -78,11 +99,28 @@ func SolveLP(in *Instance) (*Fractional, error) {
 	return SolveLPWith(in, nil)
 }
 
+// lineCoefs returns the slope and intercept of segment s of frontier f:
+// the supporting line of Eq. (8) with w >= slope*x + intercept on it.
+func lineCoefs(f *malleable.Frontier, s int) (slope, intercept float64) {
+	hi, lo := f.X[s], f.X[s+1] // p(l) > p(l+1)
+	whi, wlo := f.W[s], f.W[s+1]
+	den := lo - hi // negative
+	return (wlo - whi) / den, (whi*lo - wlo*hi) / den
+}
+
+// addCut appends the supporting-line row of segment s of task j:
+// slope*x_j + intercept <= wbar_j  <=>  slope*x_j - wbar_j <= -intercept.
+func addCut(p *lp.Problem, f *malleable.Frontier, j, s, n int) {
+	slope, intercept := lineCoefs(f, s)
+	p.AddConstraint(lp.LE, -intercept,
+		lp.Term{Var: n + j, Coef: slope}, lp.Term{Var: 2*n + j, Coef: -1})
+}
+
 // SolveLPWith is SolveLP with a reusable workspace (a nil ws solves with
-// fresh buffers). The tableau, basis, pricing buffers, LP problem and task
-// frontiers all live in ws and are reused across calls, so repeated solves
-// on same-shaped instances allocate almost nothing beyond the returned
-// Fractional.
+// fresh buffers). The simplex workspace, LP problem, task frontiers and
+// cut bookkeeping all live in ws and are reused across calls, so repeated
+// solves on same-shaped instances allocate almost nothing beyond the
+// returned Fractional.
 func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -93,9 +131,9 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	n := in.G.N()
 	fronts := ws.frontiers(in)
 
-	// Variables, all non-negative: completion C_j, processing x_j, work
-	// wbar_j for each task, plus the critical-path length L and makespan C.
-	// AddVar assigns indices sequentially, so the layout is deterministic:
+	// Variables: completion C_j, processing x_j, work wbar_j for each task,
+	// plus the critical-path length L and makespan C. AddVar assigns
+	// indices sequentially, so the layout is deterministic:
 	// C_j = j, x_j = n+j, wbar_j = 2n+j, L = 3n, C = 3n+1.
 	p := ws.problem()
 	for j := 0; j < 3*n+2; j++ {
@@ -108,29 +146,57 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	vC := 3*n + 1
 	p.SetObj(vC, 1)
 
+	// Implicit bounds carry what used to be 3n constraint rows: the domain
+	// p_j(m) <= x_j <= p_j(1) of every processing time, and the work floor
+	// wbar_j >= W_j(1) = min_x w_j(x) (a valid inequality for LP (9), and
+	// the whole constraint for a degenerate single-point frontier).
+	totalSegs := 0
+	ws.segOff = growInt32(ws.segOff, n+1)
 	for j := 0; j < n; j++ {
-		f := fronts[j]
-		// Domain of the processing time: p_j(m) <= x_j <= p_j(1).
-		p.AddConstraint(lp.GE, f.XMin(), lp.Term{Var: xj(j), Coef: 1})
-		p.AddConstraint(lp.LE, f.XMax(), lp.Term{Var: xj(j), Coef: 1})
-		// Completion ordering: x_j <= C_j (valid for every task and required
-		// for sources, which have no precedence row), C_j <= L.
-		p.AddConstraint(lp.LE, 0, lp.Term{Var: xj(j), Coef: 1}, lp.Term{Var: cj(j), Coef: -1})
-		p.AddConstraint(lp.LE, 0, lp.Term{Var: cj(j), Coef: 1}, lp.Term{Var: vL, Coef: -1})
-		// Work linearisation (Eq. (8)): one supporting line per segment.
+		f := &fronts[j]
+		p.SetBounds(xj(j), f.XMin(), f.XMax())
+		p.SetBounds(wj(j), f.W[0], math.Inf(1))
+		ws.segOff[j] = int32(totalSegs)
+		totalSegs += f.Segments()
+	}
+	ws.segOff[n] = int32(totalSegs)
+	ws.segAdded = growBool(ws.segAdded, totalSegs)
+	ws.segRep = growBool(ws.segRep, totalSegs)
+	for i := range ws.segAdded {
+		ws.segAdded[i] = false
+	}
+	// Cut generation is restricted to slope-representative segments: on
+	// large machines adjacent frontier segments become nearly collinear,
+	// and two such supporting lines active at the same breakpoint form a
+	// 2x2 block with determinant ~ their slope gap — a numerically
+	// singular basis in the making. Chains of segments whose slopes agree
+	// to 1e-6 relative collapse onto their first member; the skipped
+	// lines sit below the representative's by at most the slope gap times
+	// the chain width, far inside the cut tolerance.
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		base := int(ws.segOff[j])
+		lastRep := math.Inf(-1)
 		for s := 0; s < f.Segments(); s++ {
-			hi, lo := f.X[s], f.X[s+1] // p(l) > p(l+1)
-			whi, wlo := f.W[s], f.W[s+1]
-			den := lo - hi // negative
-			slope := (wlo - whi) / den
-			intercept := (whi*lo - wlo*hi) / den
-			// slope*x + intercept <= wbar  <=>  slope*x - wbar <= -intercept
-			p.AddConstraint(lp.LE, -intercept,
-				lp.Term{Var: xj(j), Coef: slope}, lp.Term{Var: wj(j), Coef: -1})
+			slope, _ := lineCoefs(f, s)
+			rep := s == 0 || math.Abs(slope-lastRep) > 1e-6*(1+math.Abs(slope))
+			ws.segRep[base+s] = rep
+			if rep {
+				lastRep = slope
+			}
 		}
-		if f.Segments() == 0 {
-			// Degenerate frontier: the work is the constant W(l_min).
-			p.AddConstraint(lp.GE, f.W[0], lp.Term{Var: wj(j), Coef: 1})
+	}
+
+	// Static rows. Completion ordering and the L cap are only needed where
+	// the DAG does not imply them transitively: x_j <= C_j for sources
+	// (elsewhere C_i >= 0 and the precedence row imply it) and C_j <= L for
+	// sinks (elsewhere it follows along any path to a sink since x >= 0).
+	for j := 0; j < n; j++ {
+		if len(in.G.Preds(j)) == 0 {
+			p.AddConstraint(lp.LE, 0, lp.Term{Var: xj(j), Coef: 1}, lp.Term{Var: cj(j), Coef: -1})
+		}
+		if len(in.G.Succs(j)) == 0 {
+			p.AddConstraint(lp.LE, 0, lp.Term{Var: cj(j), Coef: 1}, lp.Term{Var: vL, Coef: -1})
 		}
 	}
 	// Precedence: C_i + x_j <= C_j for every arc (i, j).
@@ -140,26 +206,89 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 			lp.Term{Var: xj(e[1]), Coef: 1},
 			lp.Term{Var: cj(e[1]), Coef: -1})
 	}
-	// L <= C and total work W/m <= C.
+	// L <= C and total work W/m <= C (the one dense row of the model).
 	p.AddConstraint(lp.LE, 0, lp.Term{Var: vL, Coef: 1}, lp.Term{Var: vC, Coef: -1})
-	workTerms := make([]lp.Term, 0, n+1)
+	workTerms := ws.termBuf(n + 1)
 	for j := 0; j < n; j++ {
 		workTerms = append(workTerms, lp.Term{Var: wj(j), Coef: 1 / float64(in.M)})
 	}
 	workTerms = append(workTerms, lp.Term{Var: vC, Coef: -1})
 	p.AddConstraint(lp.LE, 0, workTerms...)
 
+	// Seed cuts: the two endpoint supporting lines of every task tie wbar_j
+	// to the work function at both extremes of the domain (the steep end
+	// uses the last representative segment).
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		segs := f.Segments()
+		if segs < 1 {
+			continue
+		}
+		base := int(ws.segOff[j])
+		addCut(p, f, j, 0, n)
+		ws.segAdded[base] = true
+		for s := segs - 1; s > 0; s-- {
+			if ws.segRep[base+s] {
+				addCut(p, f, j, s, n)
+				ws.segAdded[base+s] = true
+				break
+			}
+		}
+	}
+
+	// The LP is massively degenerate, so the solver runs cost-perturbed
+	// throughout the cut loop (intermediate solutions only steer cut
+	// selection) and the perturbation is polished away once, at the end.
+	ws.LP.DeferPolish = true
 	sol, err := p.SolveWith(&ws.LP)
 	if err != nil {
 		return nil, fmt.Errorf("allot: LP (9) failed: %w", err)
 	}
 
+	// Lazy separation: while some task's work variable sits below its work
+	// function at the current optimum, add the most violated missing
+	// supporting line per offending task and re-optimise warm with the
+	// dual simplex. Every round adds at least one of the finitely many
+	// lines, so the iteration is monotone and terminates; the cap is a
+	// pure safety net. Convergence is confirmed on the polished (exact)
+	// optimum: polishing can move the solution to a vertex that violates
+	// lines the perturbed point satisfied, so the loop re-checks and, if
+	// needed, keeps cutting.
+	cuts, rounds := 0, 0
+	polished := false
+	for {
+		added := ws.addViolatedCuts(p, fronts, sol, in.M)
+		if added == 0 {
+			if polished {
+				break
+			}
+			sol, err = p.PolishWith(&ws.LP)
+			if err != nil {
+				return nil, fmt.Errorf("allot: LP (9) polish failed: %w", err)
+			}
+			polished = true
+			continue
+		}
+		polished = false
+		cuts += added
+		rounds++
+		if rounds > totalSegs+4 {
+			return nil, fmt.Errorf("allot: cut loop failed to converge after %d rounds", rounds)
+		}
+		sol, err = p.ReSolveWith(&ws.LP)
+		if err != nil {
+			return nil, fmt.Errorf("allot: LP (9) cut round %d failed: %w", rounds, err)
+		}
+	}
+
 	out := &Fractional{
-		X:     make([]float64, n),
-		Wbar:  make([]float64, n),
-		LStar: make([]float64, n),
-		C:     sol.Obj,
-		L:     sol.X[vL],
+		X:      make([]float64, n),
+		Wbar:   make([]float64, n),
+		LStar:  make([]float64, n),
+		C:      sol.Obj,
+		L:      sol.X[vL],
+		Cuts:   cuts,
+		Rounds: rounds,
 	}
 	for j := 0; j < n; j++ {
 		out.X[j] = clamp(sol.X[xj(j)], fronts[j].XMin(), fronts[j].XMax())
@@ -171,6 +300,81 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 		out.LStar[j] = fronts[j].FractionalAlloc(out.X[j])
 	}
 	return out, nil
+}
+
+// addViolatedCuts appends, for every task whose work variable sits below
+// its work function at the LP solution, the most violated supporting line
+// not yet materialised, and reports how many rows it added. When the
+// total-work row is slack — sum_j w_j(x*_j)/m fits under C* — it adds
+// nothing at all: raising every wbar_j to w_j(x*_j) then yields a fully
+// feasible point of the complete LP (9) at the same objective, so the
+// relaxation is already exact and no amount of cutting can change C*.
+func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier, sol *lp.Solution, m int) int {
+	n := len(fronts)
+	sum := 0.0
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		sum += f.WorkAt(clamp(sol.X[n+j], f.XMin(), f.XMax()))
+	}
+	c := sol.X[3*n+1]
+	if sum/float64(m)-c <= cutEps*(1+math.Abs(c)) {
+		return 0
+	}
+	added := 0
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		segs := f.Segments()
+		if segs < 1 {
+			continue
+		}
+		x := clamp(sol.X[n+j], f.XMin(), f.XMax())
+		wbar := sol.X[2*n+j]
+		wtrue := f.WorkAt(x)
+		eps := cutEps * (1 + math.Abs(wtrue))
+		if wtrue-wbar <= eps {
+			continue
+		}
+		// Add the task's top-K violated missing lines per round (rather
+		// than only the single worst): cuts are cheap rows, extra rounds
+		// are warm re-solves, so batching converges in far fewer rounds.
+		const topK = 4
+		var segTop [topK]int
+		var violTop [topK]float64
+		cnt := 0
+		base := int(ws.segOff[j])
+		for s := 0; s < segs; s++ {
+			if ws.segAdded[base+s] || !ws.segRep[base+s] {
+				continue
+			}
+			slope, intercept := lineCoefs(f, s)
+			v := slope*x + intercept - wbar
+			if v <= eps {
+				continue
+			}
+			i := cnt
+			if i == topK {
+				i--
+				if v <= violTop[i] {
+					continue
+				}
+			} else {
+				cnt++
+			}
+			for i > 0 && violTop[i-1] < v {
+				if i < topK {
+					segTop[i], violTop[i] = segTop[i-1], violTop[i-1]
+				}
+				i--
+			}
+			segTop[i], violTop[i] = s, v
+		}
+		for i := 0; i < cnt; i++ {
+			addCut(p, f, j, segTop[i], n)
+			ws.segAdded[base+segTop[i]] = true
+			added++
+		}
+	}
+	return added
 }
 
 func clamp(x, lo, hi float64) float64 {

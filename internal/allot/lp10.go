@@ -23,72 +23,94 @@ import (
 // formulation choice: (10) has n*m assignment columns versus (9)'s n work
 // columns plus n*(m-1) supporting-line rows.
 func SolveLP10(in *Instance) (*Fractional, error) {
+	return SolveLP10With(in, nil)
+}
+
+// SolveLP10With is SolveLP10 with a reusable workspace (a nil ws solves
+// with fresh buffers): the LP problem, simplex buffers, task frontiers,
+// per-task variable offsets and the wide-row term buffer all live in ws,
+// mirroring SolveLPWith's amortised-allocation discipline.
+func SolveLP10With(in *Instance, ws *Workspace) (*Fractional, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	n := in.G.N()
-	fronts := in.Frontiers()
-
-	p := lp.NewProblem()
-	cj := make([]int, n)
-	for j := 0; j < n; j++ {
-		cj[j] = p.AddVar(fmt.Sprintf("C_%d", j))
+	if ws == nil {
+		ws = NewWorkspace()
 	}
-	// Assignment variables per frontier breakpoint (dominated allotments
-	// can never appear with positive weight in an optimal solution: they
-	// are slower AND costlier, so restricting to the frontier is exact).
-	xjl := make([][]int, n)
+	n := in.G.N()
+	fronts := ws.frontiers(in)
+	// SolveLPWith leaves DeferPolish set on a shared workspace; this path
+	// solves once and returns the optimum directly, so the perturbation
+	// must be polished away inside the call.
+	ws.LP.DeferPolish = false
+
+	// Deterministic variable layout: C_j = j, then one contiguous block of
+	// assignment variables per task starting at offs[j] (one per frontier
+	// breakpoint — dominated allotments can never appear with positive
+	// weight in an optimal solution: they are slower AND costlier, so
+	// restricting to the frontier is exact), then C last.
+	p := ws.problem()
 	for j := 0; j < n; j++ {
-		f := fronts[j]
-		xjl[j] = make([]int, len(f.L))
-		for k := range f.L {
-			xjl[j][k] = p.AddVar(fmt.Sprintf("x_%d_%d", j, f.L[k]))
+		p.AddVar("")
+	}
+	offs := growInt32(ws.offs, n+1)
+	ws.offs = offs
+	for j := 0; j < n; j++ {
+		offs[j] = int32(p.NumVars())
+		for range fronts[j].L {
+			v := p.AddVar("")
+			p.SetBounds(v, 0, 1) // implied by the convexity row; free for the solver
 		}
 	}
+	offs[n] = int32(p.NumVars())
 	vC := p.AddVar("C")
 	p.SetObj(vC, 1)
 
 	for j := 0; j < n; j++ {
 		f := fronts[j]
+		base := int(offs[j])
 		// Convexity row: sum_l x_{j,l} = 1.
-		terms := make([]lp.Term, len(f.L))
+		terms := ws.termBuf(len(f.L) + 2)
 		for k := range f.L {
-			terms[k] = lp.Term{Var: xjl[j][k], Coef: 1}
+			terms = append(terms, lp.Term{Var: base + k, Coef: 1})
 		}
 		p.AddConstraint(lp.EQ, 1, terms...)
 		// Completion after own (fractional) processing time, needed for
 		// source tasks: sum_l x_{j,l} p_j(l) <= C_j.
 		terms = terms[:0]
 		for k := range f.L {
-			terms = append(terms, lp.Term{Var: xjl[j][k], Coef: f.X[k]})
+			terms = append(terms, lp.Term{Var: base + k, Coef: f.X[k]})
 		}
-		terms = append(terms, lp.Term{Var: cj[j], Coef: -1})
+		terms = append(terms, lp.Term{Var: j, Coef: -1})
 		p.AddConstraint(lp.LE, 0, terms...)
 		// C_j <= C.
-		p.AddConstraint(lp.LE, 0, lp.Term{Var: cj[j], Coef: 1}, lp.Term{Var: vC, Coef: -1})
+		p.AddConstraint(lp.LE, 0, lp.Term{Var: j, Coef: 1}, lp.Term{Var: vC, Coef: -1})
 	}
 	// Precedence: C_i + sum_l x_{j,l} p_j(l) <= C_j.
 	for _, e := range in.G.Edges() {
 		i, j := e[0], e[1]
-		terms := []lp.Term{{Var: cj[i], Coef: 1}, {Var: cj[j], Coef: -1}}
 		f := fronts[j]
+		base := int(offs[j])
+		terms := ws.termBuf(len(f.L) + 2)
+		terms = append(terms, lp.Term{Var: i, Coef: 1}, lp.Term{Var: j, Coef: -1})
 		for k := range f.L {
-			terms = append(terms, lp.Term{Var: xjl[j][k], Coef: f.X[k]})
+			terms = append(terms, lp.Term{Var: base + k, Coef: f.X[k]})
 		}
 		p.AddConstraint(lp.LE, 0, terms...)
 	}
 	// Total work: sum_j sum_l x_{j,l} * l p_j(l) <= m C.
-	var workTerms []lp.Term
+	workTerms := ws.termBuf(int(offs[n]) - n + 1)
 	for j := 0; j < n; j++ {
 		f := fronts[j]
+		base := int(offs[j])
 		for k := range f.L {
-			workTerms = append(workTerms, lp.Term{Var: xjl[j][k], Coef: f.W[k]})
+			workTerms = append(workTerms, lp.Term{Var: base + k, Coef: f.W[k]})
 		}
 	}
 	workTerms = append(workTerms, lp.Term{Var: vC, Coef: -float64(in.M)})
 	p.AddConstraint(lp.LE, 0, workTerms...)
 
-	sol, err := p.Solve()
+	sol, err := p.SolveWith(&ws.LP)
 	if err != nil {
 		return nil, fmt.Errorf("allot: LP (10) failed: %w", err)
 	}
@@ -101,19 +123,19 @@ func SolveLP10(in *Instance) (*Fractional, error) {
 	}
 	for j := 0; j < n; j++ {
 		f := fronts[j]
-		x, w := 0.0, 0.0
+		base := int(offs[j])
+		x := 0.0
 		for k := range f.L {
-			x += sol.X[xjl[j][k]] * f.X[k]
-			w += sol.X[xjl[j][k]] * f.W[k]
+			x += sol.X[base+k] * f.X[k]
 		}
 		out.X[j] = clamp(x, f.XMin(), f.XMax())
-		// The assignment mix's work w is >= the convex envelope w_j(x);
+		// The assignment mix's work is >= the convex envelope w_j(x);
 		// report the envelope value for comparability with SolveLP (the
 		// optimum uses adjacent breakpoints, where they coincide).
 		out.Wbar[j] = f.WorkAt(out.X[j])
 		out.W += out.Wbar[j]
 		out.LStar[j] = f.FractionalAlloc(out.X[j])
-		if c := sol.X[cj[j]]; c > out.L {
+		if c := sol.X[j]; c > out.L {
 			out.L = c
 		}
 	}

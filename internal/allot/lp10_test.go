@@ -112,3 +112,33 @@ func TestLP10SingleTask(t *testing.T) {
 		t.Errorf("C* = %v, want 2", frac.C)
 	}
 }
+
+// TestSolveLP10WithReuseCutsAllocs pins the satellite fix: the assignment
+// formulation used to allocate its variable-index tables, term slices and
+// name strings on every call; through a warm workspace the per-solve
+// garbage must now stay within a small constant.
+func TestSolveLP10WithReuseCutsAllocs(t *testing.T) {
+	in := twoTaskChain()
+	ws := NewWorkspace()
+	if _, err := SolveLP10With(in, ws); err != nil { // warm-up growth
+		t.Fatal(err)
+	}
+	warm := testing.AllocsPerRun(10, func() {
+		if _, err := SolveLP10With(in, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The Fractional result (4 slices + struct) is the intended
+	// allocation; a little slack covers the solver's geometric growth.
+	if warm > 10 {
+		t.Errorf("warm SolveLP10With allocates %v objects per run, want <= 10", warm)
+	}
+	cold := testing.AllocsPerRun(10, func() {
+		if _, err := SolveLP10(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if warm >= cold {
+		t.Errorf("workspace reuse does not cut allocations: warm %v >= cold %v", warm, cold)
+	}
+}

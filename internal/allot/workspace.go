@@ -6,19 +6,33 @@ import (
 )
 
 // Workspace bundles the reusable solver state for the phase-1 LP path: the
-// simplex workspace (tableau, basis, pricing buffers), the LP problem under
-// construction, and the per-task efficient frontiers. All of it is grown
-// geometrically and reused across solves, so repeated SolveLPWith calls on
-// same-shaped instances do near-zero allocation beyond the returned
-// Fractional. A Workspace is owned by one goroutine at a time; it is not
-// safe for concurrent use.
+// sparse simplex workspace (CSC model, basis factorization, eta file,
+// pricing buffers), the LP problem under construction, the per-task
+// efficient frontiers, and the lazy-cut bookkeeping (which supporting
+// lines have been generated). All of it is grown geometrically and reused
+// across solves, so repeated SolveLPWith calls on same-shaped instances do
+// near-zero allocation beyond the returned Fractional. A Workspace is
+// owned by one goroutine at a time; it is not safe for concurrent use.
 type Workspace struct {
-	// LP is the simplex scratch memory, reused across solves.
+	// LP is the sparse simplex scratch memory, reused across solves.
 	LP lp.Workspace
 
 	prob      *lp.Problem
 	fronts    []malleable.Frontier
 	frontsFor *Instance // instance the cached fronts were computed for
+
+	// Lazy-cut bookkeeping: segAdded[segOff[j]+s] marks segment s of task
+	// j as already materialised as a supporting-line row; segRep marks the
+	// slope-representative segments cuts may be generated from (see
+	// SolveLPWith on near-collinear segment chains).
+	segOff   []int32
+	segAdded []bool
+	segRep   []bool
+
+	// Shared scratch: term buffer for wide rows, variable-offset table for
+	// the LP (10) assignment blocks.
+	terms []lp.Term
+	offs  []int32
 }
 
 // NewWorkspace returns an empty workspace ready for SolveLPWith.
@@ -41,6 +55,32 @@ func (ws *Workspace) problem() *lp.Problem {
 	ws.prob.Reset()
 	return ws.prob
 }
+
+// termBuf returns the shared term buffer, emptied, with capacity for at
+// least n terms.
+func (ws *Workspace) termBuf(n int) []lp.Term {
+	if cap(ws.terms) < n {
+		ws.terms = make([]lp.Term, 0, n)
+	}
+	ws.terms = ws.terms[:0]
+	return ws.terms
+}
+
+// grown returns s resized to n with unspecified contents, reallocating
+// geometrically (the package-local twin of lp's workspace helper).
+func grown[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	return make([]T, n, c)
+}
+
+func growInt32(s []int32, n int) []int32 { return grown(s, n) }
+func growBool(s []bool, n int) []bool    { return grown(s, n) }
 
 // frontiers returns the efficient frontiers of in's tasks, computed into
 // the workspace's reusable frontier slice. Consecutive calls for the same

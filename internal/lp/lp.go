@@ -1,21 +1,32 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
-// programs in the form
+// Package lp implements linear-programming support for the allotment phase
+// of the Jansen–Zhang algorithm: two from-scratch solvers for programs of
+// the form
 //
 //	minimize  c·x
-//	subject to  a_i·x  (<= | >= | =)  b_i,   x >= 0.
+//	subject to  a_i·x  (<= | >= | =)  b_i,   lo_j <= x_j <= hi_j.
 //
-// Go's ecosystem has no standard LP solver, and the allotment phase of the
-// Jansen–Zhang algorithm is a linear program (Eq. (9) of the paper), so this
-// package is built from scratch on the standard library only. It uses the
-// classic tableau method: phase 1 minimises the sum of artificial variables
-// to find a basic feasible solution, phase 2 minimises the true objective.
-// Dantzig pricing is used by default with a switch to Bland's rule after an
-// iteration budget to guarantee termination on degenerate problems.
+// Go's ecosystem has no standard LP solver, so both are built on the
+// standard library only.
 //
-// For repeated solves the package supports amortised allocation: a Workspace
-// owns the tableau, basis and pricing buffers (grown geometrically, reused
-// across solves), and Problem.Reset lets a caller rebuild a same-shaped
-// problem in place. See SolveWith.
+// The default solver (Solve / SolveWith / ReSolveWith) is a sparse
+// bounded-variable revised simplex: constraint columns are stored in
+// compressed sparse column form, the basis is maintained as a sparse LU
+// factorization (Gilbert–Peierls left-looking, partial pivoting) updated
+// with a product-form eta file and refactorized periodically, pricing is
+// Dantzig over sparse reduced costs with a Bland fallback on degenerate
+// stalls, and variable bounds are handled implicitly (SetBounds) so domain
+// rows never enter the constraint matrix. ReSolveWith warm-starts from the
+// previous optimal basis with the dual simplex after rows were appended,
+// which is what the lazy cut loop in internal/allot runs on.
+//
+// The original dense two-phase tableau solver is retained as SolveDense /
+// SolveDenseWith (see dense.go): it is the differential-testing reference
+// for the sparse core, exactly as listsched.RunReference is for the
+// phase-2 scheduler.
+//
+// For repeated solves both solvers support amortised allocation through
+// reusable workspaces (grown geometrically, reused across solves), and
+// Problem.Reset lets a caller rebuild a same-shaped problem in place.
 package lp
 
 import (
@@ -56,12 +67,14 @@ type constraint struct {
 	rhs   float64
 }
 
-// Problem is a linear program under construction. All variables are
-// implicitly non-negative; bounded or free variables must be modelled with
-// explicit constraints or variable splitting by the caller.
+// Problem is a linear program under construction. Variables default to the
+// non-negative orthant [0, +Inf); SetBounds attaches general bounds that
+// the sparse solver enforces implicitly, without constraint rows.
 type Problem struct {
 	nvars int
 	obj   []float64 // objective coefficient per variable
+	lo    []float64 // lower bound per variable
+	hi    []float64 // upper bound per variable
 	cons  []constraint
 }
 
@@ -71,18 +84,23 @@ func NewProblem() *Problem {
 }
 
 // Reset clears the problem to empty while keeping the allocated capacity of
-// its variable, objective and constraint storage, so a caller rebuilding a
-// same-shaped problem performs (almost) no allocation.
+// its variable, objective, bound and constraint storage, so a caller
+// rebuilding a same-shaped problem performs (almost) no allocation.
 func (p *Problem) Reset() {
 	p.nvars = 0
 	p.obj = p.obj[:0]
+	p.lo = p.lo[:0]
+	p.hi = p.hi[:0]
 	p.cons = p.cons[:0]
 }
 
-// AddVar introduces a new non-negative variable and returns its index. The
-// name documents the call site only; the solver does not retain it.
+// AddVar introduces a new variable with default bounds [0, +Inf) and
+// returns its index. The name documents the call site only; the solver
+// does not retain it.
 func (p *Problem) AddVar(name string) int {
 	p.obj = append(p.obj, 0)
+	p.lo = append(p.lo, 0)
+	p.hi = append(p.hi, math.Inf(1))
 	p.nvars++
 	return p.nvars - 1
 }
@@ -97,6 +115,26 @@ func (p *Problem) NumConstraints() int { return len(p.cons) }
 func (p *Problem) SetObj(v int, c float64) {
 	p.checkVar(v)
 	p.obj[v] = c
+}
+
+// SetBounds restricts variable v to lo <= x_v <= hi. The sparse solver
+// enforces bounds implicitly (they cost nothing per simplex iteration);
+// the dense reference materialises them as explicit rows. lo must be
+// finite (hi may be +Inf), lo <= hi, and neither may be NaN; lo == hi
+// fixes the variable.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	p.checkVar(v)
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || lo > hi {
+		panic(fmt.Sprintf("lp: invalid bounds [%v, %v] for variable %d", lo, hi, v))
+	}
+	p.lo[v] = lo
+	p.hi[v] = hi
+}
+
+// Bounds returns the bounds of variable v.
+func (p *Problem) Bounds(v int) (lo, hi float64) {
+	p.checkVar(v)
+	return p.lo[v], p.hi[v]
 }
 
 // AddConstraint appends the constraint terms (sense) rhs. After a Reset the
@@ -134,9 +172,12 @@ type Solution struct {
 // Stats reports simplex effort for benchmarking and diagnostics.
 type Stats struct {
 	Rows        int // constraint rows
-	Cols        int // structural + slack + artificial columns
+	Cols        int // structural + logical (+ artificial) columns
 	Phase1Iters int
-	Phase2Iters int
+	Phase2Iters int // includes dual-simplex iterations of warm restarts
+	// Factorizations counts basis (re)factorizations of the sparse solver;
+	// the dense reference leaves it zero.
+	Factorizations int
 }
 
 // Solver failure modes.
@@ -144,31 +185,10 @@ var (
 	ErrInfeasible = errors.New("lp: problem is infeasible")
 	ErrUnbounded  = errors.New("lp: problem is unbounded")
 	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+	ErrSingular   = errors.New("lp: basis is numerically singular")
 )
 
 const tol = 1e-9
-
-// Workspace owns the solver's scratch memory: the dense tableau (backed by
-// one flat buffer), the basis, the reduced-cost and cost rows, and the
-// solution vector. Buffers grow geometrically and are reused across solves,
-// so repeated SolveWith calls on same-shaped problems do near-zero
-// allocation. A Workspace is owned by one goroutine at a time; it is not
-// safe for concurrent use.
-type Workspace struct {
-	flat   []float64   // backing array for the tableau rows
-	rows   [][]float64 // row views into flat
-	basis  []int
-	red    []float64 // reduced-cost row
-	cost   []float64 // current phase's cost row
-	x      []float64 // solution values, aliased by Solution.X
-	senses []Sense   // per-row sense after rhs normalisation
-	sol    Solution  // returned by SolveWith; overwritten by the next call
-	sx     simplex
-}
-
-// NewWorkspace returns an empty workspace. The zero value is also ready to
-// use.
-func NewWorkspace() *Workspace { return &Workspace{} }
 
 // grow returns s resized to n, reallocating geometrically when the capacity
 // is insufficient. Contents are unspecified (callers zero-fill).
@@ -183,283 +203,27 @@ func grow[T any](s []T, n int) []T {
 	return make([]T, n, c)
 }
 
-// Solve runs two-phase simplex and returns an optimal solution. It is
-// equivalent to SolveWith on a fresh workspace: the returned solution does
-// not alias solver state and the problem is left unmodified.
+// Solve runs the sparse revised simplex and returns an optimal solution.
+// The returned Solution owns its X slice: it does not alias any solver
+// state and stays valid indefinitely. The problem is left unmodified.
 func (p *Problem) Solve() (*Solution, error) {
-	return p.SolveWith(NewWorkspace())
-}
-
-// SolveWith runs two-phase simplex using ws's buffers (a nil ws behaves
-// like Solve). The returned Solution and its X slice alias workspace memory
-// and are invalidated by the next SolveWith call on the same workspace;
-// callers keeping results across solves must copy them out. The problem
-// itself is never modified, so it may be re-solved or rebuilt freely.
-func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
-	if ws == nil {
-		ws = NewWorkspace()
-	}
-	m := len(p.cons)
-	n := p.nvars
-	if n == 0 {
-		ws.sol = Solution{}
-		return &ws.sol, nil
-	}
-
-	// Pass 1: normalise senses (a negative rhs flips LE<->GE) and count the
-	// slack/surplus and artificial columns.
-	ws.senses = grow(ws.senses, m)
-	nslack, nart := 0, 0
-	for i, c := range p.cons {
-		s := c.sense
-		if c.rhs < 0 {
-			switch s {
-			case LE:
-				s = GE
-			case GE:
-				s = LE
-			}
-		}
-		ws.senses[i] = s
-		if s != EQ {
-			nslack++
-		}
-		if s != LE {
-			nart++
-		}
-	}
-	total := n + nslack + nart
-	artStart := n + nslack
-	stride := total + 1
-
-	// Pass 2: write the tableau directly into the flat workspace buffer:
-	// m rows x (total+1) columns, last column = rhs.
-	ws.flat = grow(ws.flat, m*stride)
-	clear(ws.flat)
-	ws.rows = grow(ws.rows, m)
-	for i := 0; i < m; i++ {
-		ws.rows[i] = ws.flat[i*stride : (i+1)*stride : (i+1)*stride]
-	}
-	ws.basis = grow(ws.basis, m)
-	si, ai := 0, 0
-	for i, c := range p.cons {
-		row := ws.rows[i]
-		neg := c.rhs < 0
-		for _, t := range c.terms {
-			if neg {
-				row[t.Var] -= t.Coef
-			} else {
-				row[t.Var] += t.Coef
-			}
-		}
-		rhs := c.rhs
-		if neg {
-			rhs = -rhs
-		}
-		row[total] = rhs
-		switch ws.senses[i] {
-		case LE:
-			row[n+si] = 1
-			ws.basis[i] = n + si
-			si++
-		case GE:
-			row[n+si] = -1
-			si++
-			row[artStart+ai] = 1
-			ws.basis[i] = artStart + ai
-			ai++
-		case EQ:
-			row[artStart+ai] = 1
-			ws.basis[i] = artStart + ai
-			ai++
-		}
-	}
-
-	ws.red = grow(ws.red, total)
-	ws.cost = grow(ws.cost, total)
-	s := &ws.sx
-	*s = simplex{t: ws.rows, basis: ws.basis, ncols: total, nrows: m, red: ws.red}
-
-	stats := Stats{Rows: m, Cols: total}
-	if nart > 0 {
-		// Phase 1: minimise the sum of artificials.
-		cost := ws.cost
-		clear(cost)
-		for j := artStart; j < total; j++ {
-			cost[j] = 1
-		}
-		obj, err := s.run(cost, artStart) // artificials allowed in phase 1
-		stats.Phase1Iters = s.iters
-		if err != nil {
-			return nil, fmt.Errorf("phase 1: %w", err)
-		}
-		if obj > 1e-7 {
-			return nil, ErrInfeasible
-		}
-		// Pivot remaining artificials out of the basis where possible.
-		for i := 0; i < m; i++ {
-			if s.basis[i] >= artStart {
-				pivoted := false
-				for j := 0; j < artStart; j++ {
-					if math.Abs(s.t[i][j]) > 1e-7 {
-						s.pivot(i, j)
-						pivoted = true
-						break
-					}
-				}
-				if !pivoted {
-					// Redundant row: zero it (keeps indices stable).
-					for j := range s.t[i] {
-						s.t[i][j] = 0
-					}
-				}
-			}
-		}
-	}
-
-	// Phase 2: minimise the real objective; artificial columns forbidden.
-	cost := ws.cost
-	clear(cost)
-	copy(cost, p.obj)
-	forbid := total
-	if nart > 0 {
-		forbid = artStart
-	}
-	if _, err := s.run(cost, forbid); err != nil {
+	sol, err := p.SolveWith(NewWorkspace())
+	if err != nil {
 		return nil, err
 	}
-	stats.Phase2Iters = s.iters
-
-	ws.x = grow(ws.x, n)
-	clear(ws.x)
-	for i, b := range s.basis {
-		if b < n {
-			ws.x[b] = s.t[i][total]
-		}
-	}
-	obj := 0.0
-	for v, c := range p.obj {
-		obj += c * ws.x[v]
-	}
-	ws.sol = Solution{X: ws.x, Obj: obj, Stats: stats}
-	return &ws.sol, nil
+	owned := *sol
+	owned.X = append([]float64(nil), sol.X...)
+	return &owned, nil
 }
 
-// simplex holds the working tableau. Columns >= limit are not eligible to
-// enter the basis (used to freeze artificials in phase 2).
-type simplex struct {
-	t     [][]float64
-	basis []int
-	red   []float64 // reduced-cost scratch row, len ncols
-	nrows int
-	ncols int
-	iters int // pivots performed in the most recent run
-}
-
-// run minimises cost·x over the current tableau. It returns the achieved
-// objective value. Columns with index >= limit may not enter the basis.
-func (s *simplex) run(cost []float64, limit int) (float64, error) {
-	s.iters = 0
-	// Build the reduced-cost row: z_j = cost_j - cost_B · column_j for the
-	// current basis.
-	red := s.red
-	copy(red, cost)
-	for i, b := range s.basis {
-		cb := cost[b]
-		if cb == 0 {
-			continue
-		}
-		row := s.t[i]
-		for j := 0; j < s.ncols; j++ {
-			red[j] -= cb * row[j]
-		}
+// SolveDense runs the dense two-phase tableau reference solver. Like
+// Solve, the returned Solution owns its X slice.
+func (p *Problem) SolveDense() (*Solution, error) {
+	sol, err := p.SolveDenseWith(NewDenseWorkspace())
+	if err != nil {
+		return nil, err
 	}
-
-	maxIter := 200 * (s.nrows + s.ncols)
-	blandAfter := 20 * (s.nrows + s.ncols)
-	for iter := 0; iter < maxIter; iter++ {
-		s.iters = iter + 1
-		// Entering column.
-		enter := -1
-		if iter < blandAfter {
-			best := -tol
-			for j := 0; j < limit; j++ {
-				if red[j] < best {
-					best = red[j]
-					enter = j
-				}
-			}
-		} else { // Bland: first eligible index, guarantees termination
-			for j := 0; j < limit; j++ {
-				if red[j] < -tol {
-					enter = j
-					break
-				}
-			}
-		}
-		if enter < 0 {
-			// Recompute the objective from the final basis for numerical
-			// hygiene (the incrementally tracked offset can drift).
-			obj := 0.0
-			for i, b := range s.basis {
-				obj += cost[b] * s.t[i][s.ncols]
-			}
-			return obj, nil
-		}
-
-		// Ratio test for the leaving row.
-		leave := -1
-		bestRatio := math.Inf(1)
-		for i := 0; i < s.nrows; i++ {
-			a := s.t[i][enter]
-			if a > tol {
-				r := s.t[i][s.ncols] / a
-				if r < bestRatio-tol || (r < bestRatio+tol && (leave < 0 || s.basis[i] < s.basis[leave])) {
-					bestRatio = r
-					leave = i
-				}
-			}
-		}
-		if leave < 0 {
-			return 0, ErrUnbounded
-		}
-
-		s.pivot(leave, enter)
-		// Update the reduced-cost row with the same elimination.
-		f := red[enter]
-		if f != 0 {
-			prow := s.t[leave]
-			for j := 0; j < s.ncols; j++ {
-				red[j] -= f * prow[j]
-			}
-			red[enter] = 0
-		}
-	}
-	return 0, ErrIterLimit
-}
-
-// pivot performs a Gauss-Jordan pivot on element (r, c).
-func (s *simplex) pivot(r, c int) {
-	prow := s.t[r]
-	pv := prow[c]
-	inv := 1 / pv
-	for j := range prow {
-		prow[j] *= inv
-	}
-	prow[c] = 1 // exact
-	for i := 0; i < s.nrows; i++ {
-		if i == r {
-			continue
-		}
-		f := s.t[i][c]
-		if f == 0 {
-			continue
-		}
-		row := s.t[i]
-		for j := range row {
-			row[j] -= f * prow[j]
-		}
-		row[c] = 0 // exact
-	}
-	s.basis[r] = c
+	owned := *sol
+	owned.X = append([]float64(nil), sol.X...)
+	return &owned, nil
 }

@@ -1,0 +1,507 @@
+// Sparse LU factorization of the simplex basis: Gilbert–Peierls
+// left-looking LU with partial pivoting. Each basis column is solved
+// against the already-built part of L with a sparse lower-triangular
+// solve whose nonzero pattern is discovered by depth-first search (the
+// classic CSparse cs_spsolve structure), so the factorization costs
+// O(flops(fill)) rather than O(m^2) — for the near-triangular bases the
+// allotment LP produces, effectively O(nnz).
+//
+// Beyond the factorization itself, the type provides the hypersparse
+// triangular solves the revised simplex lives on: for a sparse right-hand
+// side (an entering column in FTRAN, a unit vector in BTRAN) the nonzero
+// pattern of the solution is the DFS reach of the input support through
+// the factor's dependency graph, so a solve touches only that reach
+// instead of scanning all m positions. The transposed solves need the
+// row-wise adjacency of L and U, which factor() builds once per
+// refactorization. All arrays live in the luFactor and are reused.
+
+package lp
+
+import "math"
+
+// luFactor is B = P^T L U for the current basis: L unit-lower-triangular
+// (stored without its diagonal, row indices in original row space), U
+// upper-triangular in processing coordinates, prow the pivot row per
+// processed column.
+type luFactor struct {
+	m int
+	// L columns: entries (original row, value), strictly below the pivot.
+	lcp []int32 // column pointers, len m+1
+	lri []int32
+	lvx []float64
+	// U columns: entries (processing position < k, value) plus the diagonal.
+	ucp   []int32 // column pointers, len m+1
+	upi   []int32
+	uvx   []float64
+	udiag []float64
+
+	prow []int32 // pivot original row per processed column
+	pinv []int32 // original row -> processing position, -1 while unassigned
+	// On ErrSingular: the basis position of the column that found no
+	// usable pivot and one still-unpivoted row, for basis repair.
+	failPos int32
+	failRow int32
+	// cpos maps processing order -> basis position: unit (logical and
+	// artificial) basis columns are factored first — each pivots on its own
+	// row with zero fill, the triangularization crash of LP folklore — and
+	// structural columns after, so fill is confined to the structural bump.
+	cpos    []int32
+	cposInv []int32 // basis position -> processing order
+
+	// Row-wise adjacency of U and of L (in processing coordinates), used
+	// by the transposed sparse reaches of BTRAN. Values are not stored;
+	// the numeric passes read the column arrays.
+	urp   []int32 // len m+1
+	uradj []int32
+	lrp   []int32 // len m+1
+	lradj []int32
+
+	// scratch for the sparse solves
+	x      []float64
+	found  []int32 // pattern output, found[top:m] topologically ordered
+	stack  []int32
+	pstack []int32
+	mark   []int32
+	ver    int32
+}
+
+// factor rebuilds the factorization for ws's current basis. It returns
+// ErrSingular when a pivot cannot be found (structurally or numerically
+// singular basis).
+func (lu *luFactor) factor(ws *Workspace) error {
+	m := ws.nrows
+	lu.m = m
+	lu.lcp = grow(lu.lcp, m+1)
+	lu.ucp = grow(lu.ucp, m+1)
+	lu.udiag = grow(lu.udiag, m)
+	lu.prow = grow(lu.prow, m)
+	lu.pinv = grow(lu.pinv, m)
+	lu.cpos = grow(lu.cpos, m)
+	lu.cposInv = grow(lu.cposInv, m)
+	lu.x = grow(lu.x, m)
+	lu.found = grow(lu.found, m)
+	lu.stack = grow(lu.stack, m)
+	lu.pstack = grow(lu.pstack, m)
+	if cap(lu.mark) < m || lu.ver > 1<<30 {
+		lu.mark = make([]int32, m)
+		lu.ver = 0
+	}
+	lu.mark = lu.mark[:m]
+	lu.lri = lu.lri[:0]
+	lu.lvx = lu.lvx[:0]
+	lu.upi = lu.upi[:0]
+	lu.uvx = lu.uvx[:0]
+	for i := 0; i < m; i++ {
+		lu.pinv[i] = -1
+		lu.x[i] = 0
+	}
+	lu.lcp[0], lu.ucp[0] = 0, 0
+
+	no := 0
+	for k := 0; k < m; k++ {
+		if int(ws.basis[k]) >= ws.nstruct {
+			lu.cpos[no] = int32(k)
+			no++
+		}
+	}
+	for k := 0; k < m; k++ {
+		if int(ws.basis[k]) < ws.nstruct {
+			lu.cpos[no] = int32(k)
+			no++
+		}
+	}
+	for k := 0; k < m; k++ {
+		lu.cposInv[lu.cpos[k]] = int32(k)
+	}
+
+	for k := 0; k < m; k++ {
+		top := lu.spsolve(ws, int(ws.basis[lu.cpos[k]]))
+		// Partition the pattern into U entries (rows already pivotal) and
+		// pivot candidates; choose the largest candidate (partial pivoting).
+		ipiv, pivmag := int32(-1), 0.0
+		for p := top; p < m; p++ {
+			i := lu.found[p]
+			if lu.pinv[i] < 0 {
+				if a := math.Abs(lu.x[i]); a > pivmag {
+					pivmag, ipiv = a, i
+				}
+			}
+		}
+		if ipiv < 0 || pivmag < 1e-11 {
+			// Clear scratch before bailing so the next factor starts clean.
+			for p := top; p < m; p++ {
+				lu.x[lu.found[p]] = 0
+			}
+			lu.failPos = lu.cpos[k]
+			lu.failRow = -1
+			if ipiv >= 0 {
+				lu.failRow = ipiv
+			} else {
+				for i := 0; i < m; i++ {
+					if lu.pinv[i] < 0 {
+						lu.failRow = int32(i)
+						break
+					}
+				}
+			}
+			return ErrSingular
+		}
+		pv := lu.x[ipiv]
+		for p := top; p < m; p++ {
+			i := lu.found[p]
+			if kp := lu.pinv[i]; kp >= 0 {
+				if v := lu.x[i]; v != 0 {
+					lu.upi = append(lu.upi, kp)
+					lu.uvx = append(lu.uvx, v)
+				}
+			} else if i != ipiv {
+				if v := lu.x[i]; v != 0 {
+					lu.lri = append(lu.lri, i)
+					lu.lvx = append(lu.lvx, v/pv)
+				}
+			}
+			lu.x[i] = 0
+		}
+		lu.udiag[k] = pv
+		lu.prow[k] = ipiv
+		lu.pinv[ipiv] = int32(k)
+		lu.lcp[k+1] = int32(len(lu.lri))
+		lu.ucp[k+1] = int32(len(lu.upi))
+	}
+	lu.buildTransposes()
+	return nil
+}
+
+// buildTransposes derives the row-wise adjacency of U and L (the latter
+// with rows relabelled to processing positions via pinv) for the
+// transposed sparse reaches of BTRAN.
+func (lu *luFactor) buildTransposes() {
+	m := lu.m
+	lu.urp = grow(lu.urp, m+1)
+	lu.lrp = grow(lu.lrp, m+1)
+	lu.uradj = grow(lu.uradj, len(lu.upi))
+	lu.lradj = grow(lu.lradj, len(lu.lri))
+	cnt := lu.pstack // free between factorizations and solves
+	for i := 0; i < m; i++ {
+		cnt[i] = 0
+	}
+	for _, p := range lu.upi {
+		cnt[p]++
+	}
+	lu.urp[0] = 0
+	for i := 0; i < m; i++ {
+		lu.urp[i+1] = lu.urp[i] + cnt[i]
+	}
+	cur := lu.stack // second scratch cursor
+	copy(cur[:m], lu.urp[:m])
+	for k := 0; k < m; k++ {
+		for p := lu.ucp[k]; p < lu.ucp[k+1]; p++ {
+			pp := lu.upi[p]
+			lu.uradj[cur[pp]] = int32(k)
+			cur[pp]++
+		}
+	}
+	for i := 0; i < m; i++ {
+		cnt[i] = 0
+	}
+	for _, i := range lu.lri {
+		cnt[lu.pinv[i]]++
+	}
+	lu.lrp[0] = 0
+	for i := 0; i < m; i++ {
+		lu.lrp[i+1] = lu.lrp[i] + cnt[i]
+	}
+	copy(cur[:m], lu.lrp[:m])
+	for k := 0; k < m; k++ {
+		for p := lu.lcp[k]; p < lu.lcp[k+1]; p++ {
+			j := lu.pinv[lu.lri[p]]
+			lu.lradj[cur[j]] = int32(k)
+			cur[j]++
+		}
+	}
+}
+
+// spsolve computes x = L \ B[:, col] for the partially built L: the
+// nonzero pattern is the DFS reach of col's rows through L's columns, the
+// numeric values are accumulated in lu.x over that pattern. Returns top
+// such that lu.found[top:m] holds the pattern in topological order.
+func (lu *luFactor) spsolve(ws *Workspace, col int) int {
+	m := lu.m
+	top := m
+	lu.ver++
+	ver := lu.ver
+	idx, val, unitRow, unitVal := ws.colSpan(col)
+	for _, i := range idx {
+		if lu.mark[i] != ver {
+			top = lu.dfs(i, top, ver)
+		}
+	}
+	if unitRow >= 0 && lu.mark[unitRow] != ver {
+		top = lu.dfs(unitRow, top, ver)
+	}
+	// Scatter the numeric column, then eliminate in topological order.
+	for p, i := range idx {
+		lu.x[i] += val[p]
+	}
+	if unitRow >= 0 {
+		lu.x[unitRow] += unitVal
+	}
+	lu.eliminateL(lu.x, top)
+	return top
+}
+
+// eliminateL runs the numeric pass of an L-solve over the pattern
+// found[top:m] (already in topological order) on the row-space vector x.
+func (lu *luFactor) eliminateL(x []float64, top int) {
+	for p := top; p < lu.m; p++ {
+		i := lu.found[p]
+		kp := lu.pinv[i]
+		if kp < 0 {
+			continue
+		}
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for q := lu.lcp[kp]; q < lu.lcp[kp+1]; q++ {
+			x[lu.lri[q]] -= lu.lvx[q] * xi
+		}
+	}
+}
+
+// dfs performs an iterative depth-first search from root through the
+// column graph of L (node i has edges to the rows of L column pinv[i]),
+// pushing finished nodes onto found[] from position top downward. The
+// resulting reverse finishing order is a topological order of the reach.
+func (lu *luFactor) dfs(root int32, top int, ver int32) int {
+	head := 0
+	lu.stack[0] = root
+	for head >= 0 {
+		i := lu.stack[head]
+		if lu.mark[i] != ver {
+			lu.mark[i] = ver
+			if lu.pinv[i] < 0 {
+				lu.pstack[head] = 0 // no outgoing edges
+			} else {
+				lu.pstack[head] = lu.lcp[lu.pinv[i]]
+			}
+		}
+		done := true
+		if kp := lu.pinv[i]; kp >= 0 {
+			for p := lu.pstack[head]; p < lu.lcp[kp+1]; p++ {
+				j := lu.lri[p]
+				if lu.mark[j] != ver {
+					lu.pstack[head] = p + 1
+					head++
+					lu.stack[head] = j
+					done = false
+					break
+				}
+			}
+		}
+		if done {
+			head--
+			top--
+			lu.found[top] = i
+		}
+	}
+	return top
+}
+
+// dfsAdj is dfs over an explicit flat adjacency (ap, ai): node v's
+// neighbours are ai[ap[v]:ap[v+1]].
+func (lu *luFactor) dfsAdj(root int32, top int, ver int32, ap, ai []int32) int {
+	head := 0
+	lu.stack[0] = root
+	for head >= 0 {
+		v := lu.stack[head]
+		if lu.mark[v] != ver {
+			lu.mark[v] = ver
+			lu.pstack[head] = ap[v]
+		}
+		done := true
+		for p := lu.pstack[head]; p < ap[v+1]; p++ {
+			j := ai[p]
+			if lu.mark[j] != ver {
+				lu.pstack[head] = p + 1
+				head++
+				lu.stack[head] = j
+				done = false
+				break
+			}
+		}
+		if done {
+			head--
+			top--
+			lu.found[top] = v
+		}
+	}
+	return top
+}
+
+// solveLSparse solves L x = x in place for a sparse row-space x with
+// support pat. The solution pattern lands in found[top:m], topologically
+// ordered; the caller consumes it before the next solve reuses found.
+func (lu *luFactor) solveLSparse(x []float64, pat []int32) int {
+	if lu.denseish(len(pat)) {
+		lu.lsolve(x)
+		return lu.gather(x)
+	}
+	top := lu.m
+	lu.ver++
+	for _, i := range pat {
+		if lu.mark[i] != lu.ver {
+			top = lu.dfs(i, top, lu.ver)
+		}
+	}
+	lu.eliminateL(x, top)
+	return top
+}
+
+// denseish reports whether a support is large enough that the DFS reach
+// bookkeeping costs more than a straight dense sweep over the factors.
+func (lu *luFactor) denseish(support int) bool {
+	return support*16 > lu.m
+}
+
+// gather rebuilds the pattern of a dense solve result: found[top:m] holds
+// the indices of all nonzero entries (order is irrelevant to callers).
+func (lu *luFactor) gather(x []float64) int {
+	top := lu.m
+	for i := lu.m - 1; i >= 0; i-- {
+		if x[i] != 0 {
+			top--
+			lu.found[top] = int32(i)
+		}
+	}
+	return top
+}
+
+// solveUSparse solves U x = x in place for a sparse processing-space x
+// with support pat (back substitution over the reach only).
+func (lu *luFactor) solveUSparse(x []float64, pat []int32) int {
+	if lu.denseish(len(pat)) {
+		lu.usolve(x[:lu.m])
+		return lu.gather(x)
+	}
+	top := lu.m
+	lu.ver++
+	for _, k := range pat {
+		if lu.mark[k] != lu.ver {
+			top = lu.dfsAdj(k, top, lu.ver, lu.ucp, lu.upi)
+		}
+	}
+	for p := top; p < lu.m; p++ {
+		k := lu.found[p]
+		t := x[k] / lu.udiag[k]
+		x[k] = t
+		if t == 0 {
+			continue
+		}
+		for q := lu.ucp[k]; q < lu.ucp[k+1]; q++ {
+			x[lu.upi[q]] -= lu.uvx[q] * t
+		}
+	}
+	return top
+}
+
+// solveUTSparse solves U^T x = x in place for a sparse processing-space x
+// with support pat; the reach runs through U's row adjacency.
+func (lu *luFactor) solveUTSparse(x []float64, pat []int32) int {
+	if lu.denseish(len(pat)) {
+		lu.utsolve(x[:lu.m])
+		return lu.gather(x)
+	}
+	top := lu.m
+	lu.ver++
+	for _, k := range pat {
+		if lu.mark[k] != lu.ver {
+			top = lu.dfsAdj(k, top, lu.ver, lu.urp, lu.uradj)
+		}
+	}
+	for p := top; p < lu.m; p++ {
+		k := lu.found[p]
+		t := x[k]
+		for q := lu.ucp[k]; q < lu.ucp[k+1]; q++ {
+			t -= lu.uvx[q] * x[lu.upi[q]]
+		}
+		x[k] = t / lu.udiag[k]
+	}
+	return top
+}
+
+// solveLTSparse solves L^T x = x in place for a sparse processing-space x
+// with support pat; the reach runs through L's row adjacency.
+func (lu *luFactor) solveLTSparse(x []float64, pat []int32) int {
+	if lu.denseish(len(pat)) {
+		lu.ltsolve(x[:lu.m])
+		return lu.gather(x)
+	}
+	top := lu.m
+	lu.ver++
+	for _, k := range pat {
+		if lu.mark[k] != lu.ver {
+			top = lu.dfsAdj(k, top, lu.ver, lu.lrp, lu.lradj)
+		}
+	}
+	for p := top; p < lu.m; p++ {
+		k := lu.found[p]
+		t := x[k]
+		for q := lu.lcp[k]; q < lu.lcp[k+1]; q++ {
+			t -= lu.lvx[q] * x[lu.pinv[lu.lri[q]]]
+		}
+		x[k] = t
+	}
+	return top
+}
+
+// lsolve applies L^-1 (with the row permutation) to the dense row-space
+// vector x in place: after the call, x[prow[k]] holds component k of the
+// result for every processing position k.
+func (lu *luFactor) lsolve(x []float64) {
+	for k := 0; k < lu.m; k++ {
+		t := x[lu.prow[k]]
+		if t == 0 {
+			continue
+		}
+		for p := lu.lcp[k]; p < lu.lcp[k+1]; p++ {
+			x[lu.lri[p]] -= lu.lvx[p] * t
+		}
+	}
+}
+
+// usolve solves U z = z in place on the dense processing-space vector z.
+func (lu *luFactor) usolve(z []float64) {
+	for k := lu.m - 1; k >= 0; k-- {
+		t := z[k] / lu.udiag[k]
+		z[k] = t
+		if t == 0 {
+			continue
+		}
+		for p := lu.ucp[k]; p < lu.ucp[k+1]; p++ {
+			z[lu.upi[p]] -= lu.uvx[p] * t
+		}
+	}
+}
+
+// utsolve solves U^T w = w in place on the dense processing-space vector w.
+func (lu *luFactor) utsolve(w []float64) {
+	for k := 0; k < lu.m; k++ {
+		t := w[k]
+		for p := lu.ucp[k]; p < lu.ucp[k+1]; p++ {
+			t -= lu.uvx[p] * w[lu.upi[p]]
+		}
+		w[k] = t / lu.udiag[k]
+	}
+}
+
+// ltsolve solves L^T w = w in place on the dense processing-space vector w.
+func (lu *luFactor) ltsolve(w []float64) {
+	for k := lu.m - 1; k >= 0; k-- {
+		t := w[k]
+		for p := lu.lcp[k]; p < lu.lcp[k+1]; p++ {
+			t -= lu.lvx[p] * w[lu.pinv[lu.lri[p]]]
+		}
+		w[k] = t
+	}
+}

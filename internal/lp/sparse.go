@@ -1,0 +1,1626 @@
+// The sparse bounded-variable revised simplex. The constraint matrix is
+// held in compressed sparse column form with one logical (slack) column
+// per row, so the working problem is
+//
+//	min c·x   s.t.   A x + s = b,   lo <= (x, s) <= hi,
+//
+// where the logical bounds encode the row sense (LE: s in [0, +Inf),
+// GE: s in (-Inf, 0], EQ: s = 0). Variable bounds are enforced
+// implicitly: a nonbasic variable rests at one of its bounds and the
+// ratio test lets an entering variable flip to its opposite bound
+// without a basis change, so bound rows never appear in the matrix.
+//
+// The basis is a sparse LU factorization (lu.go) amended by a
+// product-form eta file: each pivot appends one eta vector and the basis
+// is refactorized after RefactorEvery etas or on numerical trouble. The
+// per-iteration linear algebra is hypersparse: FTRAN of the entering
+// column and BTRAN of the leaving unit vector track their nonzero
+// patterns through DFS-reach triangular solves, so an iteration costs
+// O(pattern) instead of O(m). Reduced costs are maintained incrementally
+// across pivots (the classic d_j update along row r of B^-1 A, driven by
+// the row-wise constraint storage) and recomputed exactly at every
+// refactorization; an apparent optimum on maintained values is confirmed
+// against freshly recomputed ones before the solver declares it.
+//
+// Feasibility is obtained with artificial unit columns on the rows whose
+// logical cannot host the initial residual (phase 1 minimises their sum,
+// then fixes them to zero; artificials never re-enter the basis).
+// Pricing is Dantzig with a switch to Bland's rule after a run of
+// degenerate pivots. The dual simplex drives the warm restarts of
+// ReSolveWith after rows were appended: the old optimal basis stays dual
+// feasible, the appended rows' logicals enter basic and possibly
+// primal-infeasible, and dual pivots restore feasibility without
+// restarting from scratch.
+
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Nonbasic/basic status of a column.
+const (
+	nbLower int8 = iota // nonbasic at lower bound
+	nbUpper             // nonbasic at upper bound
+	stBasic
+)
+
+const (
+	dualTol  = 1e-9 // reduced-cost tolerance for entering candidates
+	pivotTol = 1e-9 // smallest alpha treated as a usable ratio-test pivot
+	ratioTol = 1e-9 // ratio-test tie window
+	degenTol = 1e-9 // step lengths below this count as degenerate
+	// perturbScale sizes the anti-degeneracy cost perturbation of
+	// perturbCosts: large enough to beat the 1e-9 pricing tolerance by
+	// orders of magnitude, small enough that polish converges in a few
+	// pivots.
+	perturbScale = 1e-7
+)
+
+// Workspace owns the sparse solver's entire state: the CSC model, bounds
+// and costs, the basis with its LU factorization and eta file, the
+// maintained reduced costs, sparse pattern-tracked scratch vectors and
+// the solution buffer. Buffers grow geometrically and are reused across
+// solves, so repeated SolveWith calls on same-shaped problems do
+// near-zero allocation. A Workspace is owned by one goroutine at a time;
+// it is not safe for concurrent use.
+type Workspace struct {
+	// RefactorEvery caps the eta-file length before the basis is
+	// refactorized from scratch; 0 means the default (128, the sweet spot
+	// measured on the phase-1 workloads). Tests lower it to exercise the
+	// refactorization path densely.
+	RefactorEvery int
+
+	// DeferPolish leaves the anti-degeneracy cost perturbation in place
+	// when SolveWith/ReSolveWith return, deferring its removal to an
+	// explicit PolishWith call. Solutions returned in between are optimal
+	// for the perturbed costs only (objective error O(perturbScale));
+	// iterating callers — the lazy cut loop in internal/allot — use them
+	// to select cuts and polish once at the end instead of re-fighting
+	// the degenerate final pivots every round.
+	DeferPolish bool
+
+	// Model, rebuilt from the Problem each (re)solve. Column index space:
+	// [0, nstruct) structural, [nstruct, nstruct+nrows) logicals,
+	// then nart artificial columns during phase 1.
+	nstruct int
+	nrows   int
+	nart    int
+	colptr  []int32
+	rowind  []int32
+	colval  []float64
+	cur     []int32 // fill cursor for the CSC build
+	b       []float64
+	lo, hi  []float64 // per column
+	cost    []float64 // current phase's cost per column
+	artRow  []int32
+	artSign []float64
+	curProb *Problem // row-wise constraint access for the dual updates
+
+	// Equilibration scaling (geometric-mean, two rounds): the solver works
+	// on R*A*C with unit-ish coefficients — raw models mix slopes in the
+	// thousands with 1/m-sized work terms, and the resulting basis
+	// conditioning breaks pivot-size reasoning — and unscales on extract.
+	// Column scales are frozen across warm restarts (the basis lives in
+	// scaled space); appended rows get fresh row scales.
+	rowScale []float64
+	colScale []float64
+
+	// Basis state.
+	basis  []int32   // column basic in each row position
+	status []int8    // per column
+	xval   []float64 // per column: bound value if nonbasic, else basic value
+
+	// Factorization and product-form eta file (etas live in basis-position
+	// space).
+	lu           luFactor
+	etaStart     []int32
+	etaPivot     []int32
+	etaPivVal    []float64
+	etaIdx       []int32
+	etaVal       []float64
+	needRefactor bool
+
+	// Maintained reduced costs (exact at each refactorization, updated
+	// incrementally per pivot in between).
+	dred   []float64
+	dFresh bool
+
+	// Sparse pattern-tracked scratch. Invariant: each value array is zero
+	// everywhere outside its pattern; producers clear their previous
+	// pattern before writing a new one.
+	alpha     []float64 // FTRANed entering column, basis-position space
+	alphaPat  []int32
+	alphaMark []int32
+	alphaVer  int32
+	erow      []float64 // BTRAN eta-stage scratch, basis-position space
+	erowPat   []int32
+	erowMark  []int32
+	erowVer   int32
+	v         []float64 // BTRANed unit row rho_r, row space
+	vPat      []int32
+	rhs       []float64 // FTRAN input scratch, row space
+	rhsPat    []int32
+	w         []float64 // triangular-solve scratch, processing space
+	wPat      []int32
+
+	// Dense scratch (refactorization-time recomputations only).
+	rhsd []float64 // row space
+	wd   []float64 // processing space
+	y    []float64 // row space
+	cb   []float64 // basis-position space
+
+	// Entering-candidate scratch for the dual ratio test.
+	cand     []int32
+	candMark []int32
+	candVer  int32
+
+	banned []int32
+
+	// Bookkeeping.
+	stats      Stats
+	degen      int
+	bland      bool
+	solvedVars int
+	solvedRows int // rows absorbed by the last successful solve; -1 = none
+
+	solx []float64
+	sol  Solution // returned by SolveWith; overwritten by the next call
+}
+
+// NewWorkspace returns an empty workspace. The zero value is also ready
+// to use.
+func NewWorkspace() *Workspace { return &Workspace{solvedRows: -1} }
+
+func (ws *Workspace) ncols() int { return ws.nstruct + ws.nrows + ws.nart }
+
+// colSpan returns column j of the working matrix [A | I | artificials]:
+// structural columns as CSC slices, logical and artificial columns as a
+// single unit entry (unitRow < 0 means "no unit entry").
+func (ws *Workspace) colSpan(j int) (idx []int32, val []float64, unitRow int32, unitVal float64) {
+	if j < ws.nstruct {
+		return ws.rowind[ws.colptr[j]:ws.colptr[j+1]], ws.colval[ws.colptr[j]:ws.colptr[j+1]], -1, 0
+	}
+	if j < ws.nstruct+ws.nrows {
+		return nil, nil, int32(j - ws.nstruct), 1
+	}
+	a := j - ws.nstruct - ws.nrows
+	return nil, nil, ws.artRow[a], ws.artSign[a]
+}
+
+// build converts the Problem's row-wise constraints into the workspace's
+// CSC storage (entries within a column ordered by row) and copies the rhs.
+func (ws *Workspace) build(p *Problem) {
+	n, m := p.nvars, len(p.cons)
+	ws.nstruct, ws.nrows = n, m
+	ws.curProb = p
+	ws.colptr = grow(ws.colptr, n+1)
+	cp := ws.colptr
+	for j := 0; j <= n; j++ {
+		cp[j] = 0
+	}
+	nnz := 0
+	for ci := range p.cons {
+		for _, t := range p.cons[ci].terms {
+			cp[t.Var+1]++
+			nnz++
+		}
+	}
+	for j := 0; j < n; j++ {
+		cp[j+1] += cp[j]
+	}
+	ws.rowind = grow(ws.rowind, nnz)
+	ws.colval = grow(ws.colval, nnz)
+	ws.cur = grow(ws.cur, n)
+	copy(ws.cur, cp[:n])
+	for ci := range p.cons {
+		for _, t := range p.cons[ci].terms {
+			pos := ws.cur[t.Var]
+			ws.rowind[pos] = int32(ci)
+			ws.colval[pos] = t.Coef
+			ws.cur[t.Var] = pos + 1
+		}
+	}
+	ws.b = grow(ws.b, m)
+	for i := range p.cons {
+		ws.b[i] = p.cons[i].rhs
+	}
+}
+
+// computeScales derives the equilibration scales: two rounds of
+// geometric-mean row/column scaling over the freshly built (unscaled)
+// CSC. On warm restarts (oldRows > 0) the column scales and existing row
+// scales are kept — the basis is expressed in them — and only the
+// appended rows are scaled.
+func (ws *Workspace) computeScales(p *Problem, oldRows int) {
+	n, m := ws.nstruct, ws.nrows
+	ws.colScale = extend(ws.colScale, n)
+	ws.rowScale = extend(ws.rowScale, m)
+	if oldRows == 0 {
+		for j := 0; j < n; j++ {
+			ws.colScale[j] = 1
+		}
+		for i := 0; i < m; i++ {
+			ws.rowScale[i] = 1
+		}
+		for round := 0; round < 2; round++ {
+			for i := range p.cons {
+				lo, hi := math.Inf(1), 0.0
+				for _, t := range p.cons[i].terms {
+					if t.Coef == 0 {
+						continue
+					}
+					a := math.Abs(t.Coef) * ws.colScale[t.Var]
+					if a < lo {
+						lo = a
+					}
+					if a > hi {
+						hi = a
+					}
+				}
+				if hi > 0 {
+					ws.rowScale[i] = 1 / math.Sqrt(lo*hi)
+				}
+			}
+			for j := 0; j < n; j++ {
+				lo, hi := math.Inf(1), 0.0
+				for q := ws.colptr[j]; q < ws.colptr[j+1]; q++ {
+					if ws.colval[q] == 0 {
+						continue
+					}
+					a := math.Abs(ws.colval[q]) * ws.rowScale[ws.rowind[q]]
+					if a < lo {
+						lo = a
+					}
+					if a > hi {
+						hi = a
+					}
+				}
+				if hi > 0 {
+					ws.colScale[j] = 1 / math.Sqrt(lo*hi)
+				}
+			}
+		}
+		return
+	}
+	for i := oldRows; i < m; i++ {
+		lo, hi := math.Inf(1), 0.0
+		for _, t := range p.cons[i].terms {
+			if t.Coef == 0 {
+				continue
+			}
+			a := math.Abs(t.Coef) * ws.colScale[t.Var]
+			if a < lo {
+				lo = a
+			}
+			if a > hi {
+				hi = a
+			}
+		}
+		ws.rowScale[i] = 1
+		if hi > 0 {
+			ws.rowScale[i] = 1 / math.Sqrt(lo*hi)
+		}
+	}
+}
+
+// applyScales rewrites the CSC values and rhs into scaled space.
+func (ws *Workspace) applyScales() {
+	for j := 0; j < ws.nstruct; j++ {
+		cs := ws.colScale[j]
+		for q := ws.colptr[j]; q < ws.colptr[j+1]; q++ {
+			ws.colval[q] *= ws.rowScale[ws.rowind[q]] * cs
+		}
+	}
+	for i := 0; i < ws.nrows; i++ {
+		ws.b[i] *= ws.rowScale[i]
+	}
+}
+
+// startBasis sets up the initial point (structurals at their lower bound,
+// logicals at zero), installs each row's logical as basic where the
+// initial residual fits its bounds, and adds an artificial column (sign
+// matched to the residual, so it starts basic and feasible) elsewhere.
+func (ws *Workspace) startBasis(p *Problem) {
+	n, m := ws.nstruct, ws.nrows
+	ws.rhsd = grow(ws.rhsd, m)
+	copy(ws.rhsd, ws.b[:m])
+	for j := 0; j < n; j++ {
+		l := p.lo[j] / ws.colScale[j]
+		if l == 0 {
+			continue
+		}
+		for q := ws.colptr[j]; q < ws.colptr[j+1]; q++ {
+			ws.rhsd[ws.rowind[q]] -= ws.colval[q] * l
+		}
+	}
+	ws.artRow = ws.artRow[:0]
+	ws.artSign = ws.artSign[:0]
+	for i := 0; i < m; i++ {
+		r := ws.rhsd[i]
+		ok := false
+		switch p.cons[i].sense {
+		case LE:
+			ok = r >= -tol
+		case GE:
+			ok = r <= tol
+		case EQ:
+			ok = r >= -tol && r <= tol
+		}
+		if !ok {
+			sign := 1.0
+			if r < 0 {
+				sign = -1.0
+			}
+			ws.artRow = append(ws.artRow, int32(i))
+			ws.artSign = append(ws.artSign, sign)
+		}
+	}
+	ws.nart = len(ws.artRow)
+	ncols := n + m + ws.nart
+	ws.lo = grow(ws.lo, ncols)
+	ws.hi = grow(ws.hi, ncols)
+	ws.cost = grow(ws.cost, ncols)
+	ws.xval = grow(ws.xval, ncols)
+	ws.status = grow(ws.status, ncols)
+	ws.basis = grow(ws.basis, m)
+	for j := 0; j < n; j++ {
+		ws.lo[j] = p.lo[j] / ws.colScale[j]
+		ws.hi[j] = p.hi[j] / ws.colScale[j]
+		ws.xval[j] = ws.lo[j]
+		ws.status[j] = nbLower
+	}
+	for i := 0; i < m; i++ {
+		s := n + i
+		switch p.cons[i].sense {
+		case LE:
+			ws.lo[s], ws.hi[s] = 0, math.Inf(1)
+			ws.status[s] = nbLower
+		case GE:
+			ws.lo[s], ws.hi[s] = math.Inf(-1), 0
+			ws.status[s] = nbUpper
+		case EQ:
+			ws.lo[s], ws.hi[s] = 0, 0
+			ws.status[s] = nbLower
+		}
+		ws.xval[s] = 0
+	}
+	ai := 0
+	for i := 0; i < m; i++ {
+		if ai < ws.nart && int(ws.artRow[ai]) == i {
+			a := n + m + ai
+			ws.lo[a], ws.hi[a] = 0, math.Inf(1)
+			ws.basis[i] = int32(a)
+			ws.status[a] = stBasic
+			ws.xval[a] = math.Abs(ws.rhsd[i])
+			ai++
+		} else {
+			s := n + i
+			ws.basis[i] = int32(s)
+			ws.status[s] = stBasic
+			ws.xval[s] = ws.rhsd[i]
+		}
+	}
+}
+
+// growScratch sizes every solver buffer for the current model and resets
+// the sparse-vector zero invariant (a cheap O(m + ncols) pass per solve).
+func (ws *Workspace) growScratch() {
+	m, nc := ws.nrows, ws.ncols()
+	ws.alpha = grow(ws.alpha, m)
+	ws.erow = grow(ws.erow, m)
+	ws.v = grow(ws.v, m)
+	ws.rhs = grow(ws.rhs, m)
+	ws.w = grow(ws.w, m)
+	ws.alphaMark = grow(ws.alphaMark, m)
+	ws.erowMark = grow(ws.erowMark, m)
+	ws.rhsd = grow(ws.rhsd, m)
+	ws.wd = grow(ws.wd, m)
+	ws.y = grow(ws.y, m)
+	ws.cb = grow(ws.cb, m)
+	ws.dred = grow(ws.dred, nc)
+	ws.candMark = grow(ws.candMark, nc)
+	clear(ws.alpha)
+	clear(ws.erow)
+	clear(ws.v)
+	clear(ws.rhs)
+	clear(ws.w)
+	clear(ws.alphaMark)
+	clear(ws.erowMark)
+	clear(ws.candMark)
+	ws.alphaPat = ws.alphaPat[:0]
+	ws.erowPat = ws.erowPat[:0]
+	ws.vPat = ws.vPat[:0]
+	ws.rhsPat = ws.rhsPat[:0]
+	ws.wPat = ws.wPat[:0]
+	ws.alphaVer, ws.erowVer, ws.candVer = 0, 0, 0
+	ws.dFresh = false
+}
+
+func (ws *Workspace) refactorLimit() int {
+	if ws.RefactorEvery > 0 {
+		return ws.RefactorEvery
+	}
+	return 128
+}
+
+func (ws *Workspace) resetEtas() {
+	if cap(ws.etaStart) == 0 {
+		ws.etaStart = make([]int32, 1, 64)
+	}
+	ws.etaStart = ws.etaStart[:1]
+	ws.etaStart[0] = 0
+	ws.etaPivot = ws.etaPivot[:0]
+	ws.etaPivVal = ws.etaPivVal[:0]
+	ws.etaIdx = ws.etaIdx[:0]
+	ws.etaVal = ws.etaVal[:0]
+}
+
+// appendEta records the product-form update for a pivot in row position r
+// with FTRANed entering column alpha (entries below 1e-12 are dropped to
+// keep the file sparse; the periodic refactorization absorbs the error).
+// Only alpha's tracked pattern is visited.
+func (ws *Workspace) appendEta(r int) {
+	ws.etaPivot = append(ws.etaPivot, int32(r))
+	ws.etaPivVal = append(ws.etaPivVal, ws.alpha[r])
+	for _, k := range ws.alphaPat {
+		if int(k) == r {
+			continue
+		}
+		if v := ws.alpha[k]; v > 1e-12 || v < -1e-12 {
+			ws.etaIdx = append(ws.etaIdx, k)
+			ws.etaVal = append(ws.etaVal, v)
+		}
+	}
+	ws.etaStart = append(ws.etaStart, int32(len(ws.etaIdx)))
+}
+
+// factorize rebuilds the LU factorization of the current basis, clears
+// the eta file and recomputes the basic variable values from scratch.
+func (ws *Workspace) factorize() error {
+	if err := ws.lu.factor(ws); err != nil {
+		return err
+	}
+	ws.resetEtas()
+	ws.needRefactor = false
+	ws.stats.Factorizations++
+	ws.computeBasicValues()
+	return nil
+}
+
+// refresh is factorize plus an exact recomputation of the maintained
+// reduced costs — the periodic truth-restoring step of the iteration.
+func (ws *Workspace) refresh() error {
+	if err := ws.factorize(); err != nil {
+		return err
+	}
+	ws.recomputeDuals()
+	return nil
+}
+
+// computeBasicValues solves B x_B = b - A_N x_N for the current basis
+// (dense: only runs at refactorizations).
+func (ws *Workspace) computeBasicValues() {
+	m := ws.nrows
+	copy(ws.rhsd, ws.b[:m])
+	nc := ws.ncols()
+	for j := 0; j < nc; j++ {
+		if ws.status[j] == stBasic {
+			continue
+		}
+		xv := ws.xval[j]
+		if xv == 0 {
+			continue
+		}
+		idx, val, ur, uv := ws.colSpan(j)
+		for p, i := range idx {
+			ws.rhsd[i] -= val[p] * xv
+		}
+		if ur >= 0 {
+			ws.rhsd[ur] -= uv * xv
+		}
+	}
+	ws.ftranDense(ws.rhsd, ws.cb)
+	for k := 0; k < m; k++ {
+		ws.xval[ws.basis[k]] = ws.cb[k]
+	}
+}
+
+// recomputeDuals rebuilds the maintained reduced costs exactly from
+// y = B^-T c_B (dense: only runs at refactorizations and phase starts).
+func (ws *Workspace) recomputeDuals() {
+	m := ws.nrows
+	for k := 0; k < m; k++ {
+		ws.cb[k] = ws.cost[ws.basis[k]]
+	}
+	ws.btranDense(ws.cb, ws.y)
+	limit := ws.nstruct + ws.nrows // artificial duals are never read
+	for j := 0; j < limit; j++ {
+		ws.dred[j] = ws.cost[j] - ws.colDot(j, ws.y)
+	}
+	ws.dFresh = true
+}
+
+// ftranDense solves B out = x for the dense row-space vector x
+// (destroyed); out is in basis-position space.
+func (ws *Workspace) ftranDense(x, out []float64) {
+	lu := &ws.lu
+	lu.lsolve(x)
+	m := ws.nrows
+	w := ws.wd
+	for k := 0; k < m; k++ {
+		w[k] = x[lu.prow[k]]
+	}
+	lu.usolve(w[:m])
+	for k := 0; k < m; k++ {
+		out[lu.cpos[k]] = w[k]
+	}
+	for e := 0; e < len(ws.etaPivot); e++ {
+		r := ws.etaPivot[e]
+		xr := out[r]
+		if xr == 0 {
+			continue
+		}
+		xr /= ws.etaPivVal[e]
+		out[r] = xr
+		for q := ws.etaStart[e]; q < ws.etaStart[e+1]; q++ {
+			out[ws.etaIdx[q]] -= ws.etaVal[q] * xr
+		}
+	}
+}
+
+// btranDense solves B^T out = c for the dense basis-position-space vector
+// c (preserved); out is in row space.
+func (ws *Workspace) btranDense(c, out []float64) {
+	m := ws.nrows
+	// out doubles as the position-space eta scratch: it is fully
+	// overwritten by the final row-space scatter.
+	copy(out[:m], c[:m])
+	for e := len(ws.etaPivot) - 1; e >= 0; e-- {
+		r := ws.etaPivot[e]
+		acc := out[r]
+		for q := ws.etaStart[e]; q < ws.etaStart[e+1]; q++ {
+			acc -= ws.etaVal[q] * out[ws.etaIdx[q]]
+		}
+		out[r] = acc / ws.etaPivVal[e]
+	}
+	lu := &ws.lu
+	w := ws.wd
+	for k := 0; k < m; k++ {
+		w[k] = out[lu.cpos[k]] // position space -> processing order
+	}
+	lu.utsolve(w[:m])
+	lu.ltsolve(w[:m])
+	for k := 0; k < m; k++ {
+		out[lu.prow[k]] = w[k]
+	}
+}
+
+// ftranSparse computes alpha = B^-1 a_j with pattern tracking: the result
+// lands in ws.alpha (basis-position space) with support ws.alphaPat.
+func (ws *Workspace) ftranSparse(j int) {
+	lu := &ws.lu
+	m := ws.nrows
+	// Stage 1: scatter the column into the row-space scratch.
+	for _, i := range ws.rhsPat {
+		ws.rhs[i] = 0
+	}
+	ws.rhsPat = ws.rhsPat[:0]
+	idx, val, ur, uv := ws.colSpan(j)
+	for p, i := range idx {
+		if ws.rhs[i] == 0 {
+			ws.rhsPat = append(ws.rhsPat, i)
+		}
+		ws.rhs[i] += val[p]
+	}
+	if ur >= 0 {
+		if ws.rhs[ur] == 0 {
+			ws.rhsPat = append(ws.rhsPat, ur)
+		}
+		ws.rhs[ur] += uv
+	}
+	// Stage 2: sparse L-solve, then map original rows to processing order.
+	top := lu.solveLSparse(ws.rhs, ws.rhsPat)
+	ws.rhsPat = ws.rhsPat[:0]
+	ws.wPat = ws.wPat[:0]
+	for p := top; p < m; p++ {
+		i := lu.found[p]
+		k := lu.pinv[i]
+		ws.w[k] = ws.rhs[i]
+		ws.rhs[i] = 0
+		ws.wPat = append(ws.wPat, k)
+	}
+	// Stage 3: sparse U-solve, then map processing order to basis position.
+	top = lu.solveUSparse(ws.w, ws.wPat)
+	ws.wPat = ws.wPat[:0]
+	for _, k := range ws.alphaPat {
+		ws.alpha[k] = 0
+	}
+	ws.alphaPat = ws.alphaPat[:0]
+	ws.alphaVer++
+	for p := top; p < m; p++ {
+		k := lu.found[p]
+		pos := lu.cpos[k]
+		ws.alpha[pos] = ws.w[k]
+		ws.w[k] = 0
+		ws.alphaMark[pos] = ws.alphaVer
+		ws.alphaPat = append(ws.alphaPat, pos)
+	}
+	// Stage 4: the eta file, in order, pattern-aware.
+	for e := 0; e < len(ws.etaPivot); e++ {
+		r := ws.etaPivot[e]
+		xr := ws.alpha[r]
+		if xr == 0 {
+			continue
+		}
+		xr /= ws.etaPivVal[e]
+		ws.alpha[r] = xr
+		for q := ws.etaStart[e]; q < ws.etaStart[e+1]; q++ {
+			k := ws.etaIdx[q]
+			if ws.alphaMark[k] != ws.alphaVer {
+				ws.alphaMark[k] = ws.alphaVer
+				ws.alphaPat = append(ws.alphaPat, k)
+			}
+			ws.alpha[k] -= ws.etaVal[q] * xr
+		}
+	}
+}
+
+// btranRowSparse computes rho_r = B^-T e_r with pattern tracking: the
+// result lands in ws.v (row space) with support ws.vPat. It must run
+// before the pivot's eta is appended (rho is taken against the current
+// basis).
+func (ws *Workspace) btranRowSparse(r int) {
+	lu := &ws.lu
+	m := ws.nrows
+	// Stage 1: unit vector through the transposed eta file, in reverse.
+	for _, k := range ws.erowPat {
+		ws.erow[k] = 0
+	}
+	ws.erowPat = ws.erowPat[:0]
+	ws.erowVer++
+	ws.erow[r] = 1
+	ws.erowMark[r] = ws.erowVer
+	ws.erowPat = append(ws.erowPat, int32(r))
+	for e := len(ws.etaPivot) - 1; e >= 0; e-- {
+		re := ws.etaPivot[e]
+		acc := ws.erow[re]
+		any := acc != 0
+		for q := ws.etaStart[e]; q < ws.etaStart[e+1]; q++ {
+			if x := ws.erow[ws.etaIdx[q]]; x != 0 {
+				acc -= ws.etaVal[q] * x
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		if ws.erowMark[re] != ws.erowVer {
+			ws.erowMark[re] = ws.erowVer
+			ws.erowPat = append(ws.erowPat, re)
+		}
+		ws.erow[re] = acc / ws.etaPivVal[e]
+	}
+	// Stage 2: map basis positions to processing order and solve U^T.
+	ws.wPat = ws.wPat[:0]
+	for _, pos := range ws.erowPat {
+		k := lu.cposInv[pos]
+		ws.w[k] = ws.erow[pos]
+		ws.erow[pos] = 0
+		ws.wPat = append(ws.wPat, k)
+	}
+	ws.erowPat = ws.erowPat[:0]
+	top := lu.solveUTSparse(ws.w, ws.wPat)
+	// Stage 3: L^T over the U^T result's pattern (copied out first: the
+	// DFS reuses the shared found stack).
+	ws.wPat = ws.wPat[:0]
+	for p := top; p < m; p++ {
+		ws.wPat = append(ws.wPat, lu.found[p])
+	}
+	top = lu.solveLTSparse(ws.w, ws.wPat)
+	ws.wPat = ws.wPat[:0]
+	// Stage 4: scatter to row space.
+	for _, i := range ws.vPat {
+		ws.v[i] = 0
+	}
+	ws.vPat = ws.vPat[:0]
+	for p := top; p < m; p++ {
+		k := lu.found[p]
+		i := lu.prow[k]
+		ws.v[i] = ws.w[k]
+		ws.w[k] = 0
+		ws.vPat = append(ws.vPat, i)
+	}
+}
+
+// updateDuals applies the pivot's reduced-cost update: d_j -= theta *
+// (row r of B^-1 A)_j for every column with support in rho_r's rows
+// (rho_r is in ws.v from btranRowSparse). The leaving variable lands at
+// -theta exactly and the entering one at zero.
+func (ws *Workspace) updateDuals(theta float64, lv, q int) {
+	if theta != 0 {
+		p := ws.curProb
+		n := ws.nstruct
+		for _, i := range ws.vPat {
+			rv := ws.v[i]
+			if rv == 0 {
+				continue
+			}
+			f := theta * rv
+			fs := f * ws.rowScale[i]
+			for _, t := range p.cons[i].terms {
+				ws.dred[t.Var] -= fs * t.Coef * ws.colScale[t.Var]
+			}
+			ws.dred[n+int(i)] -= f
+		}
+	}
+	ws.dred[lv] = -theta
+	ws.dred[q] = 0
+	ws.dFresh = false
+}
+
+// colDot returns y·a_j for the row-space vector y.
+func (ws *Workspace) colDot(j int, y []float64) float64 {
+	idx, val, ur, uv := ws.colSpan(j)
+	d := 0.0
+	for p, i := range idx {
+		d += val[p] * y[i]
+	}
+	if ur >= 0 {
+		d += uv * y[ur]
+	}
+	return d
+}
+
+func (ws *Workspace) isBanned(j int) bool {
+	for _, b := range ws.banned {
+		if int(b) == j {
+			return true
+		}
+	}
+	return false
+}
+
+// price scans the nonbasic structural and logical columns (artificials
+// never re-enter) for the entering candidate on the maintained reduced
+// costs: Dantzig normally, first eligible index under Bland's rule.
+// Returns -1 when dual feasible within tolerance.
+func (ws *Workspace) price() int {
+	limit := ws.nstruct + ws.nrows
+	bestJ := -1
+	bestScore := dualTol
+	for j := 0; j < limit; j++ {
+		st := ws.status[j]
+		if st == stBasic || ws.lo[j] == ws.hi[j] {
+			continue
+		}
+		d := ws.dred[j]
+		var score float64
+		if st == nbLower {
+			score = -d
+		} else {
+			score = d
+		}
+		if score > bestScore {
+			if len(ws.banned) > 0 && ws.isBanned(j) {
+				continue
+			}
+			if ws.bland {
+				return j
+			}
+			bestScore, bestJ = score, j
+		}
+	}
+	return bestJ
+}
+
+// primal runs the bounded-variable primal simplex on the current basis
+// and cost vector until dual feasibility. It returns the pivot count.
+func (ws *Workspace) primal(maxIter int) (int, error) {
+	m := ws.nrows
+	ws.banned = ws.banned[:0]
+	ws.degen = 0
+	ws.bland = false
+	iters := 0
+	for {
+		if ws.needRefactor || len(ws.etaPivot) >= ws.refactorLimit() {
+			if err := ws.refresh(); err != nil {
+				return iters, err
+			}
+		}
+		q := ws.price()
+		if q < 0 {
+			// Optimal on the maintained reduced costs; confirm against
+			// exactly recomputed ones unless they are already fresh.
+			if ws.dFresh && len(ws.etaPivot) == 0 {
+				return iters, nil
+			}
+			if err := ws.refresh(); err != nil {
+				return iters, err
+			}
+			if q = ws.price(); q < 0 {
+				return iters, nil
+			}
+		}
+		ws.ftranSparse(q)
+
+		// Bounded ratio test over alpha's pattern: the entering variable
+		// moves by t >= 0 away from its current bound (sigma is the
+		// movement direction), basic variables move by -t*sigma*alpha, and
+		// t is capped by the first basic variable to hit a bound or by the
+		// entering variable's own opposite bound (a bound flip, which
+		// needs no basis change).
+		sigma := 1.0
+		if ws.status[q] == nbUpper {
+			sigma = -1.0
+		}
+		flipT := ws.hi[q] - ws.lo[q]
+		bestT := flipT
+		leave := -1
+		leaveToLower := false
+		if ws.bland {
+			// Strict single-pass test with smallest-index ties: Bland's
+			// anti-cycling guarantee needs the index rule on both halves.
+			for _, k32 := range ws.alphaPat {
+				k := int(k32)
+				a := sigma * ws.alpha[k]
+				bj := ws.basis[k]
+				var t float64
+				var toLower bool
+				if a > pivotTol {
+					l := ws.lo[bj]
+					if math.IsInf(l, -1) {
+						continue
+					}
+					t = (ws.xval[bj] - l) / a
+					toLower = true
+				} else if a < -pivotTol {
+					h := ws.hi[bj]
+					if math.IsInf(h, 1) {
+						continue
+					}
+					t = (h - ws.xval[bj]) / -a
+				} else {
+					continue
+				}
+				if t < 0 {
+					t = 0
+				}
+				if t < bestT-ratioTol ||
+					(leave >= 0 && t < bestT+ratioTol && bj < ws.basis[leave]) {
+					leave, leaveToLower = k, toLower
+					if t < bestT {
+						bestT = t
+					}
+				}
+			}
+		} else {
+			// Harris two-pass ratio test. Pass 1 finds the step limit with
+			// every bound relaxed by a tiny relative slack; pass 2 picks,
+			// among the rows whose strict ratio fits under that limit, the
+			// one with the largest pivot. Nearly parallel supporting-line
+			// cuts make tiny row entries common, and pivoting on one
+			// corrupts the basis within a few eta updates — Harris trades
+			// a bounded (1e-9 relative, refactorization-absorbed) bound
+			// overshoot for a stable pivot.
+			tlim := flipT
+			for _, k32 := range ws.alphaPat {
+				k := int(k32)
+				a := sigma * ws.alpha[k]
+				bj := ws.basis[k]
+				var t float64
+				if a > pivotTol {
+					l := ws.lo[bj]
+					if math.IsInf(l, -1) {
+						continue
+					}
+					t = (ws.xval[bj] - l + tol*(1+math.Abs(l))) / a
+				} else if a < -pivotTol {
+					h := ws.hi[bj]
+					if math.IsInf(h, 1) {
+						continue
+					}
+					t = (h + tol*(1+math.Abs(h)) - ws.xval[bj]) / -a
+				} else {
+					continue
+				}
+				if t < tlim {
+					tlim = t
+				}
+			}
+			if tlim < 0 {
+				// A basic variable sits outside its bound by more than the
+				// Harris slack (accumulated overshoot surfaced by the last
+				// refactorization). A degenerate pivot on that row snaps it
+				// back onto its bound, so the step limit is zero, not
+				// negative — leaving it negative would disqualify every row
+				// and fake an unbounded ray.
+				tlim = 0
+			}
+			if !math.IsInf(tlim, 1) {
+				bestA := 0.0
+				for _, k32 := range ws.alphaPat {
+					k := int(k32)
+					a := sigma * ws.alpha[k]
+					bj := ws.basis[k]
+					var t float64
+					var toLower bool
+					if a > pivotTol {
+						l := ws.lo[bj]
+						if math.IsInf(l, -1) {
+							continue
+						}
+						t = (ws.xval[bj] - l) / a
+						toLower = true
+					} else if a < -pivotTol {
+						h := ws.hi[bj]
+						if math.IsInf(h, 1) {
+							continue
+						}
+						t = (h - ws.xval[bj]) / -a
+					} else {
+						continue
+					}
+					if t < 0 {
+						t = 0
+					}
+					if t <= tlim {
+						if am := math.Abs(ws.alpha[k]); am > bestA {
+							bestA, leave, leaveToLower = am, k, toLower
+							bestT = t
+						}
+					}
+				}
+				if leave >= 0 && flipT <= bestT {
+					leave = -1 // the bound flip is at least as tight: cheaper
+					bestT = flipT
+				}
+			}
+		}
+		if leave < 0 && math.IsInf(bestT, 1) {
+			// An unbounded ray is only trusted on exact reduced costs and
+			// a fresh factorization; stale maintained duals can point at a
+			// phantom direction.
+			if ws.dFresh && len(ws.etaPivot) == 0 {
+				return iters, ErrUnbounded
+			}
+			if err := ws.refresh(); err != nil {
+				return iters, err
+			}
+			continue
+		}
+		if leave >= 0 {
+			piv := math.Abs(ws.alpha[leave])
+			if piv < 1e-7 && len(ws.etaPivot) > 0 {
+				// Unstable pivot on an aged factorization: refactorize and
+				// retry the iteration with exact alphas.
+				ws.needRefactor = true
+				continue
+			}
+			if piv < 1e-10 {
+				ws.banned = append(ws.banned, int32(q))
+				continue
+			}
+		}
+
+		if bestT > 0 {
+			for _, k := range ws.alphaPat {
+				if a := ws.alpha[k]; a != 0 {
+					ws.xval[ws.basis[k]] -= bestT * sigma * a
+				}
+			}
+		}
+		if leave < 0 {
+			// Bound flip: the entering variable crosses to its other bound.
+			if sigma > 0 {
+				ws.xval[q] = ws.hi[q]
+				ws.status[q] = nbUpper
+			} else {
+				ws.xval[q] = ws.lo[q]
+				ws.status[q] = nbLower
+			}
+		} else {
+			theta := ws.dred[q] / ws.alpha[leave]
+			ws.btranRowSparse(leave) // against the pre-pivot basis
+			lv := ws.basis[leave]
+			ws.xval[q] += sigma * bestT
+			if leaveToLower {
+				ws.xval[lv] = ws.lo[lv]
+				ws.status[lv] = nbLower
+			} else {
+				ws.xval[lv] = ws.hi[lv]
+				ws.status[lv] = nbUpper
+			}
+			ws.status[q] = stBasic
+			ws.basis[leave] = int32(q)
+			ws.appendEta(leave)
+			ws.updateDuals(theta, int(lv), q)
+			ws.banned = ws.banned[:0]
+			if bestT <= degenTol {
+				ws.degen++
+				if ws.degen > m+100 {
+					ws.bland = true // anti-cycling: switch to Bland's rule
+				}
+			} else {
+				ws.degen = 0
+				ws.bland = false
+			}
+		}
+		iters++
+		if iters > maxIter {
+			return iters, ErrIterLimit
+		}
+	}
+}
+
+// repairSingular recovers from a numerically singular basis: the column
+// that found no usable pivot during factorization is ousted to its nearer
+// bound and replaced by the logical of a still-unpivoted row. The crash
+// ordering factors unit columns first, so an unpivoted row's logical is
+// necessarily nonbasic and the swap restores structural nonsingularity;
+// a few retries handle cascading near-dependence. Only the dual simplex
+// uses this — the bound violations the swap introduces are exactly what
+// it knows how to repair.
+func (ws *Workspace) repairSingular() error {
+	for attempt := 0; attempt < 16; attempt++ {
+		pos := int(ws.lu.failPos)
+		row := ws.lu.failRow
+		if row < 0 || pos < 0 || pos >= ws.nrows {
+			return ErrSingular
+		}
+		ousted := int(ws.basis[pos])
+		s := ws.nstruct + int(row)
+		if ws.status[s] == stBasic {
+			return ErrSingular // cannot happen under crash ordering; bail
+		}
+		lo, hi := ws.lo[ousted], ws.hi[ousted]
+		x := ws.xval[ousted]
+		if math.IsInf(hi, 1) || (!math.IsInf(lo, -1) && x-lo <= hi-x) {
+			ws.xval[ousted] = lo
+			ws.status[ousted] = nbLower
+		} else {
+			ws.xval[ousted] = hi
+			ws.status[ousted] = nbUpper
+		}
+		ws.basis[pos] = int32(s)
+		ws.status[s] = stBasic
+		err := ws.refresh()
+		if err == nil {
+			return nil
+		}
+		if err != ErrSingular {
+			return err
+		}
+	}
+	return ErrSingular
+}
+
+// dual runs the bounded-variable dual simplex: while some basic variable
+// violates a bound, it leaves toward that bound and the entering column
+// is chosen by the dual ratio test so reduced costs stay dual feasible.
+// Requires a dual-feasible starting basis (an optimal basis of the
+// problem before rows were appended).
+func (ws *Workspace) dual(maxIter int) (int, error) {
+	m := ws.nrows
+	iters := 0
+	streak := 0 // consecutive degenerate (zero-ratio) dual pivots
+	bland := false
+	for {
+		if ws.needRefactor || len(ws.etaPivot) >= ws.refactorLimit() {
+			if err := ws.refresh(); err != nil {
+				if err == ErrSingular {
+					err = ws.repairSingular()
+				}
+				if err != nil {
+					return iters, err
+				}
+			}
+		}
+		// Leaving variable: the largest relative bound violation (under
+		// Bland-style anti-cycling: the first violated position). The
+		// threshold sits an order of magnitude above the Harris ratio
+		// test's bound slack so the dual does not chase that debris.
+		r := -1
+		worst := 10 * tol
+		toLower := false
+		for k := 0; k < m; k++ {
+			bj := ws.basis[k]
+			x := ws.xval[bj]
+			if l := ws.lo[bj]; x < l {
+				if vl := (l - x) / (1 + math.Abs(l)); vl > worst {
+					worst, r, toLower = vl, k, true
+					if bland {
+						break
+					}
+				}
+			}
+			if h := ws.hi[bj]; x > h {
+				if vh := (x - h) / (1 + math.Abs(h)); vh > worst {
+					worst, r, toLower = vh, k, false
+					if bland {
+						break
+					}
+				}
+			}
+		}
+		if r < 0 {
+			return iters, nil // primal feasible, dual feasible: optimal
+		}
+		ws.btranRowSparse(r) // rho_r, row space, in ws.v
+
+		// Entering candidates are exactly the columns with support in
+		// rho_r's rows (any other column has a zero row entry).
+		ws.candVer++
+		ws.cand = ws.cand[:0]
+		p := ws.curProb
+		n := ws.nstruct
+		for _, i := range ws.vPat {
+			if ws.v[i] == 0 {
+				continue
+			}
+			for _, t := range p.cons[i].terms {
+				if ws.candMark[t.Var] != ws.candVer {
+					ws.candMark[t.Var] = ws.candVer
+					ws.cand = append(ws.cand, int32(t.Var))
+				}
+			}
+			s := n + int(i)
+			if ws.candMark[s] != ws.candVer {
+				ws.candMark[s] = ws.candVer
+				ws.cand = append(ws.cand, int32(s))
+			}
+		}
+
+		// Dual ratio test. When the leaving variable sits above its upper
+		// bound it must decrease, so an entering variable moving away from
+		// lower needs a positive row entry (and the mirror cases below);
+		// among eligible columns the smallest |d_j| / |a_rj| keeps every
+		// reduced cost on its dual-feasible side. Adjacent supporting-line
+		// cuts are nearly parallel rows, so tiny row entries abound and a
+		// 1e-9-sized pivot corrupts the basis within a few updates; the
+		// test therefore runs at two pivot thresholds, preferring any
+		// stable candidate (>= stabTol) and accepting a tiny one only when
+		// no stable column is eligible at all (the dual-feasibility drift
+		// of the skipped tiny columns is below the refresh tolerance).
+		// Thresholds are relative to rho's magnitude: with ill-conditioned
+		// bases rho carries entries in the thousands, and a row dot product
+		// that cancels down to 1e-7 is noise, not a pivot — treating it as
+		// one corrupts the basis (the FTRANed pivot then comes out as an
+		// exact zero).
+		rhoNorm := 0.0
+		for _, i := range ws.vPat {
+			if a := math.Abs(ws.v[i]); a > rhoNorm {
+				rhoNorm = a
+			}
+		}
+		minPiv := pivotTol * (1 + rhoNorm)
+		stabPiv := 1e-7 * (1 + rhoNorm)
+		lv := int(ws.basis[r])
+		q, qWeak := -1, -1
+		bestRatio, weakRatio := math.Inf(1), math.Inf(1)
+		bestMag, weakMag := 0.0, 0.0
+		for _, j32 := range ws.cand {
+			j := int(j32)
+			st := ws.status[j]
+			if st == stBasic || ws.lo[j] == ws.hi[j] {
+				continue
+			}
+			arj := ws.colDot(j, ws.v)
+			if arj > -minPiv && arj < minPiv {
+				continue
+			}
+			ok := false
+			if toLower { // leaving variable must increase
+				ok = (st == nbLower && arj < 0) || (st == nbUpper && arj > 0)
+			} else { // leaving variable must decrease
+				ok = (st == nbLower && arj > 0) || (st == nbUpper && arj < 0)
+			}
+			if !ok {
+				continue
+			}
+			d := ws.dred[j]
+			var dmag float64
+			if st == nbLower {
+				dmag = math.Max(d, 0)
+			} else {
+				dmag = math.Max(-d, 0)
+			}
+			amag := math.Abs(arj)
+			ratio := dmag / amag
+			if amag < stabPiv {
+				if ratio < weakRatio-ratioTol || (qWeak >= 0 && ratio < weakRatio+ratioTol && amag > weakMag) || qWeak < 0 {
+					qWeak, weakMag = j, amag
+					if ratio < weakRatio {
+						weakRatio = ratio
+					}
+				}
+				continue
+			}
+			if ratio < bestRatio-ratioTol {
+				q, bestRatio, bestMag = j, ratio, amag
+			} else if q >= 0 && ratio < bestRatio+ratioTol {
+				// Tie-break: Bland picks the smallest column index (dual
+				// anti-cycling), otherwise the larger pivot for stability.
+				if bland {
+					if j < q {
+						q, bestMag = j, amag
+						if ratio < bestRatio {
+							bestRatio = ratio
+						}
+					}
+				} else if amag > bestMag {
+					q, bestMag = j, amag
+					if ratio < bestRatio {
+						bestRatio = ratio
+					}
+				}
+			}
+		}
+		if q < 0 {
+			q, bestRatio = qWeak, weakRatio
+		}
+		if q < 0 {
+			// No entering column can repair the violated row: the appended
+			// rows made the problem primal infeasible.
+			return iters, ErrInfeasible
+		}
+		ws.ftranSparse(q)
+		piv := ws.alpha[r]
+		alphaNorm := 0.0
+		for _, k := range ws.alphaPat {
+			if a := math.Abs(ws.alpha[k]); a > alphaNorm {
+				alphaNorm = a
+			}
+		}
+		if pm := math.Abs(piv); pm < 1e-7*(1+alphaNorm) {
+			if len(ws.etaPivot) > 0 {
+				ws.needRefactor = true
+				continue
+			}
+			if pm < 1e-9*(1+alphaNorm) {
+				return iters, ErrSingular
+			}
+		}
+		target := ws.hi[lv]
+		if toLower {
+			target = ws.lo[lv]
+		}
+		t := (ws.xval[lv] - target) / piv
+		for _, k := range ws.alphaPat {
+			if a := ws.alpha[k]; a != 0 {
+				ws.xval[ws.basis[k]] -= t * a
+			}
+		}
+		theta := ws.dred[q] / piv
+		ws.xval[q] += t
+		ws.xval[lv] = target
+		if toLower {
+			ws.status[lv] = nbLower
+		} else {
+			ws.status[lv] = nbUpper
+		}
+		ws.status[q] = stBasic
+		ws.basis[r] = int32(q)
+		ws.appendEta(r)
+		ws.updateDuals(theta, lv, q)
+		// Degenerate dual pivots (zero reduced-cost ratio) leave the dual
+		// objective flat and can cycle; a long streak flips both selection
+		// rules to Bland's (index) order until progress resumes.
+		if bestRatio <= 1e-12 {
+			streak++
+			if streak > 100 {
+				bland = true
+			}
+		} else {
+			streak = 0
+			bland = false
+		}
+		iters++
+		if iters > maxIter {
+			return iters, ErrIterLimit
+		}
+	}
+}
+
+// purgeArtificials swaps any artificial still basic (necessarily at value
+// zero after the phases) for its row's logical column — both are unit
+// columns in the same row, so the basis stays nonsingular — and drops the
+// artificial block entirely, leaving a basis over structural and logical
+// columns only. This is what makes the warm restart of ReSolveWith
+// possible: appended rows reuse the logical index space the artificials
+// would otherwise occupy.
+func (ws *Workspace) purgeArtificials() {
+	if ws.nart == 0 {
+		return
+	}
+	artBase := ws.nstruct + ws.nrows
+	for k := 0; k < ws.nrows; k++ {
+		if j := int(ws.basis[k]); j >= artBase {
+			s := ws.nstruct + int(ws.artRow[j-artBase])
+			ws.basis[k] = int32(s)
+			ws.status[s] = stBasic
+			ws.xval[s] = 0
+			ws.needRefactor = true
+		}
+	}
+	ws.nart = 0
+}
+
+// perturbCosts adds a tiny deterministic, status-aligned perturbation to
+// every structural and logical cost: columns resting at their lower bound
+// are nudged up, columns at their upper bound down, so reduced costs move
+// strictly away from zero and the current basis stays dual feasible. The
+// allotment LP is massively dual degenerate (every cost is zero except the
+// makespan's), which makes unperturbed Dantzig and dual ratio tests stall
+// on ties; the perturbation breaks every tie deterministically. polish()
+// removes it again before a solution is extracted.
+func (ws *Workspace) perturbCosts() {
+	limit := ws.nstruct + ws.nrows
+	for j := 0; j < limit; j++ {
+		if ws.lo[j] == ws.hi[j] {
+			continue
+		}
+		// Golden-ratio hash: deterministic, well spread, allocation free.
+		u := float64(j)*0.6180339887498949 + 0.5
+		u -= math.Floor(u) // in [0, 1)
+		eps := perturbScale * (1 + math.Abs(ws.cost[j])) * (0.5 + 0.5*u)
+		if ws.status[j] == nbUpper {
+			ws.cost[j] -= eps
+		} else {
+			ws.cost[j] += eps
+		}
+	}
+	ws.dFresh = false
+}
+
+// polish restores the true costs after a perturbed run and re-optimises;
+// the perturbed optimum is primal feasible and near-optimal, so this is
+// typically a handful of pivots.
+func (ws *Workspace) polish(p *Problem, maxIter int) (int, error) {
+	ws.setPhase2Cost(p)
+	if !ws.needRefactor {
+		ws.recomputeDuals()
+	}
+	return ws.primal(maxIter)
+}
+
+func (ws *Workspace) setPhase1Cost() {
+	nc := ws.ncols()
+	for j := 0; j < nc; j++ {
+		ws.cost[j] = 0
+	}
+	for a := 0; a < ws.nart; a++ {
+		ws.cost[ws.nstruct+ws.nrows+a] = 1
+	}
+}
+
+func (ws *Workspace) setPhase2Cost(p *Problem) {
+	nc := ws.ncols()
+	for j := 0; j < ws.nstruct; j++ {
+		ws.cost[j] = p.obj[j] * ws.colScale[j]
+	}
+	for j := ws.nstruct; j < nc; j++ {
+		ws.cost[j] = 0
+	}
+}
+
+func (ws *Workspace) extract(p *Problem) *Solution {
+	n := ws.nstruct
+	ws.solx = grow(ws.solx, n)
+	for j := 0; j < n; j++ {
+		ws.solx[j] = ws.xval[j] * ws.colScale[j]
+	}
+	obj := 0.0
+	for v, c := range p.obj {
+		obj += c * ws.solx[v]
+	}
+	ws.sol = Solution{X: ws.solx[:n], Obj: obj, Stats: ws.stats}
+	return &ws.sol
+}
+
+// SolveWith runs the sparse revised simplex using ws's buffers (a nil ws
+// behaves like Solve). Aliasing contract: the returned Solution and its X
+// slice alias workspace memory and are overwritten by the next SolveWith
+// or ReSolveWith call on the same workspace; callers keeping results
+// across solves must copy them out (Problem.Solve does exactly that).
+// The problem itself is never modified, so it may be re-solved, rebuilt
+// or extended freely.
+func (p *Problem) SolveWith(ws *Workspace) (*Solution, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	ws.solvedRows = -1 // invalidated until this solve succeeds
+	if p.nvars == 0 {
+		ws.sol = Solution{}
+		return &ws.sol, nil
+	}
+	ws.stats = Stats{}
+	ws.build(p)
+	ws.computeScales(p, 0)
+	ws.applyScales()
+	m := ws.nrows
+	ws.startBasis(p)
+	ws.growScratch()
+	ws.resetEtas()
+	ws.needRefactor = true
+	ws.stats.Rows, ws.stats.Cols = m, ws.ncols()
+	maxIter := 200*(m+ws.ncols()) + 2000
+
+	if ws.nart > 0 {
+		ws.setPhase1Cost()
+		iters, err := ws.primal(maxIter)
+		ws.stats.Phase1Iters = iters
+		if err != nil {
+			return nil, fmt.Errorf("phase 1: %w", err)
+		}
+		sum := 0.0
+		for a := 0; a < ws.nart; a++ {
+			sum += ws.xval[ws.nstruct+ws.nrows+a]
+		}
+		if sum > 1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Freeze the artificials at zero; fixed columns never re-enter.
+		for a := 0; a < ws.nart; a++ {
+			j := ws.nstruct + ws.nrows + a
+			ws.lo[j], ws.hi[j] = 0, 0
+		}
+	}
+
+	ws.setPhase2Cost(p)
+	ws.perturbCosts()
+	// The cost vector changed, so the maintained duals are stale. With a
+	// live factorization (post phase 1) recompute them now; otherwise the
+	// primal loop's first refresh will.
+	if !ws.needRefactor {
+		ws.recomputeDuals()
+	}
+	iters, err := ws.primal(maxIter)
+	ws.stats.Phase2Iters = iters
+	if err != nil {
+		return nil, err
+	}
+	if !ws.DeferPolish {
+		iters, err = ws.polish(p, maxIter)
+		ws.stats.Phase2Iters += iters
+		if err != nil {
+			return nil, err
+		}
+	}
+	ws.purgeArtificials()
+	// Final hygiene: refactorize the purged basis and recompute the basic
+	// values without eta-file drift before extracting the solution.
+	if err := ws.factorize(); err != nil {
+		return nil, err
+	}
+	ws.solvedVars, ws.solvedRows = p.nvars, len(p.cons)
+	return ws.extract(p), nil
+}
+
+// ReSolveWith re-optimises after constraint rows were appended to p since
+// the last successful SolveWith/ReSolveWith on ws, warm-starting the dual
+// simplex from the previous optimal basis (which stays dual feasible
+// under row appends). Only appends are supported: the caller must not
+// have added variables, changed bounds, edited existing rows, or touched
+// the objective — any detectable mismatch, and any numerical failure of
+// the warm path, falls back to a cold SolveWith. The returned Solution
+// aliases workspace memory exactly like SolveWith.
+func (p *Problem) ReSolveWith(ws *Workspace) (*Solution, error) {
+	if ws == nil || ws.solvedRows < 0 || ws.solvedVars != p.nvars ||
+		len(p.cons) < ws.solvedRows || ws.nart != 0 || p.nvars == 0 {
+		return p.SolveWith(ws)
+	}
+	oldRows := ws.solvedRows
+	ws.solvedRows = -1
+	ws.stats = Stats{}
+	ws.build(p) // refreshes the CSC matrix with the appended rows' entries
+	ws.computeScales(p, oldRows)
+	ws.applyScales()
+	n, m := ws.nstruct, ws.nrows
+	ncols := n + m
+	ws.stats.Rows, ws.stats.Cols = m, ncols
+	ws.lo = extend(ws.lo, ncols)
+	ws.hi = extend(ws.hi, ncols)
+	ws.cost = extend(ws.cost, ncols)
+	ws.xval = extend(ws.xval, ncols)
+	ws.status = extend(ws.status, ncols)
+	ws.basis = extend(ws.basis, m)
+	for j := 0; j < n; j++ { // structural bounds are unchanged by contract
+		ws.lo[j] = p.lo[j] / ws.colScale[j]
+		ws.hi[j] = p.hi[j] / ws.colScale[j]
+	}
+	ws.setPhase2Cost(p)
+	// Each appended row's logical enters the basis at the row's current
+	// activity residual; bound violations there are the dual's work list.
+	for i := oldRows; i < m; i++ {
+		s := n + i
+		switch p.cons[i].sense {
+		case LE:
+			ws.lo[s], ws.hi[s] = 0, math.Inf(1)
+		case GE:
+			ws.lo[s], ws.hi[s] = math.Inf(-1), 0
+		case EQ:
+			ws.lo[s], ws.hi[s] = 0, 0
+		}
+		resid := ws.b[i] // already row-scaled
+		for _, t := range p.cons[i].terms {
+			resid -= ws.rowScale[i] * t.Coef * ws.colScale[t.Var] * ws.xval[t.Var]
+		}
+		ws.basis[i] = int32(s)
+		ws.status[s] = stBasic
+		ws.xval[s] = resid
+	}
+	ws.perturbCosts() // see perturbCosts: status-aligned, so still dual feasible
+	ws.growScratch()
+	ws.needRefactor = true
+	// The dual restart should need on the order of one pivot per appended
+	// row (plus knock-on repairs); a run far beyond that means degenerate
+	// thrashing, where the cold solve below is the cheaper way out.
+	maxIter := 500 + 40*(m-oldRows) + m/4
+	iters, err := ws.dual(maxIter)
+	ws.stats.Phase2Iters = iters
+	if err == nil && !ws.DeferPolish {
+		iters, err = ws.polish(p, maxIter)
+		ws.stats.Phase2Iters += iters
+	}
+	if err != nil {
+		if err == ErrInfeasible {
+			return nil, err
+		}
+		return p.SolveWith(ws) // numerical trouble: cold restart is sound
+	}
+	if err := ws.factorize(); err != nil {
+		return p.SolveWith(ws)
+	}
+	ws.solvedVars, ws.solvedRows = p.nvars, len(p.cons)
+	return ws.extract(p), nil
+}
+
+// PolishWith removes the deferred cost perturbation from the last
+// DeferPolish solve on ws: it restores the true objective, re-optimises
+// from the current (near-optimal, primal feasible) basis and extracts an
+// exact optimum. Without a matching prior solve it falls back to a cold
+// SolveWith first. The returned Solution aliases workspace memory exactly
+// like SolveWith.
+func (p *Problem) PolishWith(ws *Workspace) (*Solution, error) {
+	if ws == nil {
+		ws = NewWorkspace()
+	}
+	if p.nvars == 0 {
+		ws.sol = Solution{}
+		return &ws.sol, nil
+	}
+	if ws.solvedRows != len(p.cons) || ws.solvedVars != p.nvars || ws.nart != 0 {
+		if _, err := p.SolveWith(ws); err != nil {
+			return nil, err
+		}
+	}
+	ws.solvedRows = -1
+	maxIter := 200*(ws.nrows+ws.ncols()) + 2000
+	iters, err := ws.polish(p, maxIter)
+	ws.stats.Phase2Iters += iters
+	if err != nil {
+		return nil, err
+	}
+	if err := ws.factorize(); err != nil {
+		return nil, err
+	}
+	ws.solvedVars, ws.solvedRows = p.nvars, len(p.cons)
+	return ws.extract(p), nil
+}
+
+// extend returns s resized to n, preserving existing contents (unlike
+// grow, whose contents are unspecified after reallocation).
+func extend[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	t := make([]T, n, c)
+	copy(t, s)
+	return t
+}

@@ -1,11 +1,13 @@
 // Package solver bundles the reusable per-worker state of the full
-// two-phase pipeline: the phase-1 LP workspace (simplex tableau, pricing
-// buffers, task frontiers — see internal/allot) and the phase-2 list
+// two-phase pipeline: the phase-1 LP workspace (sparse CSC model, basis
+// factorization and eta file, pricing buffers, task frontiers and lazy-cut
+// bookkeeping — see internal/allot and internal/lp) and the phase-2 list
 // scheduler workspace (capacity profile, ready queue — see
 // internal/listsched). One Workspace is owned by one goroutine at a time
 // and is threaded through core.SolveWith, the baseline heuristics and the
 // engine's workers, so repeated solves amortise every solver allocation in
-// both phases.
+// both phases — including the dual-simplex warm restarts of the phase-1
+// cut loop, which reuse the previous round's basis inside the same call.
 package solver
 
 import (
