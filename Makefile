@@ -12,7 +12,13 @@ GO ?= go
 # local-only (go test -bench ListReference .).
 BENCH_SMOKE = Phase1LP|WorkspaceReuse|PoolThroughput|List$$|ListReference/layered
 
-.PHONY: all build test race bench bench-json lint staticcheck ci testdata
+# The benchmarks the CI regression gate fails on (>25% ns/op growth vs the
+# previous push's baseline): the phase-1 LP scenarios, the phase-2 profile
+# scheduler scenarios, and the serving paths. Deliberately excludes the
+# micro-benchmarks (Phase2List at 27us would gate on scheduler jitter).
+BENCH_KEY = BenchmarkPhase1LP/|BenchmarkList/|BenchmarkServe/
+
+.PHONY: all build test race bench bench-json bench-gate cover lint staticcheck ci testdata
 
 all: build
 
@@ -30,14 +36,37 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchmem .
 
-# Machine-readable benchmark records for the two phases, one file each
-# (CI uploads them, so the bench trajectory is recorded per push). The
-# files are go test -json streams; the Output fields carry the standard
-# benchmark lines, so `jq -r 'select(.Action=="output").Output' | benchstat -`
-# feeds them straight into benchstat.
+# Machine-readable benchmark records, one file per subsystem (seed copies
+# are committed so the repo's bench trajectory has a baseline; CI uploads
+# fresh ones per push and gates on them, see bench-gate). The files are
+# go test -json streams; the Output fields carry the standard benchmark
+# lines, so `jq -r 'select(.Action=="output").Output' | benchstat -` feeds
+# them straight into benchstat, and cmd/benchgate parses them directly.
 bench-json:
 	$(GO) test -run '^$$' -bench 'Phase1LP|Phase1Reference/erdos|WorkspaceReuse' -benchtime=1x -benchmem -json . > BENCH_phase1.json
 	$(GO) test -run '^$$' -bench 'List$$|ListReference/layered' -benchtime=1x -benchmem -json . > BENCH_phase2.json
+	$(GO) test -run '^$$' -bench 'Serve' -benchtime=1x -benchmem -json ./internal/server > BENCH_serve.json
+
+# Benchmark-regression gate: compare the current bench-json records against
+# the previous run's copies in bench-baseline/ (CI restores that directory
+# from the previous push via actions/cache; locally: mkdir bench-baseline &&
+# cp BENCH_*.json bench-baseline/ before changing code). Missing baseline
+# files seed instead of failing.
+bench-gate:
+	@for f in BENCH_phase1.json BENCH_phase2.json BENCH_serve.json; do \
+		$(GO) run ./cmd/benchgate -baseline bench-baseline/$$f -current $$f \
+			-key '$(BENCH_KEY)' -threshold 1.25 || exit 1; \
+	done
+
+# Coverage profile + per-package summary + the internal/server floor the CI
+# coverage job enforces (soft there, hard here).
+cover:
+	$(GO) test -coverprofile=cover.out ./... > coverage.txt || { cat coverage.txt; exit 1; }
+	@cat coverage.txt
+	$(GO) tool cover -func=cover.out | tail -1
+	@pct=$$(grep -o 'internal/server.*coverage: [0-9.]*' coverage.txt | grep -o '[0-9.]*$$'); \
+	echo "internal/server coverage: $$pct%"; \
+	awk -v p="$$pct" 'BEGIN { exit !(p >= 70) }' || { echo "internal/server below 70% floor" >&2; exit 1; }
 
 lint:
 	@unformatted=$$(gofmt -l .); \

@@ -1,0 +1,74 @@
+// Command benchgate is the CI benchmark-regression gate: it compares a
+// current benchmark run against the previous push's baseline and exits
+// non-zero when a key benchmark slowed down past the threshold.
+//
+//	benchgate -baseline BENCH_old.json -current BENCH_new.json \
+//	          [-key 'BenchmarkPhase1LP/|BenchmarkList/'] [-threshold 1.25]
+//
+// Both files may be plain `go test -bench` output or `go test -json`
+// streams (the BENCH_*.json records of `make bench-json`). A missing
+// baseline file is not an error — the first run on a branch seeds the
+// baseline instead of failing — and benchmarks present on only one side
+// never gate, so adding or renaming benchmarks cannot wedge CI.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"malsched/internal/benchfmt"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "", "baseline benchmark file (missing = seed run, exit 0)")
+	currentPath := flag.String("current", "", "current benchmark file (required)")
+	keyExpr := flag.String("key", ".", "regexp of gated benchmark names")
+	threshold := flag.Float64("threshold", 1.25, "fail when new/old ns/op exceeds this on a gated benchmark")
+	flag.Parse()
+	if *currentPath == "" || *baselinePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	key, err := regexp.Compile(*keyExpr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -key regexp: %w", err))
+	}
+
+	if _, err := os.Stat(*baselinePath); os.IsNotExist(err) {
+		fmt.Printf("benchgate: no baseline at %s — seeding from current run\n", *baselinePath)
+		return
+	}
+	baseline := parseFile(*baselinePath)
+	current := parseFile(*currentPath)
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark results in %s", *currentPath))
+	}
+
+	deltas, regressed := benchfmt.Compare(baseline, current, key, *threshold)
+	benchfmt.Format(os.Stdout, deltas, *threshold)
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchgate: key benchmark regressed past %.2fx against %s\n", *threshold, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: no gated regression")
+}
+
+func parseFile(path string) map[string]benchfmt.Result {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	res, err := benchfmt.Parse(f)
+	if err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	return res
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,236 @@
+// Command loadgen is a closed-loop load driver for malschedd: a fixed
+// number of workers each keep exactly one POST /v1/solve in flight,
+// replaying instances from testdata/ (plus optionally larger generated
+// ones) and reporting throughput, latency percentiles and the server's
+// cache behaviour. With -c 500 it holds 500 concurrent in-flight solves —
+// the serving scale target of EXPERIMENTS.md E12.
+//
+//	loadgen -addr http://127.0.0.1:8080 -c 500 -d 20s [-testdata testdata]
+//	        [-gen 4] [-algo auto] [-no-cache] [-deadline-ms 0]
+//
+// The exit status is non-zero if any request failed, so the E12 "zero
+// errors under load" criterion is scriptable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"malsched"
+	"malsched/internal/gen"
+)
+
+// request mirrors internal/server.SolveRequest (the cmd keeps no import on
+// the server internals; the wire format is the contract).
+type request struct {
+	Instance   *malsched.Instance `json:"instance"`
+	Algo       string             `json:"algo,omitempty"`
+	DeadlineMS float64            `json:"deadline_ms,omitempty"`
+	NoCache    bool               `json:"no_cache,omitempty"`
+}
+
+type workerStats struct {
+	latencies []time.Duration
+	outcomes  map[string]int
+	errs      int
+	errSample string
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "malschedd base URL")
+	c := flag.Int("c", 16, "concurrent in-flight requests (closed loop)")
+	d := flag.Duration("d", 10*time.Second, "run duration")
+	testdataDir := flag.String("testdata", "testdata", "directory of instance JSON files")
+	genExtra := flag.Int("gen", 0, "additional generated layered n=96 m=16 instances in the mix")
+	algo := flag.String("algo", "", "algo field for every request (empty = auto routing)")
+	deadlineMS := flag.Float64("deadline-ms", 0, "deadline_ms field for every request")
+	noCache := flag.Bool("no-cache", false, "bypass the server's result cache (cold path)")
+	seed := flag.Int64("seed", 411, "seed for generated instances")
+	flag.Parse()
+
+	bodies, names, err := loadMix(*testdataDir, *genExtra, *seed, *algo, *deadlineMS, *noCache)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("loadgen: %d workers for %v against %s (%d instances: %s)\n",
+		*c, *d, *addr, len(bodies), names)
+
+	client := &http.Client{
+		Timeout: 5 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        *c,
+			MaxIdleConnsPerHost: *c,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+	url := *addr + "/v1/solve"
+
+	var next atomic.Int64 // round-robin instance cursor across workers
+	stats := make([]workerStats, *c)
+	deadline := time.Now().Add(*d)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func(st *workerStats) {
+			defer wg.Done()
+			st.outcomes = make(map[string]int)
+			for time.Now().Before(deadline) {
+				body := bodies[int(next.Add(1))%len(bodies)]
+				t0 := time.Now()
+				outcome, err := solveOnce(client, url, body)
+				lat := time.Since(t0)
+				if err != nil {
+					st.errs++
+					if st.errSample == "" {
+						st.errSample = err.Error()
+					}
+					continue
+				}
+				st.latencies = append(st.latencies, lat)
+				st.outcomes[outcome]++
+			}
+		}(&stats[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	outcomes := map[string]int{}
+	errs, errSample := 0, ""
+	for i := range stats {
+		all = append(all, stats[i].latencies...)
+		for k, v := range stats[i].outcomes {
+			outcomes[k] += v
+		}
+		errs += stats[i].errs
+		if errSample == "" {
+			errSample = stats[i].errSample
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+
+	fmt.Printf("requests: %d ok, %d errors in %.1fs — %.1f req/s\n",
+		len(all), errs, elapsed.Seconds(), float64(len(all))/elapsed.Seconds())
+	fmt.Printf("cache: hit %d, shared %d, miss %d, bypass %d\n",
+		outcomes["hit"], outcomes["shared"], outcomes["miss"], outcomes["bypass"])
+	if len(all) > 0 {
+		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+			pct(all, 50), pct(all, 90), pct(all, 99), all[len(all)-1].Round(time.Microsecond))
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d requests failed (first: %s)\n", errs, errSample)
+		os.Exit(1)
+	}
+}
+
+// loadMix reads every testdata instance and appends genExtra generated
+// layered instances, returning pre-marshalled request bodies.
+func loadMix(dir string, genExtra int, seed int64, algo string, deadlineMS float64, noCache bool) ([][]byte, string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, "", err
+	}
+	var bodies [][]byte
+	var names []string
+	marshal := func(name string, in *malsched.Instance) error {
+		raw, err := json.Marshal(request{Instance: in, Algo: algo, DeadlineMS: deadlineMS, NoCache: noCache})
+		if err != nil {
+			return err
+		}
+		bodies = append(bodies, raw)
+		names = append(names, name)
+		return nil
+	}
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, "", err
+		}
+		in, err := malsched.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, "", fmt.Errorf("%s: %w", p, err)
+		}
+		if err := marshal(filepath.Base(p), in); err != nil {
+			return nil, "", err
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < genExtra; i++ {
+		g := gen.Layered(12, 8, 2, rng) // n = 96
+		in := &malsched.Instance{M: 16, Tasks: gen.Tasks(gen.FamilyMixed, g.N(), 16, rng)}
+		for v := 0; v < g.N(); v++ {
+			for _, w := range g.Succs(v) {
+				in.Edges = append(in.Edges, [2]int{v, w})
+			}
+		}
+		if err := marshal(fmt.Sprintf("gen-layered-%d", i), in); err != nil {
+			return nil, "", err
+		}
+	}
+	if len(bodies) == 0 {
+		return nil, "", fmt.Errorf("no instances found under %s and -gen 0", dir)
+	}
+	return bodies, fmt.Sprint(names), nil
+}
+
+// solveOnce posts one request and extracts the response's cache outcome
+// without a full JSON decode (the driver shares a machine with the server
+// in the E12 setup; client-side parsing must stay out of the way).
+func solveOnce(client *http.Client, url string, body []byte) (string, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, truncate(data, 200))
+	}
+	const marker = `"cache":"`
+	i := bytes.Index(data, []byte(marker))
+	if i < 0 {
+		return "", fmt.Errorf("response without cache field: %s", truncate(data, 200))
+	}
+	rest := data[i+len(marker):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return "", fmt.Errorf("unterminated cache field")
+	}
+	return string(rest[:j]), nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// pct returns the p-th percentile of sorted latencies (nearest rank).
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (p*len(sorted)+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx].Round(time.Microsecond)
+}

@@ -1,0 +1,109 @@
+package malsched
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+)
+
+// fingerprintVersion tags the canonical encoding; bump it whenever the
+// encoding below changes so stale cache entries keyed on old fingerprints
+// can never be confused with new ones.
+const fingerprintVersion = "malsched-fp-v1"
+
+// fingerprintMantissaBits is the precision processing times are quantized
+// to before hashing: the top 40 of float64's 52 mantissa bits, about 12
+// significant decimal digits. That is far below any difference the solvers
+// can distinguish (their tolerances sit around 1e-9 relative) while
+// absorbing the trailing-bit noise that different producers of the "same"
+// instance introduce (recomputed power laws, differently associated sums,
+// ...). Quantization is a mantissa round in the bit pattern rather than a
+// decimal format: the fingerprint sits on the serving layer's cache-hit
+// path, where formatting ~n·m floats would dominate the hash.
+const fingerprintMantissaBits = 40
+
+// Fingerprint returns a content-addressed identity of the instance: the
+// hex SHA-256 of a canonical encoding. Two instances receive the same
+// fingerprint exactly when they describe the same scheduling problem:
+//
+//   - task names are ignored (they never influence a schedule's shape),
+//   - edge order and duplicate edges are ignored (the precedence relation
+//     is a set),
+//   - processing times are quantized to 12 significant digits, so float
+//     noise below solver tolerance does not split cache entries.
+//
+// Task order is significant — edges refer to task indices, so permuting
+// tasks genuinely changes the instance. Fingerprint does not validate; it
+// is defined for any instance value, including invalid ones.
+//
+// The fingerprint is the cache key of the serving layer's content-addressed
+// result cache (internal/server), combined there with the algorithm and
+// parameter overrides of the request.
+func (in *Instance) Fingerprint() string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		h.Write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+
+	h.Write([]byte(fingerprintVersion))
+	writeUvarint(uint64(in.M))
+
+	writeUvarint(uint64(len(in.Tasks)))
+	var num [8]byte
+	for _, t := range in.Tasks {
+		writeUvarint(uint64(len(t.Times)))
+		for _, p := range t.Times {
+			binary.LittleEndian.PutUint64(num[:], quantize(p))
+			h.Write(num[:])
+		}
+	}
+
+	edges := make([][2]int, len(in.Edges))
+	copy(edges, in.Edges)
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a][0] != edges[b][0] {
+			return edges[a][0] < edges[b][0]
+		}
+		return edges[a][1] < edges[b][1]
+	})
+	n := 0
+	for i, e := range edges {
+		if i > 0 && e == edges[i-1] {
+			continue
+		}
+		edges[n] = e
+		n++
+	}
+	edges = edges[:n]
+	writeUvarint(uint64(len(edges)))
+	for _, e := range edges {
+		// Signed varints: edge endpoints are indices and should be
+		// non-negative, but Fingerprint is total, so encode faithfully.
+		h.Write(buf[:binary.PutVarint(buf[:], int64(e[0]))])
+		h.Write(buf[:binary.PutVarint(buf[:], int64(e[1]))])
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// quantize rounds p's mantissa to its top fingerprintMantissaBits bits,
+// to-nearest with carry into the exponent (so a value a hair under a power
+// of two rounds onto it, exactly like decimal rounding would). NaNs are
+// canonicalized to one payload; infinities already have a zero mantissa and
+// pass through unchanged.
+func quantize(p float64) uint64 {
+	if math.IsNaN(p) {
+		return math.Float64bits(math.NaN())
+	}
+	if math.IsInf(p, 0) {
+		return math.Float64bits(p)
+	}
+	const drop = 52 - fingerprintMantissaBits
+	bits := math.Float64bits(p)
+	bits += 1 << (drop - 1)
+	bits &^= 1<<drop - 1
+	return bits
+}

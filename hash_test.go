@@ -1,0 +1,174 @@
+package malsched
+
+import (
+	"bytes"
+	"math"
+	"regexp"
+	"testing"
+)
+
+func fpInstance() *Instance {
+	return &Instance{
+		M: 8,
+		Tasks: []Task{
+			PowerLawTask("prep", 10, 0.8, 8),
+			PowerLawTask("solve", 40, 0.9, 8),
+			AmdahlTask("post", 5, 0.2, 8),
+		},
+		Edges: [][2]int{{0, 1}, {1, 2}},
+	}
+}
+
+func TestFingerprintShape(t *testing.T) {
+	fp := fpInstance().Fingerprint()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(fp) {
+		t.Fatalf("fingerprint %q is not 64 hex chars", fp)
+	}
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	if fpInstance().Fingerprint() != fpInstance().Fingerprint() {
+		t.Fatal("same instance hashed twice gives different fingerprints")
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a, b := fpInstance(), fpInstance()
+	for i := range b.Tasks {
+		b.Tasks[i].Name = "renamed"
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("renaming tasks changed the fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresEdgeOrderAndDuplicates(t *testing.T) {
+	a, b := fpInstance(), fpInstance()
+	b.Edges = [][2]int{{1, 2}, {0, 1}, {1, 2}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("edge permutation + duplicate changed the fingerprint")
+	}
+}
+
+// midQuantum moves p to the middle of its quantization bucket, so that
+// sub-quantum noise cannot straddle a rounding boundary. Quantization is a
+// round, not an interval map: noise landing exactly on a boundary still
+// flips the bucket, and the absorption guarantee is only for values away
+// from one — which is what this helper sets up.
+func midQuantum(p float64) float64 {
+	bits := math.Float64bits(p)
+	bits = bits&^0xFFF | 0x400
+	return math.Float64frombits(bits)
+}
+
+func TestFingerprintQuantizesFloatNoise(t *testing.T) {
+	a, b := fpInstance(), fpInstance()
+	for i := range a.Tasks {
+		for l := range a.Tasks[i].Times {
+			p := midQuantum(a.Tasks[i].Times[l])
+			a.Tasks[i].Times[l] = p
+			b.Tasks[i].Times[l] = p * (1 + 1e-14) // well below the 40-bit quantum
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("sub-quantum float noise changed the fingerprint")
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	if quantize(math.NaN()) != quantize(math.Float64frombits(0x7FF8000000000001)) {
+		t.Error("NaN payloads not canonicalized")
+	}
+	if quantize(math.Inf(1)) != math.Float64bits(math.Inf(1)) || quantize(math.Inf(-1)) != math.Float64bits(math.Inf(-1)) {
+		t.Error("infinities not preserved")
+	}
+	if quantize(1.0) != math.Float64bits(1.0) {
+		t.Error("exactly representable value moved")
+	}
+	// A value a hair under a power of two rounds onto it (carry into the
+	// exponent), matching how decimal rounding would behave.
+	just := math.Float64frombits(math.Float64bits(2.0) - 1)
+	if quantize(just) != math.Float64bits(2.0) {
+		t.Errorf("carry rounding: quantize(%x) = %x, want bits of 2.0", just, quantize(just))
+	}
+}
+
+func TestFingerprintSeparatesDifferentInstances(t *testing.T) {
+	base := fpInstance()
+	seen := map[string]string{base.Fingerprint(): "base"}
+	record := func(name string, in *Instance) {
+		fp := in.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[fp] = name
+	}
+
+	m := fpInstance()
+	m.M = 4
+	record("different m", m)
+
+	edge := fpInstance()
+	edge.Edges = [][2]int{{0, 1}}
+	record("dropped edge", edge)
+
+	edgeFlip := fpInstance()
+	edgeFlip.Edges = [][2]int{{1, 0}, {1, 2}}
+	record("reversed edge", edgeFlip)
+
+	times := fpInstance()
+	times.Tasks[0].Times[3] *= 1.001 // well above the quantum
+	record("perturbed time", times)
+
+	perm := fpInstance()
+	perm.Tasks[0], perm.Tasks[1] = perm.Tasks[1], perm.Tasks[0]
+	record("swapped tasks", perm)
+
+	fewer := fpInstance()
+	fewer.Tasks = fewer.Tasks[:2]
+	fewer.Edges = [][2]int{{0, 1}}
+	record("fewer tasks", fewer)
+}
+
+// Task/edge counts must be framed: two tasks of 2 and 4 times must not hash
+// like two tasks of 3 and 3 times, and a time moving across a task boundary
+// must change the hash.
+func TestFingerprintFraming(t *testing.T) {
+	a := &Instance{M: 2, Tasks: []Task{
+		{Times: []float64{4, 2}},
+		{Times: []float64{6, 3, 2, 1}},
+	}}
+	b := &Instance{M: 2, Tasks: []Task{
+		{Times: []float64{4, 2, 6}},
+		{Times: []float64{3, 2, 1}},
+	}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("task boundary shift did not change the fingerprint")
+	}
+}
+
+func TestFingerprintTotalOnWeirdValues(t *testing.T) {
+	in := &Instance{M: 1, Tasks: []Task{{Times: []float64{math.Inf(1)}}, {Times: []float64{math.NaN()}}}}
+	fp1 := in.Fingerprint()
+	in2 := &Instance{M: 1, Tasks: []Task{{Times: []float64{math.Inf(1)}}, {Times: []float64{math.NaN()}}}}
+	if fp1 != in2.Fingerprint() {
+		t.Error("non-finite values do not hash deterministically")
+	}
+}
+
+// The fingerprint must survive the package's own JSON round-trip: serving a
+// stored instance back through the API must hit the same cache entry.
+func TestFingerprintStableUnderJSONRoundTrip(t *testing.T) {
+	in := fpInstance()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Fingerprint() != back.Fingerprint() {
+		t.Error("JSON round-trip changed the fingerprint")
+	}
+}

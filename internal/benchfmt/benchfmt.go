@@ -1,0 +1,195 @@
+// Package benchfmt parses Go benchmark output — plain `go test -bench`
+// text or `go test -json` streams whose Output fields carry the benchmark
+// lines (the BENCH_*.json records of `make bench-json`) — and compares two
+// runs for the CI benchmark-regression gate (cmd/benchgate).
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement. Repeated runs of the
+// same name (from -count or re-runs inside one stream) are aggregated by
+// minimum ns/op: the minimum is the least noisy estimator of the code's
+// true cost under machine jitter, which only ever slows a run down.
+type Result struct {
+	Name    string
+	NsPerOp float64
+	// Samples is how many lines were aggregated into this result.
+	Samples int
+}
+
+// testEvent is the subset of the `go test -json` (test2json) event shape
+// the parser needs.
+type testEvent struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// Parse reads benchmark results from r, accepting both plain benchmark
+// text and test2json streams (detected per line; the two never mix within
+// one). test2json chunks the original text stream arbitrarily — a slow
+// benchmark's name and its measurement routinely arrive in separate Output
+// events — so JSON output is reassembled per package before being split
+// back into lines. Lines that are not benchmark results are ignored.
+func Parse(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	add := func(line string) {
+		res, ok := ParseLine(line)
+		if !ok {
+			return
+		}
+		if prev, seen := out[res.Name]; seen {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			res.Samples += prev.Samples
+		}
+		out[res.Name] = res
+	}
+
+	streams := make(map[string]*strings.Builder) // per-package Output text
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					b, ok := streams[ev.Package]
+					if !ok {
+						b = new(strings.Builder)
+						streams[ev.Package] = b
+						order = append(order, ev.Package)
+					}
+					b.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		add(line)
+	}
+	for _, pkg := range order {
+		for _, line := range strings.Split(streams[pkg].String(), "\n") {
+			add(line)
+		}
+	}
+	return out, sc.Err()
+}
+
+// ParseLine parses one plain benchmark result line of the form
+//
+//	BenchmarkName-8   	     300	   8241595 ns/op	  150432 B/op	...
+//
+// reporting ok = false for anything else. The trailing -N GOMAXPROCS
+// suffix is stripped so runs from machines with different core counts
+// compare under the same name.
+func ParseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields[0]) == len("Benchmark") {
+		return Result{}, false
+	}
+	if _, err := strconv.Atoi(fields[1]); err != nil {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if fields[i+1] == "ns/op" {
+			ns, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Result{}, false
+			}
+			return Result{Name: name, NsPerOp: ns, Samples: 1}, true
+		}
+	}
+	return Result{}, false
+}
+
+// Delta is one benchmark's baseline-to-current comparison.
+type Delta struct {
+	Name     string
+	Old, New float64 // ns/op; <= 0 marks the side that is missing
+	// Ratio is New/Old when both sides are present.
+	Ratio float64
+	// Key marks benchmarks the gate fails on (matched the key regexp).
+	Key bool
+	// Regressed is set when a key benchmark slowed past the threshold.
+	Regressed bool
+}
+
+// Compare matches current results against the baseline. A key benchmark
+// whose ns/op grew by more than threshold (1.25 = +25%) is marked
+// regressed. Benchmarks present on only one side are reported with the
+// missing side <= 0 and never regress — renames and new benchmarks must
+// not wedge the gate. Deltas are sorted by name; regressed reports whether
+// any delta regressed.
+func Compare(baseline, current map[string]Result, key *regexp.Regexp, threshold float64) (deltas []Delta, regressed bool) {
+	names := make(map[string]bool, len(baseline)+len(current))
+	for name := range baseline {
+		names[name] = true
+	}
+	for name := range current {
+		names[name] = true
+	}
+	for name := range names {
+		d := Delta{Name: name, Key: key != nil && key.MatchString(name)}
+		if old, ok := baseline[name]; ok {
+			d.Old = old.NsPerOp
+		}
+		if cur, ok := current[name]; ok {
+			d.New = cur.NsPerOp
+		}
+		if d.Old > 0 && d.New > 0 {
+			d.Ratio = d.New / d.Old
+			d.Regressed = d.Key && d.Ratio > threshold
+			regressed = regressed || d.Regressed
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, regressed
+}
+
+// Format renders deltas as an aligned report, flagging key benchmarks and
+// regressions.
+func Format(w io.Writer, deltas []Delta, threshold float64) {
+	tw := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	tw("%-55s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		mark := "  "
+		switch {
+		case d.Regressed:
+			mark = "!!"
+		case d.Key:
+			mark = " *"
+		}
+		old, cur, ratio := side(d.Old), side(d.New), "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", d.Ratio)
+		}
+		tw("%s %-53s %14s %14s %8s\n", mark, d.Name, old, cur, ratio)
+	}
+	tw("(* = gated, !! = regressed past %.2fx)\n", threshold)
+}
+
+func side(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	return strconv.FormatFloat(ns, 'f', 0, 64)
+}

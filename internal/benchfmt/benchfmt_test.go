@@ -1,0 +1,153 @@
+package benchfmt
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const plainRun = `goos: linux
+goarch: amd64
+pkg: malsched
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPhase1LP/chain_n24_m8-8         	     100	   2300000 ns/op	    2600 B/op	       9 allocs/op
+BenchmarkPhase1LP/erdos_n200_m16-8       	      10	  45000000 ns/op
+BenchmarkList/layered_n2000_m64-8        	     500	   2120000 ns/op	     120 B/op	       5 allocs/op
+PASS
+`
+
+const jsonRun = `{"Action":"start","Package":"malsched"}
+{"Action":"output","Package":"malsched","Output":"BenchmarkPhase1LP/chain_n24_m8-8 \t     100\t   2300000 ns/op\t    2600 B/op\t       9 allocs/op\n"}
+{"Action":"output","Package":"malsched","Output":"some unrelated output\n"}
+{"Action":"output","Package":"malsched","Output":"BenchmarkPhase1LP/chain_n24_m8-8 \t     120\t   2100000 ns/op\n"}
+{"Action":"run","Package":"malsched"}
+not even json
+{"Action":"output","Package":"malsched","Output":"BenchmarkList/layered_n2000_m64-8 \t     500\t   2120000 ns/op\n"}
+{"Action":"output","Package":"malsched","Output":"BenchmarkPhase1LP/layered_n500_m32     \t"}
+{"Action":"output","Package":"malsched","Output":"       1\t1139829732 ns/op\t10372240 B/op\t   11467 allocs/op\n"}
+`
+
+func TestParsePlain(t *testing.T) {
+	got, err := Parse(strings.NewReader(plainRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d results, want 3: %v", len(got), got)
+	}
+	r := got["BenchmarkPhase1LP/chain_n24_m8"]
+	if r.NsPerOp != 2300000 || r.Samples != 1 {
+		t.Errorf("chain result: %+v", r)
+	}
+	if _, ok := got["BenchmarkPhase1LP/chain_n24_m8-8"]; ok {
+		t.Error("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestParseTestJSONAggregatesMin(t *testing.T) {
+	got, err := Parse(strings.NewReader(jsonRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := got["BenchmarkPhase1LP/chain_n24_m8"]
+	if r.NsPerOp != 2100000 {
+		t.Errorf("min aggregation: ns/op = %v, want 2100000", r.NsPerOp)
+	}
+	if r.Samples != 2 {
+		t.Errorf("samples = %d, want 2", r.Samples)
+	}
+	// test2json delivered this benchmark's name and measurement in separate
+	// Output events; the parser must stitch them back together.
+	if split := got["BenchmarkPhase1LP/layered_n500_m32"]; split.NsPerOp != 1139829732 {
+		t.Errorf("split-event benchmark: %+v", split)
+	}
+	if len(got) != 3 {
+		t.Errorf("parsed %d results, want 3", len(got))
+	}
+}
+
+func TestParseLineRejectsNonBenchmarks(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tmalsched\t2.7s",
+		"BenchmarkBroken",
+		"BenchmarkNoIters abc 123 ns/op",
+		"Benchmark 100 5 ns/op", // name must be attached
+	} {
+		if _, ok := ParseLine(line); ok {
+			t.Errorf("ParseLine accepted %q", line)
+		}
+	}
+}
+
+// The gate's reason for existing: an injected 2x slowdown on a key
+// benchmark must fail the comparison.
+func TestCompareFailsOnInjected2xSlowdown(t *testing.T) {
+	baseline, err := Parse(strings.NewReader(plainRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowed := strings.ReplaceAll(plainRun, "   2300000 ns/op", "   4600000 ns/op")
+	current, err := Parse(strings.NewReader(slowed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := regexp.MustCompile(`^BenchmarkPhase1LP/|^BenchmarkList/`)
+
+	deltas, regressed := Compare(baseline, current, key, 1.25)
+	if !regressed {
+		t.Fatal("2x slowdown on a key benchmark did not regress the gate")
+	}
+	for _, d := range deltas {
+		want := d.Name == "BenchmarkPhase1LP/chain_n24_m8"
+		if d.Regressed != want {
+			t.Errorf("%s: regressed = %v, want %v (ratio %.2f)", d.Name, d.Regressed, want, d.Ratio)
+		}
+	}
+
+	// The same run compared against itself stays green.
+	if _, regressed := Compare(baseline, baseline, key, 1.25); regressed {
+		t.Error("identical runs regressed")
+	}
+}
+
+func TestCompareThresholdIsStrict(t *testing.T) {
+	base := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1000, Samples: 1}}
+	key := regexp.MustCompile(`BenchmarkX`)
+	at := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1250, Samples: 1}}
+	if _, regressed := Compare(base, at, key, 1.25); regressed {
+		t.Error("exactly-at-threshold regressed; the gate must be strict")
+	}
+	over := map[string]Result{"BenchmarkX": {Name: "BenchmarkX", NsPerOp: 1251, Samples: 1}}
+	if _, regressed := Compare(base, over, key, 1.25); !regressed {
+		t.Error("past-threshold did not regress")
+	}
+}
+
+func TestCompareIgnoresNonKeyAndMissing(t *testing.T) {
+	baseline := map[string]Result{
+		"BenchmarkGated":   {Name: "BenchmarkGated", NsPerOp: 100, Samples: 1},
+		"BenchmarkSide":    {Name: "BenchmarkSide", NsPerOp: 100, Samples: 1},
+		"BenchmarkRemoved": {Name: "BenchmarkRemoved", NsPerOp: 100, Samples: 1},
+	}
+	current := map[string]Result{
+		"BenchmarkGated": {Name: "BenchmarkGated", NsPerOp: 110, Samples: 1},
+		"BenchmarkSide":  {Name: "BenchmarkSide", NsPerOp: 900, Samples: 1}, // 9x but not gated
+		"BenchmarkNew":   {Name: "BenchmarkNew", NsPerOp: 100, Samples: 1},
+	}
+	deltas, regressed := Compare(baseline, current, regexp.MustCompile(`^BenchmarkGated$`), 1.25)
+	if regressed {
+		t.Error("non-key slowdown or missing benchmarks tripped the gate")
+	}
+	if len(deltas) != 4 {
+		t.Errorf("got %d deltas, want 4 (union of names)", len(deltas))
+	}
+	var sb strings.Builder
+	Format(&sb, deltas, 1.25)
+	out := sb.String()
+	for _, want := range []string{"BenchmarkGated", "BenchmarkNew", "BenchmarkRemoved", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"malsched"
+	"malsched/internal/gen"
+)
+
+// benchInstance is a serving-sized instance (the load mix of E12).
+func benchInstance(b *testing.B) []byte {
+	b.Helper()
+	rng := rand.New(rand.NewSource(411))
+	g := gen.Layered(12, 8, 2, rng) // n = 96 tasks
+	in := &malsched.Instance{M: 16, Tasks: gen.Tasks(gen.FamilyMixed, g.N(), 16, rng)}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Succs(v) {
+			in.Edges = append(in.Edges, [2]int{v, w})
+		}
+	}
+	raw, err := json.Marshal(SolveRequest{Instance: in})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return raw
+}
+
+func serveOnce(b *testing.B, h http.Handler, body string) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+// BenchmarkServe measures the request path of POST /v1/solve end to end
+// (decode, route, cache, pool solve, encode) without network or syscalls:
+// solve_cold is the cache-bypassing full solve, solve_hit the
+// content-addressed hit path, solve_hit_parallel the hit path under
+// GOMAXPROCS-way client concurrency. The gap between cold and hit is the
+// cache's value; E12 in EXPERIMENTS.md records it.
+func BenchmarkServe(b *testing.B) {
+	body := string(benchInstance(b))
+	coldBody := strings.Replace(body, `{"instance"`, `{"no_cache":true,"instance"`, 1)
+
+	b.Run("solve_cold", func(b *testing.B) {
+		s := New(Config{Workers: 1})
+		defer s.Close()
+		h := s.Handler()
+		serveOnce(b, h, coldBody) // warm the worker's workspace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, h, coldBody)
+		}
+	})
+
+	b.Run("solve_hit", func(b *testing.B) {
+		s := New(Config{Workers: 1})
+		defer s.Close()
+		h := s.Handler()
+		serveOnce(b, h, body) // populate the cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, h, body)
+		}
+	})
+
+	b.Run("solve_hit_parallel", func(b *testing.B) {
+		s := New(Config{})
+		defer s.Close()
+		h := s.Handler()
+		serveOnce(b, h, body)
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				serveOnce(b, h, body)
+			}
+		})
+	})
+}

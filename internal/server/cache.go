@@ -1,0 +1,188 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"malsched"
+)
+
+// solution is what the cache stores per canonical request: the solver
+// result together with how it was produced. Entries are immutable once
+// inserted — handlers read fields but never write, so one entry is safely
+// shared by any number of concurrent responses.
+type solution struct {
+	res *malsched.Result
+	// algo is the algorithm that produced res (already routed).
+	algo malsched.Algorithm
+	// coldNS is the wall time of the originating solve, reported alongside
+	// cache hits so clients can see what the hit saved them.
+	coldNS int64
+}
+
+// cache is a content-addressed solution cache: a sharded LRU with
+// per-key singleflight. Keys are canonical request identities
+// (Instance.Fingerprint + algorithm + parameter overrides, see
+// solutionKey), so any two byte-different submissions of the same problem
+// meet in the same entry. Sharding keeps lock hold times short under the
+// hundreds of concurrent requests the serving layer is built for;
+// singleflight collapses a thundering herd of identical submissions into
+// one solve whose result every waiter shares.
+type cache struct {
+	shards []cacheShard
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	capacity int                      // max resident entries in this shard
+	order    *list.List               // front = most recently used
+	items    map[string]*list.Element // key -> element whose Value is *cacheEntry
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	sol *solution
+}
+
+// flight is one in-progress computation of a key. Waiters block on done;
+// val/err are written exactly once before done is closed.
+type flight struct {
+	done chan struct{}
+	sol  *solution
+	err  error
+}
+
+// newCache builds a cache of at most `entries` resident solutions spread
+// over `shards` shards (both floored at 1; callers disable caching by not
+// constructing one). Capacity is split evenly; the remainder goes to the
+// first shards so the total is exact.
+func newCache(entries, shards int) *cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if entries < 1 {
+		entries = 1
+	}
+	if shards > entries {
+		shards = entries
+	}
+	c := &cache{shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		cap := entries / shards
+		if i < entries%shards {
+			cap++
+		}
+		c.shards[i] = cacheShard{
+			capacity: cap,
+			order:    list.New(),
+			items:    make(map[string]*list.Element),
+			inflight: make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+// shardFor maps a key to its shard with an FNV-1a hash over the key bytes.
+func (c *cache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h%uint64(len(c.shards))]
+}
+
+// outcome classifies how do() satisfied a lookup, for metrics and the
+// response's cache field.
+type outcome int
+
+const (
+	outcomeHit    outcome = iota // resident entry
+	outcomeMiss                  // this call ran the solve
+	outcomeShared                // waited on another call's solve
+)
+
+func (o outcome) String() string {
+	switch o {
+	case outcomeHit:
+		return "hit"
+	case outcomeShared:
+		return "shared"
+	}
+	return "miss"
+}
+
+// do returns the solution for key, computing it with fn if absent.
+// Concurrent calls for the same key run fn once and share its result;
+// errors are returned to every waiter of that flight but are not cached,
+// so a later call retries. A nil cache always computes (bypass).
+func (c *cache) do(key string, fn func() (*solution, error)) (*solution, outcome, error) {
+	if c == nil {
+		sol, err := fn()
+		return sol, outcomeMiss, err
+	}
+	s := c.shardFor(key)
+
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		sol := el.Value.(*cacheEntry).sol
+		s.mu.Unlock()
+		return sol, outcomeHit, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.sol, outcomeShared, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.sol, f.err = fn()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		s.insertLocked(key, f.sol)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.sol, outcomeMiss, f.err
+}
+
+// insertLocked adds key -> sol and evicts the shard's least recently used
+// entries down to capacity. Caller holds s.mu.
+func (s *cacheShard) insertLocked(key string, sol *solution) {
+	if el, ok := s.items[key]; ok { // lost a race with an identical insert
+		s.order.MoveToFront(el)
+		el.Value.(*cacheEntry).sol = sol
+		return
+	}
+	s.items[key] = s.order.PushFront(&cacheEntry{key: key, sol: sol})
+	for s.order.Len() > s.capacity {
+		last := s.order.Back()
+		s.order.Remove(last)
+		delete(s.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the total number of resident entries (for tests and /metrics).
+func (c *cache) len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"malsched"
+)
+
+func testSolution(v float64) *solution {
+	return &solution{res: &malsched.Result{Makespan: v}}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := newCache(8, 2)
+	calls := 0
+	fn := func() (*solution, error) { calls++; return testSolution(1), nil }
+	if _, out, err := c.do("k", fn); err != nil || out != outcomeMiss {
+		t.Fatalf("first do: outcome %v err %v, want miss nil", out, err)
+	}
+	sol, out, err := c.do("k", fn)
+	if err != nil || out != outcomeHit {
+		t.Fatalf("second do: outcome %v err %v, want hit nil", out, err)
+	}
+	if sol.res.Makespan != 1 || calls != 1 {
+		t.Errorf("makespan %v calls %d, want 1 and 1", sol.res.Makespan, calls)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := newCache(8, 1)
+	boom := errors.New("boom")
+	if _, _, err := c.do("k", func() (*solution, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.len() != 0 {
+		t.Fatalf("error was cached: len = %d", c.len())
+	}
+	// The key must be retryable and cacheable afterwards.
+	if _, out, err := c.do("k", func() (*solution, error) { return testSolution(2), nil }); err != nil || out != outcomeMiss {
+		t.Fatalf("retry: outcome %v err %v", out, err)
+	}
+	if _, out, _ := c.do("k", nil); out != outcomeHit {
+		t.Fatalf("after retry: outcome %v, want hit", out)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newCache(4, 1) // single shard so the LRU order is global
+	mk := func(i int) string { return fmt.Sprintf("k%d", i) }
+	for i := 0; i < 4; i++ {
+		c.do(mk(i), func() (*solution, error) { return testSolution(float64(i)), nil })
+	}
+	// Touch k0 so k1 is the LRU victim.
+	if _, out, _ := c.do(mk(0), nil); out != outcomeHit {
+		t.Fatal("k0 not resident")
+	}
+	c.do(mk(9), func() (*solution, error) { return testSolution(9), nil })
+	if c.len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", c.len())
+	}
+	if _, out, _ := c.do(mk(0), func() (*solution, error) { return testSolution(0), nil }); out != outcomeHit {
+		t.Error("recently used k0 was evicted")
+	}
+	if _, out, _ := c.do(mk(1), func() (*solution, error) { return testSolution(1), nil }); out != outcomeMiss {
+		t.Error("LRU k1 survived past capacity")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := newCache(8, 4)
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	const waiters = 32
+
+	var wg sync.WaitGroup
+	outcomes := make([]outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sol, out, err := c.do("same", func() (*solution, error) {
+				calls.Add(1)
+				<-gate // hold the flight open until every waiter queued
+				return testSolution(7), nil
+			})
+			if err != nil || sol.res.Makespan != 7 {
+				t.Errorf("waiter %d: sol %v err %v", i, sol, err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Wait until one goroutine owns the flight, then release it. The others
+	// either find the in-flight call (shared) or, arriving later, the
+	// resident entry (hit); none may run fn again.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	miss := 0
+	for _, out := range outcomes {
+		if out == outcomeMiss {
+			miss++
+		}
+	}
+	if miss != 1 {
+		t.Errorf("%d waiters report miss, want exactly 1", miss)
+	}
+}
+
+func TestCacheCapacitySmallerThanShards(t *testing.T) {
+	c := newCache(2, 16) // shards clamp to entries; every shard cap >= 1
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.do(key, func() (*solution, error) { return testSolution(1), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.len(); got > 2 {
+		t.Errorf("len = %d, want <= 2", got)
+	}
+}
+
+func TestNilCacheBypasses(t *testing.T) {
+	var c *cache
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, out, err := c.do("k", func() (*solution, error) { calls++; return testSolution(1), nil })
+		if err != nil || out != outcomeMiss {
+			t.Fatalf("nil cache: outcome %v err %v", out, err)
+		}
+	}
+	if calls != 3 || c.len() != 0 {
+		t.Errorf("calls %d len %d, want 3 and 0", calls, c.len())
+	}
+}

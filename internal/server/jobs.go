@@ -1,0 +1,118 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states, in lifecycle order. A job moves queued -> running ->
+// done|failed and never backwards; terminal jobs stay queryable until
+// evicted by the store's FIFO bound.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is the externally visible state of an async solve, returned by
+// GET /v1/jobs/{id}. Result is set exactly when State == JobDone; Error
+// exactly when State == JobFailed.
+type JobStatus struct {
+	ID       string         `json:"id"`
+	State    string         `json:"state"`
+	Created  time.Time      `json:"created"`
+	Finished *time.Time     `json:"finished,omitempty"`
+	Result   *SolveResponse `json:"result,omitempty"`
+	Error    string         `json:"error,omitempty"`
+}
+
+// errJobsBusy rejects submissions past the in-flight bound (HTTP 503).
+var errJobsBusy = errors.New("server: too many jobs in flight, retry later")
+
+// jobStore tracks async jobs in memory, bounded on both ends by maxJobs:
+// at most maxJobs jobs may be in flight (queued or running — submissions
+// beyond that fail with errJobsBusy, each would otherwise pin a goroutine
+// forever), and at most maxJobs terminal jobs stay queryable (evicted
+// oldest first). A long-running daemon's memory is therefore bounded no
+// matter the submission rate.
+type jobStore struct {
+	mu       sync.Mutex
+	jobs     map[string]*JobStatus
+	finished []string // terminal job IDs in completion order
+	active   int      // queued + running
+	maxJobs  int
+}
+
+func newJobStore(maxJobs int) *jobStore {
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	return &jobStore{jobs: make(map[string]*JobStatus), maxJobs: maxJobs}
+}
+
+// create registers a new queued job and returns its id, or errJobsBusy
+// when the in-flight bound is reached.
+func (js *jobStore) create(now time.Time) (string, error) {
+	var raw [16]byte
+	if _, err := rand.Read(raw[:]); err != nil {
+		return "", fmt.Errorf("server: generating job id: %w", err)
+	}
+	id := hex.EncodeToString(raw[:])
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.active >= js.maxJobs {
+		return "", errJobsBusy
+	}
+	js.active++
+	js.jobs[id] = &JobStatus{ID: id, State: JobQueued, Created: now}
+	return id, nil
+}
+
+// setRunning marks the job as picked up by a worker.
+func (js *jobStore) setRunning(id string) {
+	js.mu.Lock()
+	if j, ok := js.jobs[id]; ok {
+		j.State = JobRunning
+	}
+	js.mu.Unlock()
+}
+
+// finish records the terminal outcome and evicts the oldest terminal jobs
+// beyond the store's bound.
+func (js *jobStore) finish(id string, res *SolveResponse, err error, now time.Time) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok {
+		return
+	}
+	js.active--
+	j.Finished = &now
+	if err != nil {
+		j.State, j.Error = JobFailed, err.Error()
+	} else {
+		j.State, j.Result = JobDone, res
+	}
+	js.finished = append(js.finished, id)
+	for len(js.finished) > js.maxJobs {
+		delete(js.jobs, js.finished[0])
+		js.finished = js.finished[1:]
+	}
+}
+
+// get returns a copy of the job's status, so callers can serialize it
+// without holding the store's lock against state transitions.
+func (js *jobStore) get(id string) (JobStatus, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	j, ok := js.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return *j, true
+}

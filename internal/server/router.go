@@ -1,0 +1,68 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"malsched"
+)
+
+// Adaptive solver routing: requests that do not pin an algorithm are routed
+// by instance size and the request's latency deadline. The paper algorithm
+// gives the best schedules (and the only certified ratio) but its phase-1
+// LP grows roughly quadratically in the task count; greedy critical-path is
+// near-linear and is the fallback when a deadline or the size budget leaves
+// no room for an LP.
+//
+// LTW is deliberately NOT an auto-routing target: it solves the same
+// phase-1 LP as the paper algorithm (internal/baseline.LTWWith differs only
+// in rounding and allotment cap), so it costs the same and certifies a
+// worse ratio — measured on a layered n=96/m=16 instance: paper 18.2 ms,
+// LTW 20.6 ms, greedy 4.1 ms (E12). It stays reachable by pinning
+// "algo": "ltw" (the comparison baseline of the paper's Table 3).
+//
+// The cost model is a one-coefficient fit of the committed benchmarks
+// (EXPERIMENTS.md E11, Xeon 2.10GHz): BenchmarkPhase1LP gives ~2–4 µs·n²
+// end to end across n = 24..2000. Deadlines only reroute when the estimate
+// overshoots them outright.
+const (
+	// paperNSPerN2 estimates a paper solve at paperNSPerN2 * n^2 ns.
+	paperNSPerN2 = 4000
+	// autoPaperMaxTasks caps the paper algorithm for deadline-free auto
+	// requests: n = 1200 estimates to ~6 s, the most a serving worker
+	// should sink into one unconstrained request.
+	autoPaperMaxTasks = 1200
+)
+
+// routeDecision records what the router chose and why; reason strings are
+// stable enough to assert on and informative enough to return to clients.
+type routeDecision struct {
+	algo   malsched.Algorithm
+	routed bool // false when the request pinned the algorithm
+	reason string
+}
+
+// route picks the algorithm for one request. pinned != nil forces that
+// algorithm; deadline <= 0 means unconstrained.
+func route(in *malsched.Instance, pinned *malsched.Algorithm, deadline time.Duration) routeDecision {
+	if pinned != nil {
+		return routeDecision{algo: *pinned, reason: "pinned by request"}
+	}
+	n := len(in.Tasks)
+	paperEst := time.Duration(paperNSPerN2 * int64(n) * int64(n))
+
+	if deadline > 0 {
+		if paperEst <= deadline {
+			return routeDecision{algo: malsched.AlgoPaper, routed: true,
+				reason: fmt.Sprintf("paper estimate %v within deadline %v", paperEst, deadline)}
+		}
+		return routeDecision{algo: malsched.AlgoGreedyCP, routed: true,
+			reason: fmt.Sprintf("paper estimate %v over deadline %v", paperEst, deadline)}
+	}
+	if n <= autoPaperMaxTasks {
+		return routeDecision{algo: malsched.AlgoPaper, routed: true,
+			reason: fmt.Sprintf("n=%d within paper budget (<=%d tasks)", n, autoPaperMaxTasks)}
+	}
+	return routeDecision{algo: malsched.AlgoGreedyCP, routed: true,
+		reason: fmt.Sprintf("n=%d over the LP budget (<=%d tasks)", n, autoPaperMaxTasks)}
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"malsched"
+)
+
+// routeInstance builds a shape-only instance; the router looks at counts,
+// not processing times, so one-processor tasks suffice.
+func routeInstance(n, m int) *malsched.Instance {
+	tasks := make([]malsched.Task, n)
+	for i := range tasks {
+		tasks[i] = malsched.PowerLawTask("t", 1, 0.5, m)
+	}
+	return &malsched.Instance{M: m, Tasks: tasks}
+}
+
+func TestRoutePinnedWins(t *testing.T) {
+	algo := malsched.AlgoFullAllotment
+	dec := route(routeInstance(100000, 64), &algo, time.Microsecond)
+	if dec.algo != malsched.AlgoFullAllotment || dec.routed {
+		t.Errorf("pinned request was rerouted: %+v", dec)
+	}
+}
+
+func TestRouteBySize(t *testing.T) {
+	cases := []struct {
+		n, m int
+		want malsched.Algorithm
+	}{
+		{10, 8, malsched.AlgoPaper},
+		{autoPaperMaxTasks, 8, malsched.AlgoPaper},
+		{autoPaperMaxTasks + 1, 8, malsched.AlgoGreedyCP},
+	}
+	for _, c := range cases {
+		dec := route(routeInstance(c.n, c.m), nil, 0)
+		if dec.algo != c.want || !dec.routed {
+			t.Errorf("n=%d: routed to %v (routed=%v), want %v", c.n, dec.algo, dec.routed, c.want)
+		}
+		if dec.reason == "" {
+			t.Errorf("n=%d: empty route reason", c.n)
+		}
+	}
+}
+
+func TestRouteByDeadline(t *testing.T) {
+	in := routeInstance(100, 16) // paper estimate 4000ns * 100^2 = 40ms
+	cases := []struct {
+		deadline time.Duration
+		want     malsched.Algorithm
+	}{
+		{time.Second, malsched.AlgoPaper},
+		{time.Millisecond, malsched.AlgoGreedyCP},
+	}
+	for _, c := range cases {
+		dec := route(in, nil, c.deadline)
+		if dec.algo != c.want {
+			t.Errorf("deadline %v: routed to %v, want %v", c.deadline, dec.algo, c.want)
+		}
+	}
+}

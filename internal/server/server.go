@@ -1,0 +1,431 @@
+// Package server implements malschedd's HTTP serving layer: a JSON API over
+// a shared malsched.Pool, a content-addressed result cache, and adaptive
+// solver routing.
+//
+//	POST /v1/solve     — solve one instance synchronously
+//	POST /v1/batch     — solve many instances, one response per instance
+//	POST /v1/jobs      — submit an async solve; returns a job id
+//	GET  /v1/jobs/{id} — poll an async job
+//	GET  /healthz      — liveness + pool size
+//	GET  /metrics      — expvar-style JSON counters
+//
+// Every request funnels through one Pool whose workers own reusable
+// cross-phase solver workspaces, so the daemon solves with warm buffers no
+// matter which HTTP connection a request arrives on. Results are cached
+// content-addressed: the cache key is Instance.Fingerprint (stable under
+// task renaming, edge reordering and sub-tolerance float noise) combined
+// with the routed algorithm and parameter overrides, fronted by per-key
+// singleflight so a thundering herd of identical submissions costs one
+// solve. Requests that do not pin an algorithm are routed by instance size
+// and deadline (see router.go), and the response reports which path ran.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"malsched"
+)
+
+// Config sizes the server. The zero value gives sane defaults throughout.
+type Config struct {
+	// Workers is the solver pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheEntries bounds the resident solution cache; 0 means the default
+	// (4096), negative disables caching entirely.
+	CacheEntries int
+	// CacheShards spreads the cache over independently locked shards;
+	// <= 0 means the default (16).
+	CacheShards int
+	// MaxJobs bounds async jobs on both ends: at most this many in flight
+	// (further submissions get 503) and at most this many finished jobs
+	// queryable; <= 0 means the default (1024).
+	MaxJobs int
+}
+
+const (
+	defaultCacheEntries = 4096
+	defaultCacheShards  = 16
+	defaultMaxJobs      = 1024
+)
+
+// Server is the serving layer. Create with New, expose via Handler, release
+// the solver pool with Close.
+type Server struct {
+	pool  *malsched.Pool
+	cache *cache
+	jobs  *jobStore
+	mux   *http.ServeMux
+	start time.Time
+
+	stats        *expvar.Map
+	cacheEntries expvar.Int // sampled into stats on /metrics
+}
+
+// New starts a server (and its solver pool) with the given configuration.
+func New(cfg Config) *Server {
+	entries, shards := cfg.CacheEntries, cfg.CacheShards
+	if entries == 0 {
+		entries = defaultCacheEntries
+	}
+	if shards <= 0 {
+		shards = defaultCacheShards
+	}
+	maxJobs := cfg.MaxJobs
+	if maxJobs <= 0 {
+		maxJobs = defaultMaxJobs
+	}
+	s := &Server{
+		pool:  malsched.NewPool(cfg.Workers),
+		jobs:  newJobStore(maxJobs),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		stats: new(expvar.Map).Init(),
+	}
+	if entries > 0 {
+		s.cache = newCache(entries, shards)
+	}
+	s.stats.Set("cache_entries", &s.cacheEntries)
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the solver pool size.
+func (s *Server) Workers() int { return s.pool.Workers() }
+
+// Stats exposes the server's counters (for publishing under expvar).
+func (s *Server) Stats() expvar.Var { return s.stats }
+
+// Close shuts down the solver pool. In-flight solves complete; requests
+// arriving afterwards fail.
+func (s *Server) Close() { s.pool.Close() }
+
+// SolveRequest is the body of POST /v1/solve and POST /v1/jobs.
+type SolveRequest struct {
+	// Instance is the scheduling problem, in malsched.Instance JSON form.
+	Instance *malsched.Instance `json:"instance"`
+	// Algo pins the algorithm: paper, ltw, greedy, seq or full. Empty or
+	// "auto" lets the server route by size and deadline.
+	Algo string `json:"algo,omitempty"`
+	// DeadlineMS is the client's latency budget in milliseconds; the router
+	// downgrades to cheaper algorithms when the estimate overshoots it.
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// Rho / Mu override the paper algorithm's parameters (WithRho/WithMu).
+	Rho *float64 `json:"rho,omitempty"`
+	Mu  *int     `json:"mu,omitempty"`
+	// NoCache bypasses the result cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+	// IncludeSchedule adds the per-task schedule to the response.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+// ScheduleItem is one scheduled task in a response.
+type ScheduleItem struct {
+	Task     int     `json:"task"`
+	Name     string  `json:"name,omitempty"`
+	Start    float64 `json:"start"`
+	Duration float64 `json:"duration"`
+	Alloc    int     `json:"alloc"`
+}
+
+// SolveResponse is the body answering a solve (directly, per batch entry,
+// or inside a finished job).
+type SolveResponse struct {
+	Makespan    float64 `json:"makespan"`
+	LowerBound  float64 `json:"lower_bound,omitempty"`
+	Guarantee   float64 `json:"guarantee,omitempty"`
+	ProvenRatio float64 `json:"proven_ratio,omitempty"`
+	Alloc       []int   `json:"alloc"`
+	// Algo is the algorithm that actually ran; Routed says whether the
+	// server chose it (true) or the request pinned it (false).
+	Algo        string `json:"algo"`
+	Routed      bool   `json:"routed"`
+	RouteReason string `json:"route_reason,omitempty"`
+	// Cache is hit, shared (waited on an identical in-flight solve), miss,
+	// or bypass. ColdMS is the originating solve's duration — on a hit,
+	// the time the cache saved.
+	Cache     string         `json:"cache"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	ColdMS    float64        `json:"cold_ms"`
+	Schedule  []ScheduleItem `json:"schedule,omitempty"`
+}
+
+// errBadRequest marks errors caused by the request (vs. server failures).
+var errBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
+}
+
+// solutionKey is the content address of a request: what the instance is,
+// which algorithm will run, and any parameter overrides. Requests differing
+// only in transport concerns (schedule inclusion, deadline that routed to
+// the same algorithm, cache flags) share a key.
+func solutionKey(in *malsched.Instance, algo malsched.Algorithm, req *SolveRequest) string {
+	key := in.Fingerprint() + "|" + algo.String()
+	if req.Mu != nil {
+		key += "|mu=" + strconv.Itoa(*req.Mu)
+	}
+	if req.Rho != nil {
+		key += "|rho=" + strconv.FormatFloat(*req.Rho, 'e', 12, 64)
+	}
+	return key
+}
+
+// solveOne runs one logical solve through routing, cache and pool. It is
+// the shared core of the sync, batch and async handlers.
+func (s *Server) solveOne(req *SolveRequest) (*SolveResponse, error) {
+	in := req.Instance
+	if in == nil {
+		return nil, badRequestf("missing instance")
+	}
+	var pinned *malsched.Algorithm
+	if req.Algo != "" && req.Algo != "auto" {
+		algo, err := malsched.ParseAlgorithm(req.Algo)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		pinned = &algo
+	}
+	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	dec := route(in, pinned, deadline)
+
+	var opts []malsched.Option
+	if req.Rho != nil {
+		opts = append(opts, malsched.WithRho(*req.Rho))
+	}
+	if req.Mu != nil {
+		opts = append(opts, malsched.WithMu(*req.Mu))
+	}
+
+	start := time.Now()
+	solve := func() (*solution, error) {
+		// Validation failures are the client's fault (400); anything a
+		// valid instance provokes past this point — pool closed during
+		// drain, a recovered solver panic — is a server error (500).
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+		}
+		// Solves run under a background context on purpose: a singleflight
+		// result may be shared by many requests (and lands in the cache), so
+		// one disconnecting client must not cancel it for the others.
+		s.stats.Add("solves_"+dec.algo.String(), 1)
+		res, err := s.pool.SolveAlgo(context.Background(), dec.algo, in, opts...)
+		if err != nil {
+			return nil, err
+		}
+		return &solution{res: res, algo: dec.algo, coldNS: int64(time.Since(start))}, nil
+	}
+
+	var (
+		sol   *solution
+		out   outcome
+		err   error
+		label string
+	)
+	if req.NoCache || s.cache == nil {
+		sol, err = solve()
+		label = "bypass"
+	} else {
+		sol, out, err = s.cache.do(solutionKey(in, dec.algo, req), solve)
+		label = out.String()
+	}
+	s.stats.Add("cache_"+label, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &SolveResponse{
+		Makespan:    sol.res.Makespan,
+		LowerBound:  sol.res.LowerBound,
+		Guarantee:   sol.res.Guarantee,
+		ProvenRatio: sol.res.ProvenRatio,
+		Alloc:       sol.res.Alloc,
+		Algo:        sol.algo.String(),
+		Routed:      dec.routed,
+		RouteReason: dec.reason,
+		Cache:       label,
+		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		ColdMS:      float64(sol.coldNS) / float64(time.Millisecond),
+	}
+	if req.IncludeSchedule {
+		items := sol.res.Schedule.Items
+		resp.Schedule = make([]ScheduleItem, len(items))
+		for j, it := range items {
+			resp.Schedule[j] = ScheduleItem{
+				Task: it.Task, Start: it.Start, Duration: it.Duration, Alloc: it.Alloc,
+			}
+			if it.Task >= 0 && it.Task < len(in.Tasks) {
+				resp.Schedule[j].Name = in.Tasks[it.Task].Name
+			}
+		}
+	}
+	return resp, nil
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.stats.Add("requests_solve", 1)
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	resp, err := s.solveOne(&req)
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// BatchRequest is the body of POST /v1/batch: shared options applied to
+// every instance.
+type BatchRequest struct {
+	Instances       []*malsched.Instance `json:"instances"`
+	Algo            string               `json:"algo,omitempty"`
+	DeadlineMS      float64              `json:"deadline_ms,omitempty"`
+	Rho             *float64             `json:"rho,omitempty"`
+	Mu              *int                 `json:"mu,omitempty"`
+	NoCache         bool                 `json:"no_cache,omitempty"`
+	IncludeSchedule bool                 `json:"include_schedule,omitempty"`
+}
+
+// BatchItem is one instance's outcome: exactly one of Result and Error set.
+type BatchItem struct {
+	Result *SolveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// BatchResponse answers POST /v1/batch, order-preserving: Results[i]
+// belongs to Instances[i].
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.Add("requests_batch", 1)
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	resp := BatchResponse{Results: make([]BatchItem, len(req.Instances))}
+	var done chan int
+	if len(req.Instances) > 0 {
+		done = make(chan int, len(req.Instances))
+	}
+	for i := range req.Instances {
+		go func(i int) {
+			defer func() { done <- i }()
+			one := SolveRequest{
+				Instance: req.Instances[i], Algo: req.Algo, DeadlineMS: req.DeadlineMS,
+				Rho: req.Rho, Mu: req.Mu, NoCache: req.NoCache, IncludeSchedule: req.IncludeSchedule,
+			}
+			res, err := s.solveOne(&one)
+			if err != nil {
+				resp.Results[i].Error = err.Error()
+			} else {
+				resp.Results[i].Result = res
+			}
+		}(i)
+	}
+	for range req.Instances {
+		<-done
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// JobAccepted answers POST /v1/jobs.
+type JobAccepted struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	s.stats.Add("requests_jobs", 1)
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Instance == nil {
+		s.httpError(w, http.StatusBadRequest, errors.New("missing instance"))
+		return
+	}
+	id, err := s.jobs.create(time.Now())
+	if errors.Is(err, errJobsBusy) {
+		s.httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if err != nil {
+		s.httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	go func() {
+		s.jobs.setRunning(id)
+		res, err := s.solveOne(&req)
+		s.jobs.finish(id, res, err, time.Now())
+	}()
+	s.writeJSON(w, http.StatusAccepted, JobAccepted{ID: id, URL: "/v1/jobs/" + id})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.stats.Add("requests_jobs_get", 1)
+	st, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"workers":        s.pool.Workers(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.cacheEntries.Set(int64(s.cache.len()))
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.stats.String())
+}
+
+// solveError maps a solveOne error onto the right status code.
+func (s *Server) solveError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, errBadRequest) {
+		status = http.StatusBadRequest
+	}
+	s.httpError(w, status, err)
+}
+
+func (s *Server) httpError(w http.ResponseWriter, status int, err error) {
+	s.stats.Add("errors_total", 1)
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are out; nothing useful left to do but count it.
+		s.stats.Add("encode_errors", 1)
+	}
+}

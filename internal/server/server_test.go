@@ -1,0 +1,521 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"malsched"
+)
+
+// newTestServer spins up a server over httptest; cfg tweaks are applied to
+// a small default.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func loadTestdata(t *testing.T, name string) *malsched.Instance {
+	t.Helper()
+	f, err := os.Open(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	in, err := malsched.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func decodeSolve(t *testing.T, data []byte) *SolveResponse {
+	t.Helper()
+	var out SolveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decoding solve response %s: %v", data, err)
+	}
+	return &out
+}
+
+func TestSolveMissThenHit(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "chain_n10_m4.json")
+
+	resp, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Algo: "paper"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	first := decodeSolve(t, data)
+	if first.Makespan <= 0 || first.Cache != "miss" || first.Algo != "paper" || first.Routed {
+		t.Fatalf("first solve: %+v", first)
+	}
+	if first.Guarantee <= 0 || first.Guarantee > first.ProvenRatio {
+		t.Errorf("guarantee %v outside (0, %v]", first.Guarantee, first.ProvenRatio)
+	}
+
+	// Same instance with renamed tasks and permuted edges must hit the
+	// content-addressed cache.
+	renamed := *in
+	renamed.Tasks = append([]malsched.Task(nil), in.Tasks...)
+	for i := range renamed.Tasks {
+		renamed.Tasks[i].Name = fmt.Sprintf("other-%d", i)
+	}
+	for i, j := 0, len(renamed.Edges)-1; i < j; i, j = i+1, j-1 {
+		renamed.Edges[i], renamed.Edges[j] = renamed.Edges[j], renamed.Edges[i]
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: &renamed, Algo: "paper"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	second := decodeSolve(t, data)
+	if second.Cache != "hit" {
+		t.Fatalf("second solve: cache %q, want hit", second.Cache)
+	}
+	if second.Makespan != first.Makespan {
+		t.Errorf("hit makespan %v != miss makespan %v", second.Makespan, first.Makespan)
+	}
+	if second.ColdMS != first.ColdMS {
+		t.Errorf("hit cold_ms %v != miss cold_ms %v", second.ColdMS, first.ColdMS)
+	}
+}
+
+func TestSolveParameterOverridesSplitCacheEntries(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	rho := 0.3
+	_, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in})
+	base := decodeSolve(t, data)
+	_, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Rho: &rho})
+	overridden := decodeSolve(t, data)
+	if overridden.Cache != "miss" {
+		t.Errorf("rho override hit the base entry: %+v", overridden)
+	}
+	if base.Cache != "miss" {
+		t.Errorf("base solve: %+v", base)
+	}
+}
+
+func TestSolveBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	valid := loadTestdata(t, "chain_n10_m4.json")
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"malformed json", `{"instance": {`},
+		{"wrong type", `{"instance": 42}`},
+		{"missing instance", `{}`},
+		{"unknown algo", mustJSON(SolveRequest{Instance: valid, Algo: "quantum"})},
+		{"cyclic instance", `{"instance": {"m": 2, "tasks": [{"Times": [1, 1]}, {"Times": [1, 1]}], "edges": [[0, 1], [1, 0]]}}`},
+		{"edge out of range", `{"instance": {"m": 2, "tasks": [{"Times": [1, 1]}], "edges": [[0, 5]]}}`},
+	}
+	for _, c := range cases {
+		for _, path := range []string{"/v1/solve", "/v1/jobs"} {
+			resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(c.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			// Async submissions only vet the envelope; instance-level
+			// problems surface in the job state instead.
+			wantBad := path == "/v1/solve" || c.name == "malformed json" ||
+				c.name == "wrong type" || c.name == "missing instance"
+			if wantBad && resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("%s %s: status %d, want 400 (%s)", path, c.name, resp.StatusCode, data)
+			}
+			if resp.StatusCode == http.StatusBadRequest && !bytes.Contains(data, []byte("error")) {
+				t.Errorf("%s %s: 400 without error body: %s", path, c.name, data)
+			}
+		}
+	}
+}
+
+func mustJSON(v any) string {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(raw)
+}
+
+func TestSolveMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSolveAutoRoutingAndSchedule(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "layered_n12_m8.json")
+
+	_, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, IncludeSchedule: true})
+	out := decodeSolve(t, data)
+	if !out.Routed || out.Algo != "paper" || out.RouteReason == "" {
+		t.Errorf("auto small instance: %+v", out)
+	}
+	if len(out.Schedule) != len(in.Tasks) {
+		t.Fatalf("schedule has %d items, want %d", len(out.Schedule), len(in.Tasks))
+	}
+	for _, it := range out.Schedule {
+		if it.Name != in.Tasks[it.Task].Name {
+			t.Errorf("schedule item %d carries name %q, want %q", it.Task, it.Name, in.Tasks[it.Task].Name)
+		}
+	}
+
+	// An impossible deadline routes to greedy; a pinned algo is never routed.
+	_, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, DeadlineMS: 0.0001})
+	if out := decodeSolve(t, data); out.Algo != "greedy" || !out.Routed {
+		t.Errorf("tight deadline: %+v", out)
+	}
+	_, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Algo: "ltw", DeadlineMS: 0.0001})
+	if out := decodeSolve(t, data); out.Algo != "ltw" || out.Routed {
+		t.Errorf("pinned ltw: %+v", out)
+	}
+}
+
+func TestSolveNoCacheBypasses(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	for i := 0; i < 2; i++ {
+		_, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, NoCache: true})
+		if out := decodeSolve(t, data); out.Cache != "bypass" {
+			t.Fatalf("request %d: cache %q, want bypass", i, out.Cache)
+		}
+	}
+	if s.cache.len() != 0 {
+		t.Errorf("bypassed requests populated the cache: %d entries", s.cache.len())
+	}
+}
+
+func TestSolveCacheDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheEntries: -1})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	for i := 0; i < 2; i++ {
+		_, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in})
+		if out := decodeSolve(t, data); out.Cache != "bypass" {
+			t.Fatalf("request %d: cache %q, want bypass", i, out.Cache)
+		}
+	}
+}
+
+func TestConcurrentIdenticalSolvesRunOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	in := loadTestdata(t, "erdos_n12_m4.json")
+	const clients = 32
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			raw, _ := json.Marshal(SolveRequest{Instance: in})
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, data)
+			}
+		}()
+	}
+	wg.Wait()
+
+	m := metrics(t, ts)
+	if m["solves_paper"] != 1 {
+		t.Errorf("identical concurrent requests ran %v solves, want 1", m["solves_paper"])
+	}
+	if total := m["cache_hit"] + m["cache_shared"] + m["cache_miss"]; total != clients {
+		t.Errorf("cache outcomes sum to %v, want %d", total, clients)
+	}
+	if s.cache.len() != 1 {
+		t.Errorf("cache has %d entries, want 1", s.cache.len())
+	}
+}
+
+func TestBatchOrderAndErrorIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	good1 := loadTestdata(t, "chain_n10_m4.json")
+	good2 := loadTestdata(t, "forkjoin_n10_m4.json")
+	bad := &malsched.Instance{M: 2, Tasks: []malsched.Task{malsched.PowerLawTask("t", 1, 0.5, 2)}, Edges: [][2]int{{0, 7}}}
+
+	resp, data := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Instances: []*malsched.Instance{good1, bad, good2, nil}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out BatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(out.Results))
+	}
+	for _, i := range []int{0, 2} {
+		if out.Results[i].Result == nil || out.Results[i].Error != "" {
+			t.Errorf("result %d: %+v, want success", i, out.Results[i])
+		}
+	}
+	for _, i := range []int{1, 3} {
+		if out.Results[i].Result != nil || out.Results[i].Error == "" {
+			t.Errorf("result %d: %+v, want error", i, out.Results[i])
+		}
+	}
+	if out.Results[0].Result.Makespan == out.Results[2].Result.Makespan {
+		t.Error("distinct instances returned identical makespans — results crossed?")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, data := postJSON(t, ts.URL+"/v1/batch", BatchRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+}
+
+func waitForJob(t *testing.T, url string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", resp.StatusCode, data)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobDone || st.State == JobFailed {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after 30s", st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "erdos_n16_m16.json")
+
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Instance: in})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	var acc JobAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID == "" || acc.URL != "/v1/jobs/"+acc.ID {
+		t.Fatalf("accepted: %+v", acc)
+	}
+
+	st := waitForJob(t, ts.URL+acc.URL)
+	if st.State != JobDone || st.Result == nil || st.Error != "" {
+		t.Fatalf("finished job: %+v", st)
+	}
+	if st.Result.Makespan <= 0 || st.Finished == nil {
+		t.Errorf("job result: %+v", st.Result)
+	}
+
+	// The async solve must have populated the shared cache: a sync request
+	// for the same instance hits.
+	_, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in})
+	if out := decodeSolve(t, data); out.Cache != "hit" {
+		t.Errorf("sync after async: cache %q, want hit", out.Cache)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bad := &malsched.Instance{M: 2, Tasks: []malsched.Task{malsched.PowerLawTask("t", 1, 0.5, 2)}, Edges: [][2]int{{0, 9}}}
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Instance: bad})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	var acc JobAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+	st := waitForJob(t, ts.URL+acc.URL)
+	if st.State != JobFailed || st.Error == "" || st.Result != nil {
+		t.Fatalf("failed job: %+v", st)
+	}
+}
+
+func TestJobUnknown(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/jobs/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestJobStoreInFlightBound(t *testing.T) {
+	js := newJobStore(2)
+	now := time.Now()
+	id1, err := js.create(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := js.create(now); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := js.create(now); !errors.Is(err, errJobsBusy) {
+		t.Fatalf("third in-flight job: err=%v, want errJobsBusy", err)
+	}
+	js.finish(id1, &SolveResponse{}, nil, now)
+	if _, err := js.create(now); err != nil {
+		t.Errorf("create after a finish: %v", err)
+	}
+}
+
+// Server-side failures (here: the solver pool closed during drain) must
+// surface as 500, not as the client's fault.
+func TestSolveServerErrorIs500(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	s.Close()
+	resp, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, NoCache: true})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500: %s", resp.StatusCode, data)
+	}
+}
+
+func TestJobStoreEviction(t *testing.T) {
+	js := newJobStore(2)
+	now := time.Now()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		id, err := js.create(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js.finish(id, &SolveResponse{}, nil, now)
+		ids = append(ids, id)
+	}
+	if _, ok := js.get(ids[0]); ok {
+		t.Error("oldest finished job survived past the bound")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := js.get(id); !ok {
+			t.Errorf("job %s evicted too early", id)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 3})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["status"] != "ok" || out["workers"] != float64(3) || s.Workers() != 3 {
+		t.Errorf("healthz: %s", data)
+	}
+}
+
+// metrics fetches /metrics and returns its numeric fields.
+func metrics(t *testing.T, ts *httptest.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	var out map[string]float64
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("metrics is not flat numeric JSON: %s", data)
+	}
+	return out
+}
+
+func TestMetricsCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "chain_n12_m16.json")
+	postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in})
+	postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in})
+	http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader("{"))
+
+	m := metrics(t, ts)
+	checks := map[string]float64{
+		"requests_solve": 3,
+		"cache_miss":     1,
+		"cache_hit":      1,
+		"errors_total":   1,
+		"solves_paper":   1,
+		"cache_entries":  1,
+	}
+	for k, want := range checks {
+		if m[k] != want {
+			t.Errorf("metrics[%q] = %v, want %v", k, m[k], want)
+		}
+	}
+}

@@ -36,7 +36,6 @@ import (
 	"math/rand"
 
 	"malsched/internal/allot"
-	"malsched/internal/baseline"
 	"malsched/internal/bruteforce"
 	"malsched/internal/core"
 	"malsched/internal/dag"
@@ -196,50 +195,22 @@ func solveWith(in *Instance, ws *solver.Workspace, opts []Option) (*Result, erro
 // SolveLTW runs the Lepère–Trystram–Woeginger baseline (the comparison
 // algorithm of the paper's Table 3, ratio asymptotically 3+sqrt(5)).
 func SolveLTW(in *Instance) (*Result, error) {
-	ai, err := in.internal()
-	if err != nil {
-		return nil, err
-	}
-	res, err := baseline.LTW(ai)
-	if err != nil {
-		return nil, err
-	}
-	mu, r := baseline.LTWRatio(in.M)
-	out := &Result{
-		Schedule: res.Schedule, Makespan: res.Makespan, LowerBound: res.LowerBound,
-		Alloc: res.Alpha, Mu: mu, Rho: 0.5, ProvenRatio: r,
-	}
-	if res.LowerBound > 0 {
-		out.Guarantee = res.Makespan / res.LowerBound
-	}
-	return out, nil
+	return solveAlgoWith(in, nil, AlgoLTW, nil)
 }
 
 // SolveSequential schedules every task on one processor (no malleability).
 func SolveSequential(in *Instance) (*Result, error) {
-	return baselineResult(in, baseline.Sequential)
+	return solveAlgoWith(in, nil, AlgoSequential, nil)
 }
 
 // SolveGreedyCP runs the greedy critical-path heuristic baseline.
 func SolveGreedyCP(in *Instance) (*Result, error) {
-	return baselineResult(in, baseline.GreedyCP)
+	return solveAlgoWith(in, nil, AlgoGreedyCP, nil)
 }
 
 // SolveFullAllotment gives every task all m processors (serialising).
 func SolveFullAllotment(in *Instance) (*Result, error) {
-	return baselineResult(in, baseline.FullAllotment)
-}
-
-func baselineResult(in *Instance, f func(*allot.Instance) (*baseline.Result, error)) (*Result, error) {
-	ai, err := in.internal()
-	if err != nil {
-		return nil, err
-	}
-	res, err := f(ai)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Schedule: res.Schedule, Makespan: res.Makespan, Alloc: res.Alpha}, nil
+	return solveAlgoWith(in, nil, AlgoFullAllotment, nil)
 }
 
 // Optimal computes the exact optimal makespan by exhaustive search. Only

@@ -57,12 +57,22 @@ func (p *Pool) combined(opts []Option) []Option {
 // ready. Concurrent callers are served in parallel by different workers.
 // Per-call options override the pool's options.
 func (p *Pool) Solve(ctx context.Context, in *Instance, opts ...Option) (*Result, error) {
+	return p.SolveAlgo(ctx, AlgoPaper, in, opts...)
+}
+
+// SolveAlgo solves one instance with the selected algorithm on the pool,
+// blocking until the result is ready. AlgoPaper is exactly Pool.Solve; the
+// baseline algorithms reuse the worker's workspace the same way, so a mixed
+// algorithm stream (as produced by the serving layer's adaptive router)
+// still runs allocation-free once warm. Per-call options override the
+// pool's options; the baselines ignore the paper algorithm's mu/rho options.
+func (p *Pool) SolveAlgo(ctx context.Context, algo Algorithm, in *Instance, opts ...Option) (*Result, error) {
 	if in == nil {
 		return nil, errNilInstance
 	}
 	var res *Result
 	err := p.eng.RunOne(ctx, func(ws *solver.Workspace) error {
-		r, err := solveWith(in, ws, p.combined(opts))
+		r, err := solveAlgoWith(in, ws, algo, p.combined(opts))
 		res = r
 		return err
 	})

@@ -7,8 +7,11 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+
+	"malsched/internal/core"
 )
 
 // testBatch loads every canned instance (plus a few synthetic ones) as the
@@ -204,4 +207,162 @@ func TestPoolConcurrentSolvers(t *testing.T) {
 		}(int64(c))
 	}
 	wg.Wait()
+}
+
+// TestPoolCancelMidBatch cancels while the first solve of a batch is
+// running on a single worker: the started solve must complete (SolveBatch
+// waits for solves it started), everything still queued must fail with the
+// context's error, and the pool must stay usable.
+func TestPoolCancelMidBatch(t *testing.T) {
+	ins := testBatch(t)
+	if len(ins) < 3 {
+		t.Fatal("need at least 3 instances")
+	}
+	pool := NewPool(1)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	// Options run on the worker inside the solve, so this gate suspends the
+	// first job mid-flight; jobs skipped after cancellation never reach it.
+	gate := Option(func(o *core.Options) {
+		once.Do(func() { close(started) })
+		<-release
+	})
+	go func() {
+		<-started
+		cancel()
+		close(release)
+	}()
+
+	out := pool.SolveBatch(ctx, ins, gate)
+	if out[0].Err != nil || out[0].Result == nil || out[0].Result.Makespan <= 0 {
+		t.Errorf("started solve: err=%v result=%+v, want completion", out[0].Err, out[0].Result)
+	}
+	for i := 1; i < len(out); i++ {
+		if !errors.Is(out[i].Err, context.Canceled) {
+			t.Errorf("queued instance %d: err=%v, want context.Canceled", i, out[i].Err)
+		}
+		if out[i].Result != nil {
+			t.Errorf("queued instance %d produced a result after cancellation", i)
+		}
+	}
+	// The worker survived the interrupted batch.
+	if _, err := pool.Solve(context.Background(), ins[0]); err != nil {
+		t.Errorf("pool unusable after cancelled batch: %v", err)
+	}
+}
+
+// TestPoolRecoversPanickingSolve drives a panic through the public API (an
+// option that panics stands in for any instance whose solve panics): the
+// panicking job must come back as an error, siblings must be unaffected,
+// and the worker must survive.
+func TestPoolRecoversPanickingSolve(t *testing.T) {
+	ins := testBatch(t)[:3]
+	pool := NewPool(1) // serial execution: jobs run in submission order
+	defer pool.Close()
+
+	calls := 0
+	boomSecond := Option(func(o *core.Options) {
+		calls++
+		if calls == 2 {
+			panic("kaboom")
+		}
+	})
+	out := pool.SolveBatch(context.Background(), ins, boomSecond)
+	if out[1].Err == nil || !strings.Contains(out[1].Err.Error(), "panic") {
+		t.Errorf("panicking instance: err=%v, want panic error", out[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if out[i].Err != nil || out[i].Result == nil {
+			t.Errorf("sibling %d: err=%v result=%v, want success", i, out[i].Err, out[i].Result)
+		}
+	}
+
+	boomAlways := Option(func(o *core.Options) { panic("kaboom") })
+	if res, err := pool.Solve(context.Background(), ins[0], boomAlways); err == nil || res != nil {
+		t.Errorf("Solve with panicking job: res=%v err=%v, want error", res, err)
+	}
+	if _, err := pool.Solve(context.Background(), ins[0]); err != nil {
+		t.Errorf("pool unusable after panic: %v", err)
+	}
+}
+
+// TestPoolZeroWorkerConfig: workers <= 0 means GOMAXPROCS, never a stuck
+// zero-worker pool.
+func TestPoolZeroWorkerConfig(t *testing.T) {
+	for _, w := range []int{0, -7} {
+		pool := NewPool(w)
+		if pool.Workers() < 1 {
+			t.Fatalf("NewPool(%d).Workers() = %d, want >= 1", w, pool.Workers())
+		}
+		if _, err := pool.Solve(context.Background(), exampleInstance()); err != nil {
+			t.Errorf("NewPool(%d): solve failed: %v", w, err)
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolSolveAlgoMatchesTopLevel: every algorithm routed through the
+// pool's workspace-reusing path must reproduce the top-level functions
+// byte for byte.
+func TestPoolSolveAlgoMatchesTopLevel(t *testing.T) {
+	ins := testBatch(t)
+	pool := NewPool(2)
+	defer pool.Close()
+	direct := map[Algorithm]func(*Instance) (*Result, error){
+		AlgoPaper:         func(in *Instance) (*Result, error) { return Solve(in) },
+		AlgoLTW:           SolveLTW,
+		AlgoGreedyCP:      SolveGreedyCP,
+		AlgoSequential:    SolveSequential,
+		AlgoFullAllotment: SolveFullAllotment,
+	}
+	for algo, f := range direct {
+		for i, in := range ins {
+			want, err := f(in)
+			if err != nil {
+				t.Fatalf("%v direct instance %d: %v", algo, i, err)
+			}
+			got, err := pool.SolveAlgo(context.Background(), algo, in)
+			if err != nil {
+				t.Fatalf("%v pooled instance %d: %v", algo, i, err)
+			}
+			if fingerprint(got) != fingerprint(want) {
+				t.Errorf("%v instance %d: pooled result differs from direct", algo, i)
+			}
+		}
+	}
+}
+
+func TestPoolSolveAlgoErrors(t *testing.T) {
+	pool := NewPool(1)
+	if _, err := pool.SolveAlgo(context.Background(), AlgoLTW, nil); err == nil {
+		t.Error("nil instance did not error")
+	}
+	if _, err := pool.SolveAlgo(context.Background(), Algorithm(99), exampleInstance()); err == nil {
+		t.Error("unknown algorithm did not error")
+	}
+	pool.Close()
+	if _, err := pool.SolveAlgo(context.Background(), AlgoPaper, exampleInstance()); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("closed pool: err=%v, want ErrPoolClosed", err)
+	}
+}
+
+func TestParseAlgorithmRoundTrip(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoPaper, AlgoLTW, AlgoGreedyCP, AlgoSequential, AlgoFullAllotment} {
+		got, err := ParseAlgorithm(algo.String())
+		if err != nil || got != algo {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v", algo.String(), got, err)
+		}
+	}
+	for alias, want := range map[string]Algorithm{"ours": AlgoPaper, "sequential": AlgoSequential} {
+		if got, err := ParseAlgorithm(alias); err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v, want %v", alias, got, err, want)
+		}
+	}
+	if _, err := ParseAlgorithm("quantum"); err == nil {
+		t.Error("unknown name did not error")
+	}
 }
