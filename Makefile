@@ -13,9 +13,13 @@ GO ?= go
 BENCH_SMOKE = Phase1LP|WorkspaceReuse|PoolThroughput|List$$|ListReference/layered
 
 # The benchmarks the CI regression gate fails on (>25% ns/op growth vs the
-# previous push's baseline): the phase-1 LP scenarios, the phase-2 profile
-# scheduler scenarios, and the serving paths. Deliberately excludes the
-# micro-benchmarks (Phase2List at 27us would gate on scheduler jitter).
+# previous push's baseline): the phase-1 LP scenarios — including the PR-5
+# additions that pin the devex/preprocessing/segment-formulation speedups
+# (layered_n500_m32 and erdos_n500_m48 on the segment route,
+# layered_n1000_m64 and layered_n2000_m64 on the lazy dual-restart route) —
+# the phase-2 profile scheduler scenarios, and the serving paths.
+# Deliberately excludes the micro-benchmarks (Phase2List at 27us would gate
+# on scheduler jitter).
 BENCH_KEY = BenchmarkPhase1LP/|BenchmarkList/|BenchmarkServe/
 
 .PHONY: all build test race bench bench-json bench-gate cover lint staticcheck ci testdata

@@ -23,6 +23,7 @@ import (
 	"malsched/internal/malleable"
 	"malsched/internal/nlp"
 	"malsched/internal/params"
+	"malsched/internal/solver"
 )
 
 // E1 / Table 2: parameter and ratio table of the paper's algorithm.
@@ -153,7 +154,14 @@ type phase1Scenario struct {
 var phase1Scenarios = []phase1Scenario{
 	{"erdos_n24_m8", 24, 8, "erdos", 0.2, 9}, // the historical small scenario
 	{"layered_n200_m16", 200, 16, "layered", 0, 9},
+	// Routes through the segment-variable formulation (segment mass in
+	// the mid window; see internal/allot/segment.go).
 	{"layered_n500_m32", 500, 32, "layered", 0, 9},
+	// Dense random precedence at scale: the scenario where transitive
+	// reduction (internal/prep) pays — ~2/3 of its arcs are implied.
+	{"erdos_n500_m48", 500, 48, "erdos", 0.03, 9},
+	// Above the segment window: the lazy-cut loop with dual restarts.
+	{"layered_n1000_m64", 1000, 64, "layered", 0, 9},
 	{"layered_n2000_m64", 2000, 64, "layered", 0, 9},
 }
 
@@ -177,11 +185,14 @@ func BenchmarkPhase1LP(b *testing.B) {
 	for _, sc := range phase1Scenarios {
 		b.Run(sc.name, func(b *testing.B) {
 			in := sc.build()
-			ws := allot.NewWorkspace()
+			ws := solver.NewWorkspace()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := allot.SolveLPWith(in, ws); err != nil {
+				// Exactly the production phase-1 path (core.SolveWith):
+				// preprocess, then solve the LP on the reduced instance.
+				red := ws.Reduce(in)
+				if _, err := allot.SolveLPWith(red, ws.LP()); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -11,7 +11,7 @@ import (
 // fingerprintVersion tags the canonical encoding; bump it whenever the
 // encoding below changes so stale cache entries keyed on old fingerprints
 // can never be confused with new ones.
-const fingerprintVersion = "malsched-fp-v1"
+const fingerprintVersion = "malsched-fp-v2" // v2: -0.0 canonicalized to +0.0
 
 // fingerprintMantissaBits is the precision processing times are quantized
 // to before hashing: the top 40 of float64's 52 mantissa bits, about 12
@@ -93,13 +93,18 @@ func (in *Instance) Fingerprint() string {
 // to-nearest with carry into the exponent (so a value a hair under a power
 // of two rounds onto it, exactly like decimal rounding would). NaNs are
 // canonicalized to one payload; infinities already have a zero mantissa and
-// pass through unchanged.
+// pass through unchanged; -0.0 is canonicalized to +0.0 — the two compare
+// equal and schedule identically, so leaving the sign bit in place would
+// split cache entries for the same scheduling problem.
 func quantize(p float64) uint64 {
 	if math.IsNaN(p) {
 		return math.Float64bits(math.NaN())
 	}
 	if math.IsInf(p, 0) {
 		return math.Float64bits(p)
+	}
+	if p == 0 {
+		return 0 // fold -0.0 onto +0.0
 	}
 	const drop = 52 - fingerprintMantissaBits
 	bits := math.Float64bits(p)

@@ -91,6 +91,28 @@ func TestQuantize(t *testing.T) {
 	if quantize(just) != math.Float64bits(2.0) {
 		t.Errorf("carry rounding: quantize(%x) = %x, want bits of 2.0", just, quantize(just))
 	}
+	// The two float zeros compare equal and schedule identically, so they
+	// must fingerprint identically (the sign bit would otherwise split
+	// cache entries for the same problem).
+	if quantize(math.Copysign(0, -1)) != quantize(0.0) {
+		t.Error("-0.0 and +0.0 quantize differently")
+	}
+}
+
+// TestFingerprintZeroSign: instances differing only in the sign of a zero
+// processing time describe the same scheduling problem and must share a
+// fingerprint. (Zero times are invalid for solving, but Fingerprint is
+// total and the serving layer keys its cache before validation.)
+func TestFingerprintZeroSign(t *testing.T) {
+	mk := func(z float64) *Instance {
+		return &Instance{
+			M:     2,
+			Tasks: []Task{NewTask("a", []float64{z, z})},
+		}
+	}
+	if mk(math.Copysign(0, -1)).Fingerprint() != mk(0).Fingerprint() {
+		t.Error("fingerprints split on the sign of a zero processing time")
+	}
 }
 
 func TestFingerprintSeparatesDifferentInstances(t *testing.T) {

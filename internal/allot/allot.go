@@ -17,19 +17,27 @@
 // rows up front is what made large instances unreachable, so SolveLPWith
 // generates them lazily: the model starts with just the two endpoint lines
 // per task (plus implicit variable bounds standing in for the 2n domain
-// rows), and after each solve the most violated missing line of every task
-// is added and the LP is re-solved warm via a dual-simplex restart from the
-// previous basis. Convexity makes each round's cuts valid for the full LP
-// and every round adds at least one new row, so the loop terminates — the
-// same monotone-iteration discipline Esparza–Kiefer–Luttenberger use for
-// least-fixed-point systems — and in practice a handful of cuts per task
-// suffice. SolveLPReference (reference.go) retains the full dense build as
-// the differential-testing oracle.
+// rows), and after each solve the most violated missing lines of every
+// task are added — the per-task scans sharded over a bounded worker set
+// with a deterministic merge — and the LP is re-solved warm via a
+// dual-simplex restart from the previous basis. Convexity makes each
+// round's cuts valid for the full LP and every round adds at least one
+// new row, so the loop terminates — the same monotone-iteration
+// discipline Esparza–Kiefer–Luttenberger use for least-fixed-point
+// systems — and in practice a handful of cuts per task suffice. In the
+// mid segment-mass window SolveLPWith instead routes to the
+// segment-variable reformulation (segment.go), which encodes the same
+// relaxation columnwise and solves in one call. SolveLPReference
+// (reference.go) retains the full dense build as the
+// differential-testing oracle for both.
 package allot
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"malsched/internal/dag"
 	"malsched/internal/lp"
@@ -131,6 +139,25 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	n := in.G.N()
 	fronts := ws.frontiers(in)
 
+	// Route by frontier segment mass: in the mid regime the lazy-cut
+	// loop would materialise thousands of rows one dual restart at a
+	// time, while the segment-variable formulation (segment.go) solves
+	// the same relaxation in a single call on a basis that never grows
+	// (see the crossover notes at segFormulationMin).
+	if thr := ws.SegThreshold; thr >= 0 {
+		lo, hi := segFormulationMin, segFormulationMax
+		if thr > 0 {
+			lo, hi = thr, math.MaxInt
+		}
+		total := 0
+		for j := range fronts {
+			total += fronts[j].Segments()
+		}
+		if total >= lo && total <= hi {
+			return solveLPSegments(in, ws, fronts)
+		}
+	}
+
 	// Variables: completion C_j, processing x_j, work wbar_j for each task,
 	// plus the critical-path length L and makespan C. AddVar assigns
 	// indices sequentially, so the layout is deterministic:
@@ -187,6 +214,19 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 		}
 	}
 
+	// Crash bounds (applyCrashBounds, shared with the segment path):
+	// every completion is lower-bounded by the longest path (at the
+	// all-minimal processing times XMin) ending at the task, L by the
+	// largest of those and C by max{Lmin, sum of work floors / m}. These
+	// are implied inequalities — every feasible point already satisfies
+	// them, so the polytope (and the optimum) is untouched — but starting
+	// the nonbasic completions AT them makes the initial all-lower-bound
+	// point satisfy every precedence row outright: the phase-1
+	// artificials collapse from one per precedence row to the handful of
+	// rows (seed cuts, total work) that are genuinely violated, and with
+	// them thousands of phase-1 pivots.
+	ws.applyCrashBounds(p, in, fronts, cj, vL, vC, workFloorMin(fronts))
+
 	// Static rows. Completion ordering and the L cap are only needed where
 	// the DAG does not imply them transitively: x_j <= C_j for sources
 	// (elsewhere C_i >= 0 and the precedence row imply it) and C_j <= L for
@@ -199,12 +239,35 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 			p.AddConstraint(lp.LE, 0, lp.Term{Var: cj(j), Coef: 1}, lp.Term{Var: vL, Coef: -1})
 		}
 	}
-	// Precedence: C_i + x_j <= C_j for every arc (i, j).
-	for _, e := range in.G.Edges() {
-		p.AddConstraint(lp.LE, 0,
-			lp.Term{Var: cj(e[0]), Coef: 1},
-			lp.Term{Var: xj(e[1]), Coef: 1},
-			lp.Term{Var: cj(e[1]), Coef: -1})
+	// Precedence: C_i + x_j <= C_j for every arc (i, j) — except along
+	// linear chains (internal/prep ChainNext), whose k link rows collapse
+	// to the single row C_v0 + sum_i x_vi <= C_vk: the interior
+	// completions appear in no other row, so eliminating them changes
+	// neither the feasible x-space nor the optimum, and drops k-1 rows
+	// and as many basic variables per chain.
+	ws.chainLinks(in.G)
+	for v := 0; v < n; v++ {
+		if ws.chainNext[v] >= 0 && !ws.linkInto[v] {
+			// Head of a maximal chain: walk it and emit the collapsed row.
+			terms := ws.termBuf(4)
+			terms = append(terms, lp.Term{Var: cj(v), Coef: 1})
+			t := v
+			for ws.chainNext[t] >= 0 {
+				t = int(ws.chainNext[t])
+				terms = append(terms, lp.Term{Var: xj(t), Coef: 1})
+			}
+			terms = append(terms, lp.Term{Var: cj(t), Coef: -1})
+			p.AddConstraint(lp.LE, 0, terms...)
+		}
+		for _, s := range in.G.Succs(v) {
+			if int(ws.chainNext[v]) == s {
+				continue // chain link: covered by its collapsed row
+			}
+			p.AddConstraint(lp.LE, 0,
+				lp.Term{Var: cj(v), Coef: 1},
+				lp.Term{Var: xj(s), Coef: 1},
+				lp.Term{Var: cj(s), Coef: -1})
+		}
 	}
 	// L <= C and total work W/m <= C (the one dense row of the model).
 	p.AddConstraint(lp.LE, 0, lp.Term{Var: vL, Coef: 1}, lp.Term{Var: vC, Coef: -1})
@@ -302,43 +365,53 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	return out, nil
 }
 
-// addViolatedCuts appends, for every task whose work variable sits below
-// its work function at the LP solution, the most violated supporting line
-// not yet materialised, and reports how many rows it added. When the
-// total-work row is slack — sum_j w_j(x*_j)/m fits under C* — it adds
-// nothing at all: raising every wbar_j to w_j(x*_j) then yields a fully
-// feasible point of the complete LP (9) at the same objective, so the
-// relaxation is already exact and no amount of cutting can change C*.
-func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier, sol *lp.Solution, m int) int {
+// sepShardSize fixes the separation sharding granularity: tasks are cut
+// into ceil(n/sepShardSize) contiguous shards regardless of how many
+// workers run, so every per-shard result — and therefore the merged cut
+// sequence — is byte-identical for any GOMAXPROCS. sepMaxWorkers bounds
+// the worker set (beyond ~8 the memory-bound frontier scans stop
+// scaling, and an unbounded fan-out would fight the solver pool's own
+// parallelism on a loaded server).
+const (
+	sepShardSize    = 256
+	sepMaxWorkers   = 8
+	sepParThreshold = 2 * sepShardSize // below this many tasks, run inline
+)
+
+// sepPick is one selected cut: segment seg of task task's frontier.
+type sepPick struct{ task, seg int32 }
+
+// separateShard scans the tasks of shard sh (the contiguous index range
+// [sh*sepShardSize, (sh+1)*sepShardSize) ∩ [0, n)) for their top-K
+// violated missing supporting lines at the solution x, appending picks —
+// in task order, most violated first within a task — to the shard's
+// reusable buffer. It only reads shared state (solution, frontiers, cut
+// bookkeeping), so shards run concurrently without synchronisation.
+func (ws *Workspace) separateShard(sh int, fronts []malleable.Frontier, solX []float64) {
 	n := len(fronts)
-	sum := 0.0
-	for j := 0; j < n; j++ {
-		f := &fronts[j]
-		sum += f.WorkAt(clamp(sol.X[n+j], f.XMin(), f.XMax()))
+	lo, hi := sh*sepShardSize, (sh+1)*sepShardSize
+	if hi > n {
+		hi = n
 	}
-	c := sol.X[3*n+1]
-	if sum/float64(m)-c <= cutEps*(1+math.Abs(c)) {
-		return 0
-	}
-	added := 0
-	for j := 0; j < n; j++ {
+	picks := ws.sepPicks[sh][:0]
+	for j := lo; j < hi; j++ {
 		f := &fronts[j]
 		segs := f.Segments()
 		if segs < 1 {
 			continue
 		}
-		x := clamp(sol.X[n+j], f.XMin(), f.XMax())
-		wbar := sol.X[2*n+j]
+		x := clamp(solX[n+j], f.XMin(), f.XMax())
+		wbar := solX[2*n+j]
 		wtrue := f.WorkAt(x)
 		eps := cutEps * (1 + math.Abs(wtrue))
 		if wtrue-wbar <= eps {
 			continue
 		}
-		// Add the task's top-K violated missing lines per round (rather
+		// Select the task's top-K violated missing lines per round (rather
 		// than only the single worst): cuts are cheap rows, extra rounds
 		// are warm re-solves, so batching converges in far fewer rounds.
 		const topK = 4
-		var segTop [topK]int
+		var segTop [topK]int32
 		var violTop [topK]float64
 		cnt := 0
 		base := int(ws.segOff[j])
@@ -366,11 +439,82 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 				}
 				i--
 			}
-			segTop[i], violTop[i] = s, v
+			segTop[i], violTop[i] = int32(s), v
 		}
 		for i := 0; i < cnt; i++ {
-			addCut(p, f, j, segTop[i], n)
-			ws.segAdded[base+segTop[i]] = true
+			picks = append(picks, sepPick{task: int32(j), seg: segTop[i]})
+		}
+	}
+	ws.sepPicks[sh] = picks
+}
+
+// addViolatedCuts appends, for every task whose work variable sits below
+// its work function at the LP solution, the most violated supporting
+// lines not yet materialised, and reports how many rows it added. When
+// the total-work row is slack — sum_j w_j(x*_j)/m fits under C* — it
+// adds nothing at all: raising every wbar_j to w_j(x*_j) then yields a
+// fully feasible point of the complete LP (9) at the same objective, so
+// the relaxation is already exact and no amount of cutting can change
+// C*.
+//
+// The per-task separation scans are sharded over a bounded worker set
+// (tasks split into fixed-size contiguous shards, each worker draining
+// shards from a shared counter into per-shard pick buffers); the shard
+// layout depends only on n, and the merge walks shards in order, so the
+// appended cut sequence is byte-identical to a serial run for every
+// worker count.
+func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier, sol *lp.Solution, m int) int {
+	n := len(fronts)
+	sum := 0.0
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		sum += f.WorkAt(clamp(sol.X[n+j], f.XMin(), f.XMax()))
+	}
+	c := sol.X[3*n+1]
+	if sum/float64(m)-c <= cutEps*(1+math.Abs(c)) {
+		return 0
+	}
+
+	nsh := (n + sepShardSize - 1) / sepShardSize
+	for len(ws.sepPicks) < nsh {
+		ws.sepPicks = append(ws.sepPicks, nil)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nsh {
+		workers = nsh
+	}
+	if workers > sepMaxWorkers {
+		workers = sepMaxWorkers
+	}
+	if workers <= 1 || n < sepParThreshold {
+		for sh := 0; sh < nsh; sh++ {
+			ws.separateShard(sh, fronts, sol.X)
+		}
+	} else {
+		var next atomic.Int32
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					sh := int(next.Add(1)) - 1
+					if sh >= nsh {
+						return
+					}
+					ws.separateShard(sh, fronts, sol.X)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	added := 0
+	for sh := 0; sh < nsh; sh++ {
+		for _, pk := range ws.sepPicks[sh] {
+			j := int(pk.task)
+			addCut(p, &fronts[j], j, int(pk.seg), n)
+			ws.segAdded[int(ws.segOff[j])+int(pk.seg)] = true
 			added++
 		}
 	}
@@ -379,6 +523,47 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 
 func clamp(x, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, x))
+}
+
+// workFloorMin sums each task's minimal possible work W_j(1) — the valid
+// lower bound used for the makespan crash bound.
+func workFloorMin(fronts []malleable.Frontier) float64 {
+	s := 0.0
+	for i := range fronts {
+		s += fronts[i].W[0]
+	}
+	return s
+}
+
+// applyCrashBounds installs the implied lower bounds on the completion
+// variables (longest path at minimal processing times), on L (the
+// largest of those) and on C (max of that and the work floor divided by
+// m). Implied bounds leave the polytope untouched but let the initial
+// all-lower-bound basis start primal feasible on the precedence
+// structure.
+func (ws *Workspace) applyCrashBounds(p *lp.Problem, in *Instance, fronts []malleable.Frontier, cj func(int) int, vL, vC int, wfloor float64) {
+	n := in.G.N()
+	order := ws.topo(in.G)
+	lpmin := ws.lpminBuf(n)
+	lmax := 0.0
+	for _, v32 := range order {
+		v := int(v32)
+		d := lpmin[v] + fronts[v].XMin()
+		lpmin[v] = d
+		if d > lmax {
+			lmax = d
+		}
+		for _, s := range in.G.Succs(v) {
+			if d > lpmin[s] {
+				lpmin[s] = d
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		p.SetBounds(cj(j), lpmin[j], math.Inf(1))
+	}
+	p.SetBounds(vL, lmax, math.Inf(1))
+	p.SetBounds(vC, math.Max(lmax, wfloor/float64(in.M)), math.Inf(1))
 }
 
 // Round applies the Section 3.1 rounding with parameter rho in [0,1] to the

@@ -1,0 +1,62 @@
+package allot_test
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"malsched/internal/allot"
+	"malsched/internal/gen"
+
+	"math/rand"
+)
+
+// TestParallelSeparationDeterministic pins the parallel lazy-cut
+// separation's contract: the task shards are fixed by n alone and the
+// merge walks them in order, so the selected cuts — and therefore the
+// entire solve — are byte-identical for every worker count. The
+// instance is sized past the parallel threshold (n >= 2*sepShardSize)
+// so the sharded path actually fans out when GOMAXPROCS allows.
+func TestParallelSeparationDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	in := gen.Instance(gen.Layered(40, 16, 3, rng), gen.FamilyMixed, 16, rng)
+
+	solve := func() *allot.Fractional {
+		ws := allot.NewWorkspace()
+		ws.SegThreshold = -1 // pin the lazy-cut path; this test is about its separation
+		frac, err := allot.SolveLPWith(in, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return frac
+	}
+
+	base := solve()
+	if base.Cuts == 0 {
+		t.Fatalf("instance generated no lazy cuts; the test exercises nothing")
+	}
+	for _, procs := range []int{1, 2, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		frac := solve()
+		runtime.GOMAXPROCS(prev)
+		if !reflect.DeepEqual(frac, base) {
+			t.Errorf("GOMAXPROCS=%d: solve diverged (cuts %d vs %d, C %v vs %v)",
+				procs, frac.Cuts, base.Cuts, frac.C, base.C)
+		}
+	}
+
+	// And a same-workspace repeat must match too (warm-path reuse).
+	ws := allot.NewWorkspace()
+	ws.SegThreshold = -1
+	a, err := allot.SolveLPWith(in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := allot.SolveLPWith(in, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("warm repeat diverged")
+	}
+}

@@ -1,0 +1,288 @@
+// The segment-variable ("delta") reformulation of LP (9), used when the
+// frontier segment mass makes the lazy-cut row generation the wrong
+// tool. The lazy path materialises violated supporting lines of Eq. (8)
+// as rows and re-solves warm; at large n·m thousands of those rows pile
+// into the basis and every one of them costs a dual-simplex pivot
+// against an ever-growing factorization. This path instead encodes the
+// same piecewise-linear convex work relaxation *columnwise*, anchored at
+// the sequential point (every task on one processor):
+//
+//	x_j    = XMax_j - y_j,        y_j = sum_k dn_{j,k},  dn in [0, width]
+//	wbar_j = W_j(1) + wup_j,      wup_j >= sum_k sigma_{j,k} dn_{j,k}
+//	C_j    = Chat_j - g_j,        g_j in [0, Chat_j - Cmin_j]
+//	L      = Lhat   - gL,         C = Chat - gC
+//
+// The fill variables dn_{j,k} walk task j's upper work envelope (over
+// its slope-representative supporting lines) downward from XMax_j:
+// interval k spans the envelope piece of the k-th shallowest line
+// (widths cut at the intersections of consecutive lines) and
+// sigma_{j,k} > 0 is that line's work-per-time-saved rate, increasing in
+// k by convexity — so understating wup_j is impossible: the total-work
+// row presses it onto the fill expression, whose cheapest admissible
+// value is the in-order fill, the envelope exactly (the classic
+// delta-method argument for separable convex LPs). Chat_j is the
+// longest path at single-processor times ending at j, Lhat their
+// maximum, Chat = max(Lhat, sum_j W_j(1)/m), and Cmin_j the longest
+// path at minimal processing times — so every drop bound is implied and
+// the restriction C_j <= Chat_j discards only dominated completions,
+// never the optimum.
+//
+// The payoff is the start basis: with every variable at its zero lower
+// bound the LP sits AT the sequential schedule point, which satisfies
+// every row — no artificials, no phase 1 at all — and the simplex only
+// ever spends pivots parallelizing the tasks the optimum actually
+// parallelizes (for n >> m workloads, a small fraction). Almost all of
+// those pivots are bound flips of 2-nonzero fill columns that never
+// grow the eta file, exactly the shape the devex bucket pricing in
+// internal/lp is built for. wbar_j stays a variable on purpose:
+// substituting its fill expression into the total-work row would make
+// that row dense in every fill variable and each pivot touching it
+// would pay O(n·m) in the reduced-cost update.
+//
+// The reformulation solves exactly the relaxation the lazy path
+// converges to (the envelope of all slope-representative lines), so the
+// two paths agree to the cut tolerance; the dense SolveLPReference
+// remains the differential oracle for both.
+
+package allot
+
+import (
+	"fmt"
+	"math"
+
+	"malsched/internal/lp"
+	"malsched/internal/malleable"
+)
+
+// segFormulationMin/Max bracket the frontier segment mass for which
+// SolveLPWith routes to the segment-variable formulation. Below the
+// window the lazy-cut loop converges in a handful of rounds and wins on
+// column count; above it the two formulations need comparably many
+// pivots (~1 per envelope piece the optimum crosses) but the lazy
+// path's dual-restart pivots run on cheaper basis patterns than the
+// segment path's 10x-wider pricing, and win again. Both crossovers were
+// measured on the layered scenarios of BenchmarkPhase1LP (n=200/m=16:
+// lazy 21ms vs segment 29ms; n=500/m=32: segment 0.49s vs lazy 0.81s;
+// n=1000/m=64: segment 5.4s vs lazy 7.7s; n=2000/m=64: lazy 10.2s vs
+// segment 19.3s).
+const (
+	segFormulationMin = 6000
+	segFormulationMax = 70000
+)
+
+// solveLPSegments builds and solves the segment-variable reformulation.
+// fronts are the instance's efficient frontiers (already computed into
+// ws). The variable layout is deterministic: g_j = j, y_j = n+j,
+// wup_j = 2n+j, gL = 3n, gC = 3n+1, then each task's fill variables
+// contiguously.
+func solveLPSegments(in *Instance, ws *Workspace, fronts []malleable.Frontier) (*Fractional, error) {
+	n := in.G.N()
+	m := in.M
+	p := ws.problem()
+	for j := 0; j < 3*n+2; j++ {
+		p.AddVar("")
+	}
+	gj := func(j int) int { return j }
+	yj := func(j int) int { return n + j }
+	wj := func(j int) int { return 2*n + j }
+	vGL := 3 * n
+	vGC := 3*n + 1
+
+	// Anchor quantities: Chat_j / Cmin_j are the longest paths ending at
+	// each task under single-processor (XMax) and all-minimal (XMin)
+	// processing times.
+	order := ws.topo(in.G)
+	chat := ws.lpminBuf(2 * n)
+	cmin := chat[n : 2*n]
+	chat = chat[:n]
+	lhat, lmin, wfloor := 0.0, 0.0, 0.0
+	for _, v32 := range order {
+		v := int(v32)
+		f := &fronts[v]
+		dmax := chat[v] + f.XMax()
+		dmin := cmin[v] + f.XMin()
+		chat[v], cmin[v] = dmax, dmin
+		if dmax > lhat {
+			lhat = dmax
+		}
+		if dmin > lmin {
+			lmin = dmin
+		}
+		for _, s := range in.G.Succs(v) {
+			if dmax > chat[s] {
+				chat[s] = dmax
+			}
+			if dmin > cmin[s] {
+				cmin[s] = dmin
+			}
+		}
+		wfloor += f.W[0]
+	}
+	cHat := math.Max(lhat, wfloor/float64(m))
+	cLow := math.Max(lmin, wfloor/float64(m))
+
+	// Objective: minimize C = Chat - gC, i.e. maximize the drop.
+	p.SetObj(vGC, -1)
+	p.SetBounds(vGL, 0, lhat-lmin)
+	p.SetBounds(vGC, 0, cHat-cLow)
+
+	// Drop bounds, fill variables and the per-task rows, one envelope
+	// computation per task. Fill k of task j covers the k-th shallowest
+	// envelope piece below XMax_j; wup_j is capped by the total envelope
+	// rise (the value it takes at x_j = XMin_j). The fill definition
+	// y_j = sum_k dn_{j,k} and the envelope tie
+	// wup_j >= sum_k sigma_{j,k} dn_{j,k} both hold with equality (0=0)
+	// at the all-zero start point, so neither needs an artificial.
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		p.SetBounds(gj(j), 0, chat[j]-cmin[j])
+		p.SetBounds(yj(j), 0, f.XMax()-f.XMin())
+		segs := f.Segments()
+		if segs < 1 {
+			p.SetBounds(wj(j), 0, 0)
+			continue
+		}
+		sigmas := ws.repFill(f)
+		base := p.NumVars()
+		rise := 0.0
+		for k := range sigmas {
+			v := p.AddVar("")
+			p.SetBounds(v, 0, ws.repWidth[k])
+			rise += sigmas[k] * ws.repWidth[k]
+		}
+		p.SetBounds(wj(j), 0, rise)
+
+		terms := ws.termBuf(1 + len(sigmas))
+		terms = append(terms, lp.Term{Var: yj(j), Coef: 1})
+		for k := range sigmas {
+			terms = append(terms, lp.Term{Var: base + k, Coef: -1})
+		}
+		p.AddConstraint(lp.EQ, 0, terms...)
+
+		terms = ws.termBuf(1 + len(sigmas))
+		terms = append(terms, lp.Term{Var: wj(j), Coef: 1})
+		for k, sg := range sigmas {
+			terms = append(terms, lp.Term{Var: base + k, Coef: -sg})
+		}
+		p.AddConstraint(lp.GE, 0, terms...)
+	}
+
+	// Rows. Every right-hand side below is non-negative at the all-zero
+	// (sequential) point by construction of the anchors, so the initial
+	// all-logical basis is primal feasible and the solve runs without a
+	// single artificial.
+	for j := 0; j < n; j++ {
+		// Source rows x_j <= C_j: -y_j + g_j <= Chat_j - XMax_j.
+		if len(in.G.Preds(j)) == 0 {
+			p.AddConstraint(lp.LE, chat[j]-fronts[j].XMax(),
+				lp.Term{Var: yj(j), Coef: -1}, lp.Term{Var: gj(j), Coef: 1})
+		}
+		// Sink rows C_j <= L: -g_j + gL <= Lhat - Chat_j.
+		if len(in.G.Succs(j)) == 0 {
+			p.AddConstraint(lp.LE, lhat-chat[j],
+				lp.Term{Var: gj(j), Coef: -1}, lp.Term{Var: vGL, Coef: 1})
+		}
+	}
+	// Precedence C_i + x_j <= C_j, in drop coordinates:
+	// -g_i - y_j + g_j <= Chat_j - Chat_i - XMax_j. Linear chains
+	// collapse exactly as in the lazy builder (see the comment there):
+	// -g_v0 - sum y_vi + g_vk <= Chat_vk - Chat_v0 - sum XMax_vi.
+	ws.chainLinks(in.G)
+	for v := 0; v < n; v++ {
+		if ws.chainNext[v] >= 0 && !ws.linkInto[v] {
+			terms := ws.termBuf(4)
+			terms = append(terms, lp.Term{Var: gj(v), Coef: -1})
+			rhs := -chat[v]
+			t := v
+			for ws.chainNext[t] >= 0 {
+				t = int(ws.chainNext[t])
+				terms = append(terms, lp.Term{Var: yj(t), Coef: -1})
+				rhs -= fronts[t].XMax()
+			}
+			terms = append(terms, lp.Term{Var: gj(t), Coef: 1})
+			p.AddConstraint(lp.LE, rhs+chat[t], terms...)
+		}
+		for _, s := range in.G.Succs(v) {
+			if int(ws.chainNext[v]) == s {
+				continue
+			}
+			p.AddConstraint(lp.LE, chat[s]-chat[v]-fronts[s].XMax(),
+				lp.Term{Var: gj(v), Coef: -1},
+				lp.Term{Var: yj(s), Coef: -1},
+				lp.Term{Var: gj(s), Coef: 1})
+		}
+	}
+	// L <= C: -gL + gC <= Chat - Lhat.
+	p.AddConstraint(lp.LE, cHat-lhat, lp.Term{Var: vGL, Coef: -1}, lp.Term{Var: vGC, Coef: 1})
+	// Total work: sum_j wup_j / m + gC <= Chat - sum_j W_j(1) / m.
+	workTerms := ws.termBuf(n + 1)
+	for j := 0; j < n; j++ {
+		workTerms = append(workTerms, lp.Term{Var: wj(j), Coef: 1 / float64(m)})
+	}
+	workTerms = append(workTerms, lp.Term{Var: vGC, Coef: 1})
+	p.AddConstraint(lp.LE, cHat-wfloor/float64(m), workTerms...)
+	ws.LP.DeferPolish = false
+	sol, err := p.SolveWith(&ws.LP)
+	if err != nil {
+		return nil, fmt.Errorf("allot: LP (9) segment formulation failed: %w", err)
+	}
+
+	out := &Fractional{
+		X:     make([]float64, n),
+		Wbar:  make([]float64, n),
+		LStar: make([]float64, n),
+		C:     cHat + sol.Obj, // sol.Obj = -gC*
+		L:     lhat - sol.X[vGL],
+	}
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		out.X[j] = clamp(f.XMax()-sol.X[yj(j)], f.XMin(), f.XMax())
+		out.Wbar[j] = f.WorkAt(out.X[j])
+		out.W += out.Wbar[j]
+		out.LStar[j] = f.FractionalAlloc(out.X[j])
+	}
+	return out, nil
+}
+
+// repFill computes f's downward envelope fill pieces into the shared
+// scratch: piece k carries the k-th shallowest slope-representative
+// supporting line (the collapse rule — 1e-6 relative slope agreement
+// folds a chain onto its first member — matches the lazy path's cut
+// filter), sigma_k = |slope| of that line, and repWidth[k] the piece's
+// x-extent below XMax, cut at the intersections of consecutive lines and
+// clamped into [XMin, XMax] so roundoff can never produce a negative
+// width. Returns the sigmas; widths are in ws.repWidth.
+func (ws *Workspace) repFill(f *malleable.Frontier) []float64 {
+	slopes := ws.repSlope[:0]
+	icpts := ws.repIcpt[:0]
+	lastRep := math.Inf(-1)
+	for s := 0; s < f.Segments(); s++ {
+		slope, icpt := lineCoefs(f, s)
+		if s == 0 || math.Abs(slope-lastRep) > 1e-6*(1+math.Abs(slope)) {
+			slopes = append(slopes, slope)
+			icpts = append(icpts, icpt)
+			lastRep = slope
+		}
+	}
+	r := len(slopes)
+	widths := grown(ws.repWidth, r)
+	prev := f.XMax()
+	for k := 0; k < r; k++ {
+		low := f.XMin()
+		if k < r-1 {
+			// Crossing of line k with the next-steeper line k+1.
+			low = (icpts[k+1] - icpts[k]) / (slopes[k] - slopes[k+1])
+		}
+		if low > prev {
+			low = prev
+		}
+		if low < f.XMin() {
+			low = f.XMin()
+		}
+		widths[k] = prev - low
+		slopes[k] = -slopes[k] // sigma: positive work rise per unit drop
+		prev = low
+	}
+	ws.repSlope, ws.repIcpt, ws.repWidth = slopes, icpts, widths
+	return slopes
+}

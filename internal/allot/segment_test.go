@@ -1,0 +1,87 @@
+package allot_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/allot"
+	"malsched/internal/gen"
+)
+
+// TestSegmentFormulationMatchesReference forces the segment-variable
+// route (SegThreshold=1) on the same random DAG/task families the lazy
+// differential test covers and checks it against the dense reference:
+// equal optima to 1e-6 relative, in-domain processing times, work values
+// on the frontier, and an intact lower-bound certificate.
+func TestSegmentFormulationMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	ws := allot.NewWorkspace()
+	ws.SegThreshold = 1 // every instance routes through segment.go
+	for trial := 0; trial < 36; trial++ {
+		family := lazyFamilies[trial%len(lazyFamilies)]
+		n := 4 + rng.Intn(24)
+		m := 2 + rng.Intn(15)
+		g := buildDAG(family, n, 0.1+0.3*rng.Float64(), rng)
+		in := gen.Instance(g, gen.FamilyMixed, m, rng)
+		t.Run(fmt.Sprintf("%s_n%d_m%d", family, g.N(), m), func(t *testing.T) {
+			checkAgainstReference(t, in, ws)
+		})
+	}
+}
+
+// TestSegmentFormulationLargerM drives the dense-frontier machine sizes
+// (many, nearly collinear segments) through the forced segment route.
+func TestSegmentFormulationLargerM(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	ws := allot.NewWorkspace()
+	ws.SegThreshold = 1
+	for _, cfg := range []struct {
+		family string
+		n, m   int
+	}{
+		// The near-collinear-segment density is driven by m; n stays
+		// small so the dense reference keeps the -race run tractable.
+		{"layered", 28, 64},
+		{"erdos", 32, 48},
+		{"forkjoin", 26, 64},
+		{"chain", 30, 32},
+		{"independent", 32, 64},
+	} {
+		g := buildDAG(cfg.family, cfg.n, 0.15, rng)
+		in := gen.Instance(g, gen.FamilyMixed, cfg.m, rng)
+		t.Run(fmt.Sprintf("%s_n%d_m%d", cfg.family, g.N(), cfg.m), func(t *testing.T) {
+			checkAgainstReference(t, in, ws)
+		})
+	}
+}
+
+// TestSegmentAgainstLazy pins the two sparse paths to each other on a
+// mid-size instance neither differential oracle reaches comfortably: the
+// segment formulation and the lazy-cut loop must agree on the optimum to
+// the cut tolerance (they solve the same slope-representative
+// relaxation).
+func TestSegmentAgainstLazy(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	in := gen.Instance(gen.Layered(10, 8, 3, rng), gen.FamilyMixed, 24, rng)
+
+	lazy := allot.NewWorkspace()
+	lazy.SegThreshold = -1 // never route
+	fracLazy, err := allot.SolveLPWith(in, lazy)
+	if err != nil {
+		t.Fatalf("lazy: %v", err)
+	}
+	seg := allot.NewWorkspace()
+	seg.SegThreshold = 1 // always route
+	fracSeg, err := allot.SolveLPWith(in, seg)
+	if err != nil {
+		t.Fatalf("segment: %v", err)
+	}
+	if d := math.Abs(fracLazy.C - fracSeg.C); d > 1e-6*(1+math.Abs(fracLazy.C)) {
+		t.Errorf("paths disagree: lazy C=%v segment C=%v", fracLazy.C, fracSeg.C)
+	}
+	if fracSeg.Cuts != 0 || fracSeg.Rounds != 0 {
+		t.Errorf("segment path reported cut diagnostics (cuts=%d rounds=%d); want zero", fracSeg.Cuts, fracSeg.Rounds)
+	}
+}

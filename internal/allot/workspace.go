@@ -1,8 +1,10 @@
 package allot
 
 import (
+	"malsched/internal/dag"
 	"malsched/internal/lp"
 	"malsched/internal/malleable"
+	"malsched/internal/prep"
 )
 
 // Workspace bundles the reusable solver state for the phase-1 LP path: the
@@ -33,6 +35,67 @@ type Workspace struct {
 	// the LP (10) assignment blocks.
 	terms []lp.Term
 	offs  []int32
+
+	// Per-shard pick buffers of the parallel lazy-cut separation
+	// (addViolatedCuts); sepPicks[sh] is owned by whichever worker holds
+	// shard sh during a round and reused across rounds and solves.
+	sepPicks [][]sepPick
+
+	// Crash-bound scratch: per-task longest-path values (the topological
+	// order itself comes from the prep workspace in chains).
+	lpmin []float64
+
+	// SegThreshold overrides the frontier-segment count beyond which
+	// SolveLPWith routes to the segment-variable formulation; 0 means the
+	// measured default (segFormulationMin), negative disables the route.
+	// Exposed for tests and experiments.
+	SegThreshold int
+
+	// Segment-formulation scratch: the representative-line buffers of the
+	// per-task envelope fills (see segment.go).
+	repSlope []float64
+	repIcpt  []float64
+	repWidth []float64
+
+	// Chain analysis (internal/prep): link successors and link-target
+	// markers for the linear-chain row collapse of both LP builders.
+	chains    prep.Workspace
+	linkInto  []bool
+	chainNext []int32
+}
+
+// chainLinks computes the linear-chain structure of g into the
+// workspace: chainNext[v] is v's chain-link successor (-1 when the edge
+// out of v is not a link) and linkInto[w] marks link targets, so a
+// maximal chain starts at any v with chainNext[v] >= 0 && !linkInto[v].
+func (ws *Workspace) chainLinks(g *dag.DAG) {
+	n := g.N()
+	ws.chainNext = ws.chains.ChainNext(g)
+	ws.linkInto = growBool(ws.linkInto, n)
+	for v := 0; v < n; v++ {
+		ws.linkInto[v] = false
+	}
+	for v := 0; v < n; v++ {
+		if w := ws.chainNext[v]; w >= 0 {
+			ws.linkInto[w] = true
+		}
+	}
+}
+
+// topo returns a topological order of g via the embedded prep
+// workspace's buffers (the instance was validated, so g is acyclic).
+func (ws *Workspace) topo(g *dag.DAG) []int32 {
+	order, _ := ws.chains.Topo(g)
+	return order
+}
+
+// lpminBuf returns the zeroed longest-path scratch of length n.
+func (ws *Workspace) lpminBuf(n int) []float64 {
+	ws.lpmin = grown(ws.lpmin, n)
+	for i := range ws.lpmin {
+		ws.lpmin[i] = 0
+	}
+	return ws.lpmin
 }
 
 // NewWorkspace returns an empty workspace ready for SolveLPWith.

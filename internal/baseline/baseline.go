@@ -62,6 +62,7 @@ func LTWWith(in *allot.Instance, ws *solver.Workspace) (*Result, error) {
 	// release it on exit so a pooled workspace does not retain the
 	// instance between solves (same contract as core.SolveWith).
 	defer ws.Release()
+	in = ws.Reduce(in) // preprocessing, exactly as core.SolveWith
 	frac, err := allot.SolveLPWith(in, ws.LP())
 	if err != nil {
 		return nil, err
@@ -104,8 +105,10 @@ func FullAllotmentWith(in *allot.Instance, ws *solver.Workspace) (*Result, error
 	return runAllotment(in, alpha, ws)
 }
 
-// runAllotment finishes a fixed-allotment baseline with LIST.
+// runAllotment finishes a fixed-allotment baseline with LIST (on the
+// preprocessed instance; the schedule is identical, see internal/prep).
 func runAllotment(in *allot.Instance, alpha []int, ws *solver.Workspace) (*Result, error) {
+	in = ws.Reduce(in)
 	s, err := listsched.RunWith(in, alpha, ws.Sched())
 	if err != nil {
 		return nil, err

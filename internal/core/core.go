@@ -84,16 +84,22 @@ func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, 
 		choice.R = params.Objective(in.M, opt.Mu, choice.Rho)
 	}
 
+	// Preprocess (internal/prep via the workspace): both phases run on
+	// the transitively reduced instance — same tasks, same indices, same
+	// partial order — while verification below stays against the
+	// original graph.
+	red := ws.Reduce(in)
+
 	// The frontier cache in ws is shared by SolveLPWith and RoundWith;
 	// release it on exit so a pooled workspace does not pin the instance.
 	defer ws.Release()
-	frac, err := allot.SolveLPWith(in, ws.LP())
+	frac, err := allot.SolveLPWith(red, ws.LP())
 	if err != nil {
 		return nil, err
 	}
-	alphaPrime := allot.RoundWith(in, frac, choice.Rho, ws.LP())
+	alphaPrime := allot.RoundWith(red, frac, choice.Rho, ws.LP())
 	alpha := listsched.CapAllotment(alphaPrime, choice.Mu)
-	sched, err := listsched.RunWith(in, alpha, ws.Sched())
+	sched, err := listsched.RunWith(red, alpha, ws.Sched())
 	if err != nil {
 		return nil, err
 	}

@@ -13,11 +13,12 @@
 // compressed sparse column form, the basis is maintained as a sparse LU
 // factorization (Gilbert–Peierls left-looking, partial pivoting) updated
 // with a product-form eta file and refactorized periodically, pricing is
-// Dantzig over sparse reduced costs with a Bland fallback on degenerate
-// stalls, and variable bounds are handled implicitly (SetBounds) so domain
-// rows never enter the constraint matrix. ReSolveWith warm-starts from the
-// previous optimal basis with the dual simplex after rows were appended,
-// which is what the lazy cut loop in internal/allot runs on.
+// devex (reference-framework weights, bucketed partial pricing) with a
+// Bland fallback on degenerate stalls, and variable bounds are handled
+// implicitly (SetBounds) so domain rows never enter the constraint
+// matrix. ReSolveWith warm-starts from the previous optimal basis with
+// the dual simplex after rows were appended, which is what the lazy cut
+// loop in internal/allot runs on.
 //
 // The original dense two-phase tableau solver is retained as SolveDense /
 // SolveDenseWith (see dense.go): it is the differential-testing reference

@@ -25,12 +25,17 @@
 // Feasibility is obtained with artificial unit columns on the rows whose
 // logical cannot host the initial residual (phase 1 minimises their sum,
 // then fixes them to zero; artificials never re-enter the basis).
-// Pricing is Dantzig with a switch to Bland's rule after a run of
-// degenerate pivots. The dual simplex drives the warm restarts of
-// ReSolveWith after rows were appended: the old optimal basis stays dual
-// feasible, the appended rows' logicals enter basic and possibly
-// primal-infeasible, and dual pivots restore feasibility without
-// restarting from scratch.
+// Pricing is devex (Harris reference-framework weights approximating the
+// steepest-edge norms, entering column maximising d_j^2/w_j) over
+// fixed-size candidate buckets scanned partially behind a rotating
+// cursor, with weights reset to the unit framework at every
+// refactorization and a switch to Bland's rule after a run of degenerate
+// pivots. The dual simplex drives the warm restarts of ReSolveWith after
+// rows were appended: the old optimal basis stays dual feasible, the
+// appended rows' logicals enter basic and possibly primal-infeasible,
+// and dual pivots restore feasibility without restarting from scratch;
+// its leaving-row choice scans an incrementally maintained set of
+// bound-violating basis positions instead of all m rows.
 
 package lp
 
@@ -56,6 +61,12 @@ const (
 	// orders of magnitude, small enough that polish converges in a few
 	// pivots.
 	perturbScale = 1e-7
+	// priceBucket is the partial-pricing granularity: price scans whole
+	// buckets of this many columns behind a rotating cursor and stops
+	// early once a bucket yielded an entering candidate (after at least
+	// priceMinBuckets buckets, so devex has a pool to choose from).
+	priceBucket     = 2048
+	priceMinBuckets = 16
 )
 
 // Workspace owns the sparse solver's entire state: the CSC model, bounds
@@ -127,6 +138,26 @@ type Workspace struct {
 	dred   []float64
 	dFresh bool
 
+	// Devex pricing state: reference-framework weights per column (unit
+	// framework, reset at every refactorization) and the partial-pricing
+	// bucket cursor.
+	dw          []float64
+	priceCursor int
+
+	// Row r of B^-1 A, accumulated sparsely per pivot (updateDuals): the
+	// shared input of the reduced-cost and devex-weight updates.
+	tcol  []float64
+	tPat  []int32
+	tMark []int32
+	tVer  int32
+
+	// Primal-infeasible basis positions, maintained incrementally by the
+	// dual simplex (seeded by a full scan, narrowed per pivot) so the
+	// leaving-row choice costs O(violated) instead of O(m).
+	infeas     []int32
+	infeasMark []int32
+	infeasVer  int32
+
 	// Sparse pattern-tracked scratch. Invariant: each value array is zero
 	// everywhere outside its pattern; producers clear their previous
 	// pattern before writing a new one.
@@ -164,6 +195,13 @@ type Workspace struct {
 	bland      bool
 	solvedVars int
 	solvedRows int // rows absorbed by the last successful solve; -1 = none
+	// perturbed tracks whether the current cost vector carries the
+	// anti-degeneracy perturbation: set by perturbCosts, cleared by
+	// polish. ReSolveWith only re-perturbs while still in the perturbed
+	// regime — re-perturbing a polished basis forces the dual restart to
+	// re-fight every degenerate tie the polish just resolved, measured as
+	// thousands of extra pivots per late cut round.
+	perturbed bool
 
 	solx []float64
 	sol  Solution // returned by SolveWith; overwritten by the next call
@@ -421,6 +459,10 @@ func (ws *Workspace) growScratch() {
 	ws.cb = grow(ws.cb, m)
 	ws.dred = grow(ws.dred, nc)
 	ws.candMark = grow(ws.candMark, nc)
+	ws.dw = grow(ws.dw, nc)
+	ws.tcol = grow(ws.tcol, nc)
+	ws.tMark = grow(ws.tMark, nc)
+	ws.infeasMark = grow(ws.infeasMark, m)
 	clear(ws.alpha)
 	clear(ws.erow)
 	clear(ws.v)
@@ -429,13 +471,36 @@ func (ws *Workspace) growScratch() {
 	clear(ws.alphaMark)
 	clear(ws.erowMark)
 	clear(ws.candMark)
+	clear(ws.tcol)
+	clear(ws.tMark)
+	clear(ws.infeasMark)
 	ws.alphaPat = ws.alphaPat[:0]
 	ws.erowPat = ws.erowPat[:0]
 	ws.vPat = ws.vPat[:0]
 	ws.rhsPat = ws.rhsPat[:0]
 	ws.wPat = ws.wPat[:0]
-	ws.alphaVer, ws.erowVer, ws.candVer = 0, 0, 0
+	ws.tPat = ws.tPat[:0]
+	ws.infeas = ws.infeas[:0]
+	ws.alphaVer, ws.erowVer, ws.candVer, ws.tVer, ws.infeasVer = 0, 0, 0, 0, 0
+	// The partial-pricing cursor restarts at bucket zero for every solve:
+	// a leftover cursor from the previous solve on a reused workspace
+	// would make devex tie-breaks — and thus the chosen alternate-optimal
+	// vertex — depend on the workspace's history.
+	ws.priceCursor = 0
 	ws.dFresh = false
+	ws.resetDevex()
+}
+
+// resetDevex restores the unit reference framework: every column's devex
+// weight returns to 1, making the next entering choices plain Dantzig
+// until the weights re-learn the local steepest-edge geometry. Runs at
+// every refactorization (refresh), so weight drift never outlives an eta
+// file.
+func (ws *Workspace) resetDevex() {
+	dw := ws.dw[:ws.ncols()]
+	for j := range dw {
+		dw[j] = 1
+	}
 }
 
 func (ws *Workspace) refactorLimit() int {
@@ -490,12 +555,14 @@ func (ws *Workspace) factorize() error {
 }
 
 // refresh is factorize plus an exact recomputation of the maintained
-// reduced costs — the periodic truth-restoring step of the iteration.
+// reduced costs and a devex reference-framework reset — the periodic
+// truth-restoring step of the iteration.
 func (ws *Workspace) refresh() error {
 	if err := ws.factorize(); err != nil {
 		return err
 	}
 	ws.recomputeDuals()
+	ws.resetDevex()
 	return nil
 }
 
@@ -734,29 +801,62 @@ func (ws *Workspace) btranRowSparse(r int) {
 	}
 }
 
-// updateDuals applies the pivot's reduced-cost update: d_j -= theta *
-// (row r of B^-1 A)_j for every column with support in rho_r's rows
-// (rho_r is in ws.v from btranRowSparse). The leaving variable lands at
-// -theta exactly and the entering one at zero.
-func (ws *Workspace) updateDuals(theta float64, lv, q int) {
-	if theta != 0 {
-		p := ws.curProb
-		n := ws.nstruct
-		for _, i := range ws.vPat {
-			rv := ws.v[i]
-			if rv == 0 {
-				continue
+// updateDuals applies the pivot's reduced-cost and devex-weight updates.
+// Row r of B^-1 A — whose support is exactly the columns with entries in
+// rho_r's rows (rho_r is in ws.v from btranRowSparse) — is accumulated
+// once into the sparse ws.tcol scatter, then drives both d_j -= theta *
+// a_rj and the reference-framework update w_j = max(w_j, a_rj^2 * w_q /
+// piv^2). The leaving variable lands at -theta exactly (weight inherited
+// from the entering column's, floored at the unit framework) and the
+// entering one at zero.
+func (ws *Workspace) updateDuals(theta float64, lv, q int, piv float64) {
+	p := ws.curProb
+	n := ws.nstruct
+	ws.tVer++
+	ws.tPat = ws.tPat[:0]
+	for _, i := range ws.vPat {
+		rv := ws.v[i]
+		if rv == 0 {
+			continue
+		}
+		rs := rv * ws.rowScale[i]
+		for _, t := range p.cons[i].terms {
+			j := t.Var
+			if ws.tMark[j] != ws.tVer {
+				ws.tMark[j] = ws.tVer
+				ws.tcol[j] = 0
+				ws.tPat = append(ws.tPat, int32(j))
 			}
-			f := theta * rv
-			fs := f * ws.rowScale[i]
-			for _, t := range p.cons[i].terms {
-				ws.dred[t.Var] -= fs * t.Coef * ws.colScale[t.Var]
+			ws.tcol[j] += rs * t.Coef * ws.colScale[j]
+		}
+		s := n + int(i)
+		if ws.tMark[s] != ws.tVer {
+			ws.tMark[s] = ws.tVer
+			ws.tcol[s] = 0
+			ws.tPat = append(ws.tPat, int32(s))
+		}
+		ws.tcol[s] += rv
+	}
+	// Cap the propagated weight factor: a near-threshold pivot would send
+	// gamma (and every touched weight) to 1e14+, flattening the devex
+	// scores to noise until the next framework reset.
+	gamma := ws.dw[q] / (piv * piv)
+	if gamma > 1e8 {
+		gamma = 1e8
+	}
+	for _, j32 := range ws.tPat {
+		j := int(j32)
+		arj := ws.tcol[j]
+		ws.dred[j] -= theta * arj
+		if ws.status[j] != stBasic {
+			if w := arj * arj * gamma; w > ws.dw[j] {
+				ws.dw[j] = w
 			}
-			ws.dred[n+int(i)] -= f
 		}
 	}
 	ws.dred[lv] = -theta
 	ws.dred[q] = 0
+	ws.dw[lv] = math.Max(gamma, 1)
 	ws.dFresh = false
 }
 
@@ -782,34 +882,81 @@ func (ws *Workspace) isBanned(j int) bool {
 	return false
 }
 
-// price scans the nonbasic structural and logical columns (artificials
-// never re-enter) for the entering candidate on the maintained reduced
-// costs: Dantzig normally, first eligible index under Bland's rule.
-// Returns -1 when dual feasible within tolerance.
+// price chooses the entering candidate among the nonbasic structural and
+// logical columns (artificials never re-enter) on the maintained reduced
+// costs: devex — the eligible column maximising d_j^2 / w_j — scanned
+// over fixed-size buckets behind a rotating cursor, stopping early once a
+// candidate emerged and at least priceMinBuckets buckets were seen (so
+// the weights have a pool to discriminate in). Under Bland's rule the
+// scan degenerates to the first eligible index, full-width. Returns -1
+// only after a complete scan found no eligible column.
 func (ws *Workspace) price() int {
 	limit := ws.nstruct + ws.nrows
-	bestJ := -1
-	bestScore := dualTol
-	for j := 0; j < limit; j++ {
-		st := ws.status[j]
-		if st == stBasic || ws.lo[j] == ws.hi[j] {
-			continue
-		}
-		d := ws.dred[j]
-		var score float64
-		if st == nbLower {
-			score = -d
-		} else {
-			score = d
-		}
-		if score > bestScore {
-			if len(ws.banned) > 0 && ws.isBanned(j) {
+	if ws.bland {
+		for j := 0; j < limit; j++ {
+			st := ws.status[j]
+			if st == stBasic || ws.lo[j] == ws.hi[j] {
 				continue
 			}
-			if ws.bland {
+			d := ws.dred[j]
+			var viol float64
+			if st == nbLower {
+				viol = -d
+			} else {
+				viol = d
+			}
+			if viol > dualTol && !ws.isBanned(j) {
 				return j
 			}
-			bestScore, bestJ = score, j
+		}
+		return -1
+	}
+	nb := (limit + priceBucket - 1) / priceBucket
+	if nb == 0 {
+		return -1
+	}
+	if ws.priceCursor >= nb {
+		ws.priceCursor = 0
+	}
+	bestJ := -1
+	bestScore := 0.0
+	for t := 0; t < nb; t++ {
+		b := ws.priceCursor + t
+		if b >= nb {
+			b -= nb
+		}
+		hi := (b + 1) * priceBucket
+		if hi > limit {
+			hi = limit
+		}
+		for j := b * priceBucket; j < hi; j++ {
+			st := ws.status[j]
+			if st == stBasic || ws.lo[j] == ws.hi[j] {
+				continue
+			}
+			d := ws.dred[j]
+			var viol float64
+			if st == nbLower {
+				viol = -d
+			} else {
+				viol = d
+			}
+			if viol <= dualTol {
+				continue
+			}
+			if score := viol * viol / ws.dw[j]; score > bestScore {
+				if len(ws.banned) > 0 && ws.isBanned(j) {
+					continue
+				}
+				bestScore, bestJ = score, j
+			}
+		}
+		if bestJ >= 0 && t+1 >= priceMinBuckets {
+			ws.priceCursor = b + 1
+			if ws.priceCursor >= nb {
+				ws.priceCursor = 0
+			}
+			return bestJ
 		}
 	}
 	return bestJ
@@ -1021,7 +1168,8 @@ func (ws *Workspace) primal(maxIter int) (int, error) {
 				ws.status[q] = nbLower
 			}
 		} else {
-			theta := ws.dred[q] / ws.alpha[leave]
+			piv := ws.alpha[leave]
+			theta := ws.dred[q] / piv
 			ws.btranRowSparse(leave) // against the pre-pivot basis
 			lv := ws.basis[leave]
 			ws.xval[q] += sigma * bestT
@@ -1035,7 +1183,7 @@ func (ws *Workspace) primal(maxIter int) (int, error) {
 			ws.status[q] = stBasic
 			ws.basis[leave] = int32(q)
 			ws.appendEta(leave)
-			ws.updateDuals(theta, int(lv), q)
+			ws.updateDuals(theta, int(lv), q, piv)
 			ws.banned = ws.banned[:0]
 			if bestT <= degenTol {
 				ws.degen++
@@ -1063,7 +1211,7 @@ func (ws *Workspace) primal(maxIter int) (int, error) {
 // uses this — the bound violations the swap introduces are exactly what
 // it knows how to repair.
 func (ws *Workspace) repairSingular() error {
-	for attempt := 0; attempt < 16; attempt++ {
+	for attempt := 0; attempt < 64; attempt++ {
 		pos := int(ws.lu.failPos)
 		row := ws.lu.failRow
 		if row < 0 || pos < 0 || pos >= ws.nrows {
@@ -1096,16 +1244,75 @@ func (ws *Workspace) repairSingular() error {
 	return ErrSingular
 }
 
+// violation returns the relative bound violation of the variable basic
+// in position k (0 when it sits inside its bounds) and whether it must
+// move up toward its lower bound.
+func (ws *Workspace) violation(k int) (float64, bool) {
+	bj := ws.basis[k]
+	x := ws.xval[bj]
+	if l := ws.lo[bj]; x < l {
+		return (l - x) / (1 + math.Abs(l)), true
+	}
+	if h := ws.hi[bj]; x > h {
+		return (x - h) / (1 + math.Abs(h)), false
+	}
+	return 0, false
+}
+
+// seedInfeas rebuilds the maintained infeasible-position list with a full
+// sweep over the basis. The violation threshold sits an order of
+// magnitude above the Harris ratio test's bound slack so the dual does
+// not chase that debris.
+func (ws *Workspace) seedInfeas() {
+	m := ws.nrows
+	ws.infeasVer++
+	ws.infeas = ws.infeas[:0]
+	for k := 0; k < m; k++ {
+		if v, _ := ws.violation(k); v > 10*tol {
+			ws.infeas = append(ws.infeas, int32(k))
+			ws.infeasMark[k] = ws.infeasVer
+		}
+	}
+}
+
+// pickInfeas compacts the maintained list (dropping positions that
+// became feasible) and returns the worst remaining violation, ties
+// broken toward the smaller position — the rule a full index-order scan
+// would apply, independent of the list's insertion order.
+func (ws *Workspace) pickInfeas() (r int, toLower bool) {
+	r = -1
+	worst := 10 * tol
+	out := ws.infeas[:0]
+	for _, k32 := range ws.infeas {
+		k := int(k32)
+		v, tl := ws.violation(k)
+		if v <= 10*tol {
+			ws.infeasMark[k] = 0
+			continue
+		}
+		out = append(out, k32)
+		if v > worst || (v == worst && r >= 0 && k < r) {
+			worst, r, toLower = v, k, tl
+		}
+	}
+	ws.infeas = out
+	return r, toLower
+}
+
 // dual runs the bounded-variable dual simplex: while some basic variable
 // violates a bound, it leaves toward that bound and the entering column
 // is chosen by the dual ratio test so reduced costs stay dual feasible.
 // Requires a dual-feasible starting basis (an optimal basis of the
-// problem before rows were appended).
+// problem before rows were appended). The leaving choice scans the
+// incrementally maintained infeasible-position list (re-seeded after
+// every refactorization, since recomputed basic values can surface or
+// absorb violations wholesale) instead of all m rows per pivot.
 func (ws *Workspace) dual(maxIter int) (int, error) {
 	m := ws.nrows
 	iters := 0
 	streak := 0 // consecutive degenerate (zero-ratio) dual pivots
 	bland := false
+	reseed := true
 	for {
 		if ws.needRefactor || len(ws.etaPivot) >= ws.refactorLimit() {
 			if err := ws.refresh(); err != nil {
@@ -1116,32 +1323,32 @@ func (ws *Workspace) dual(maxIter int) (int, error) {
 					return iters, err
 				}
 			}
+			reseed = true
 		}
-		// Leaving variable: the largest relative bound violation (under
-		// Bland-style anti-cycling: the first violated position). The
-		// threshold sits an order of magnitude above the Harris ratio
-		// test's bound slack so the dual does not chase that debris.
+		// Leaving variable: the largest relative bound violation on the
+		// maintained list (under Bland-style anti-cycling: the first
+		// violated position, by a full scan — the order matters there).
 		r := -1
-		worst := 10 * tol
 		toLower := false
-		for k := 0; k < m; k++ {
-			bj := ws.basis[k]
-			x := ws.xval[bj]
-			if l := ws.lo[bj]; x < l {
-				if vl := (l - x) / (1 + math.Abs(l)); vl > worst {
-					worst, r, toLower = vl, k, true
-					if bland {
-						break
-					}
+		if bland {
+			for k := 0; k < m; k++ {
+				if v, tl := ws.violation(k); v > 10*tol {
+					r, toLower = k, tl
+					break
 				}
 			}
-			if h := ws.hi[bj]; x > h {
-				if vh := (x - h) / (1 + math.Abs(h)); vh > worst {
-					worst, r, toLower = vh, k, false
-					if bland {
-						break
-					}
-				}
+		} else {
+			if reseed {
+				ws.seedInfeas()
+				reseed = false
+			}
+			r, toLower = ws.pickInfeas()
+			if r < 0 && len(ws.infeas) == 0 {
+				// Confirm optimality against a full sweep, not just the
+				// maintained list (self-healing if maintenance ever missed
+				// a position).
+				ws.seedInfeas()
+				r, toLower = ws.pickInfeas()
 			}
 		}
 		if r < 0 {
@@ -1303,7 +1510,21 @@ func (ws *Workspace) dual(maxIter int) (int, error) {
 		ws.status[q] = stBasic
 		ws.basis[r] = int32(q)
 		ws.appendEta(r)
-		ws.updateDuals(theta, lv, q)
+		ws.updateDuals(theta, lv, q, piv)
+		if !bland {
+			// Maintain the infeasible-position list: the pivot moved
+			// exactly the basic values in alpha's pattern (r included).
+			for _, k32 := range ws.alphaPat {
+				k := int(k32)
+				if ws.infeasMark[k] == ws.infeasVer {
+					continue
+				}
+				if v, _ := ws.violation(k); v > 10*tol {
+					ws.infeas = append(ws.infeas, k32)
+					ws.infeasMark[k] = ws.infeasVer
+				}
+			}
+		}
 		// Degenerate dual pivots (zero reduced-cost ratio) leave the dual
 		// objective flat and can cycle; a long streak flips both selection
 		// rules to Bland's (index) order until progress resumes.
@@ -1314,7 +1535,10 @@ func (ws *Workspace) dual(maxIter int) (int, error) {
 			}
 		} else {
 			streak = 0
-			bland = false
+			if bland {
+				bland = false
+				reseed = true // the list went unmaintained while bland
+			}
 		}
 		iters++
 		if iters > maxIter {
@@ -1372,6 +1596,7 @@ func (ws *Workspace) perturbCosts() {
 		}
 	}
 	ws.dFresh = false
+	ws.perturbed = true
 }
 
 // polish restores the true costs after a perturbed run and re-optimises;
@@ -1379,6 +1604,7 @@ func (ws *Workspace) perturbCosts() {
 // typically a handful of pivots.
 func (ws *Workspace) polish(p *Problem, maxIter int) (int, error) {
 	ws.setPhase2Cost(p)
+	ws.perturbed = false
 	if !ws.needRefactor {
 		ws.recomputeDuals()
 	}
@@ -1551,13 +1777,17 @@ func (p *Problem) ReSolveWith(ws *Workspace) (*Solution, error) {
 		ws.status[s] = stBasic
 		ws.xval[s] = resid
 	}
-	ws.perturbCosts() // see perturbCosts: status-aligned, so still dual feasible
+	if ws.perturbed {
+		ws.perturbCosts() // status-aligned, so still dual feasible
+	}
 	ws.growScratch()
 	ws.needRefactor = true
 	// The dual restart should need on the order of one pivot per appended
-	// row (plus knock-on repairs); a run far beyond that means degenerate
-	// thrashing, where the cold solve below is the cheaper way out.
-	maxIter := 500 + 40*(m-oldRows) + m/4
+	// row (plus knock-on repairs), but after a polish the re-perturbed
+	// costs can demand work unrelated to the append count, and the cold
+	// solve below costs tens of thousands of pivots — so the budget keeps
+	// a full O(m) of headroom before declaring degenerate thrashing.
+	maxIter := 2000 + 40*(m-oldRows) + 2*m
 	iters, err := ws.dual(maxIter)
 	ws.stats.Phase2Iters = iters
 	if err == nil && !ws.DeferPolish {

@@ -1,0 +1,140 @@
+package prep_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"malsched"
+	"malsched/internal/allot"
+	"malsched/internal/core"
+	"malsched/internal/dag"
+	"malsched/internal/gen"
+	"malsched/internal/prep"
+	"malsched/internal/solver"
+)
+
+// checkPrepEquivalence runs the full two-phase pipeline on the original
+// instance and on the explicitly preprocessed one (transitively reduced
+// graph, same tasks — the task-index mapping is the identity by
+// construction) and demands byte-equal allotments and equal makespans.
+// This holds deterministically because the pipeline preprocesses
+// internally and preprocessing is idempotent: both runs build the same
+// model, pivot the same pivots, and round the same fractional point.
+func checkPrepEquivalence(t *testing.T, in *allot.Instance) {
+	t.Helper()
+	ws := solver.NewWorkspace()
+	direct, err := core.SolveWith(in, core.Options{}, ws)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	red := prep.Reduce(in.G)
+	rin := &allot.Instance{G: red, Tasks: in.Tasks, M: in.M}
+	prepped, err := core.SolveWith(rin, core.Options{}, ws)
+	if err != nil {
+		t.Fatalf("prep+solve: %v", err)
+	}
+	if !reflect.DeepEqual(direct.Alpha, prepped.Alpha) {
+		t.Errorf("allotments differ:\n direct %v\n prep   %v", direct.Alpha, prepped.Alpha)
+	}
+	if !reflect.DeepEqual(direct.AlphaPrime, prepped.AlphaPrime) {
+		t.Errorf("rounded allotments differ")
+	}
+	if direct.Makespan != prepped.Makespan {
+		t.Errorf("makespans differ: direct %v prep %v", direct.Makespan, prepped.Makespan)
+	}
+	if direct.LowerBound != prepped.LowerBound {
+		t.Errorf("lower bounds differ: direct %v prep %v", direct.LowerBound, prepped.LowerBound)
+	}
+	// The prep-path schedule must verify against the ORIGINAL graph: the
+	// reduction preserved the partial order, not just the arc set.
+	if err := prepped.Schedule.Verify(in.G); err != nil {
+		t.Errorf("prep schedule infeasible for the original graph: %v", err)
+	}
+}
+
+var prepFamilies = []string{"chain", "independent", "forkjoin", "layered", "outtree", "erdos"}
+
+func buildPrepDAG(family string, n int, p float64, rng *rand.Rand) *malsched.Instance {
+	var in *allot.Instance
+	switch family {
+	case "chain":
+		in = gen.Instance(gen.Chain(n), gen.FamilyMixed, 8, rng)
+	case "independent":
+		in = gen.Instance(gen.Independent(n), gen.FamilyMixed, 8, rng)
+	case "forkjoin":
+		in = gen.Instance(gen.ForkJoin(n-2), gen.FamilyMixed, 8, rng)
+	case "layered":
+		in = gen.Instance(gen.Layered((n+3)/4, 4, 3, rng), gen.FamilyMixed, 8, rng)
+	case "outtree":
+		in = gen.Instance(gen.OutTree(n, rng), gen.FamilyMixed, 8, rng)
+	default:
+		in = gen.Instance(gen.ErdosDAG(n, p, rng), gen.FamilyMixed, 8, rng)
+	}
+	return &malsched.Instance{M: in.M, Tasks: in.Tasks, Edges: in.G.Edges()}
+}
+
+// TestPrepPreservesResults is the preprocessing differential test across
+// all six DAG families: prep+solve vs direct solve, byte-equal
+// allotments and equal makespans.
+func TestPrepPreservesResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 24; trial++ {
+		family := prepFamilies[trial%len(prepFamilies)]
+		n := 6 + rng.Intn(24)
+		pub := buildPrepDAG(family, n, 0.15+0.3*rng.Float64(), rng)
+		ai, err := internalInstance(pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(fmt.Sprintf("%s_n%d", family, ai.G.N()), func(t *testing.T) {
+			checkPrepEquivalence(t, ai)
+		})
+	}
+}
+
+// TestPrepPreservesResultsCanned runs the same equivalence over every
+// committed instance under testdata/.
+func TestPrepPreservesResultsCanned(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.json")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no canned instances found: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			pub, err := malsched.ReadJSON(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ai, err := internalInstance(pub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkPrepEquivalence(t, ai)
+		})
+	}
+}
+
+// internalInstance rebuilds the internal instance a public one denotes
+// (the same conversion malsched.Solve performs).
+func internalInstance(pub *malsched.Instance) (*allot.Instance, error) {
+	g := dagFromEdges(len(pub.Tasks), pub.Edges)
+	ai := &allot.Instance{G: g, Tasks: pub.Tasks, M: pub.M}
+	return ai, ai.Validate()
+}
+
+func dagFromEdges(n int, edges [][2]int) *dag.DAG {
+	g := dag.New(n)
+	for _, e := range prep.DedupEdges(edges) {
+		g.MustEdge(e[0], e[1])
+	}
+	return g
+}

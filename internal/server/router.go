@@ -22,16 +22,19 @@ import (
 // "algo": "ltw" (the comparison baseline of the paper's Table 3).
 //
 // The cost model is a one-coefficient fit of the committed benchmarks
-// (EXPERIMENTS.md E11, Xeon 2.10GHz): BenchmarkPhase1LP gives ~2–4 µs·n²
-// end to end across n = 24..2000. Deadlines only reroute when the estimate
-// overshoots them outright.
+// (EXPERIMENTS.md E13, Xeon 2.10GHz): after the devex/preprocessing/
+// segment-formulation push, BenchmarkPhase1LP runs at ~0.5 µs·n² around
+// n=200, ~2 µs·n² at n=500 and ~2.7 µs·n² at n=2000; the coefficient is
+// pinned near the top of that band so deadline estimates stay
+// conservative at the scales where overshooting hurts most. Deadlines
+// only reroute when the estimate overshoots them outright.
 const (
 	// paperNSPerN2 estimates a paper solve at paperNSPerN2 * n^2 ns.
-	paperNSPerN2 = 4000
+	paperNSPerN2 = 2600
 	// autoPaperMaxTasks caps the paper algorithm for deadline-free auto
-	// requests: n = 1200 estimates to ~6 s, the most a serving worker
+	// requests: n = 1500 estimates to ~6 s, the most a serving worker
 	// should sink into one unconstrained request.
-	autoPaperMaxTasks = 1200
+	autoPaperMaxTasks = 1500
 )
 
 // routeDecision records what the router chose and why; reason strings are

@@ -46,7 +46,7 @@ func TestRouteBySize(t *testing.T) {
 }
 
 func TestRouteByDeadline(t *testing.T) {
-	in := routeInstance(100, 16) // paper estimate 4000ns * 100^2 = 40ms
+	in := routeInstance(100, 16) // paper estimate 2600ns * 100^2 = 26ms
 	cases := []struct {
 		deadline time.Duration
 		want     malsched.Algorithm

@@ -26,8 +26,11 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"malsched"
@@ -172,16 +175,22 @@ func badRequestf(format string, args ...any) error {
 }
 
 // solutionKey is the content address of a request: what the instance is,
-// which algorithm will run, and any parameter overrides. Requests differing
-// only in transport concerns (schedule inclusion, deadline that routed to
-// the same algorithm, cache flags) share a key.
+// which algorithm will run, and the parameter overrides THAT ALGORITHM
+// consumes. Requests differing only in transport concerns (schedule
+// inclusion, deadline that routed to the same algorithm, cache flags)
+// share a key — and so do requests differing only in rho/mu when the
+// routed algorithm ignores them (every algorithm but paper does), so a
+// client sweeping parameters over a greedy/seq/full/ltw workload no
+// longer fragments the cache into cold entries.
 func solutionKey(in *malsched.Instance, algo malsched.Algorithm, req *SolveRequest) string {
 	key := in.Fingerprint() + "|" + algo.String()
-	if req.Mu != nil {
-		key += "|mu=" + strconv.Itoa(*req.Mu)
-	}
-	if req.Rho != nil {
-		key += "|rho=" + strconv.FormatFloat(*req.Rho, 'e', 12, 64)
+	if algo == malsched.AlgoPaper {
+		if req.Mu != nil {
+			key += "|mu=" + strconv.Itoa(*req.Mu)
+		}
+		if req.Rho != nil {
+			key += "|rho=" + strconv.FormatFloat(*req.Rho, 'e', 12, 64)
+		}
 	}
 	return key
 }
@@ -200,6 +209,16 @@ func (s *Server) solveOne(req *SolveRequest) (*SolveResponse, error) {
 			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 		}
 		pinned = &algo
+	}
+	// A non-finite deadline would flow into an undefined float->int
+	// conversion (time.Duration(NaN * ...)), a negative one would
+	// silently mean "unconstrained", and a finite value overflowing
+	// time.Duration would wrap to the same undefined conversion — all
+	// client errors. The overflow guard compares in float space, where
+	// float64(MaxInt64) is exact.
+	if math.IsNaN(req.DeadlineMS) || math.IsInf(req.DeadlineMS, 0) || req.DeadlineMS < 0 ||
+		req.DeadlineMS*float64(time.Millisecond) >= float64(math.MaxInt64) {
+		return nil, badRequestf("invalid deadline_ms %v: must be finite, non-negative and under %v ms", req.DeadlineMS, int64(math.MaxInt64)/int64(time.Millisecond))
 	}
 	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
 	dec := route(in, pinned, deadline)
@@ -324,28 +343,40 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := BatchResponse{Results: make([]BatchItem, len(req.Instances))}
-	var done chan int
-	if len(req.Instances) > 0 {
-		done = make(chan int, len(req.Instances))
+	// Bounded fan-out: one feeder goroutine per pool worker draining a
+	// shared index counter, instead of one goroutine per instance — a
+	// single large batch used to spawn tens of thousands of goroutines
+	// ahead of the worker pool, each pinning its instance and stack while
+	// parked on the pool queue.
+	workers := s.pool.Workers()
+	if workers > len(req.Instances) {
+		workers = len(req.Instances)
 	}
-	for i := range req.Instances {
-		go func(i int) {
-			defer func() { done <- i }()
-			one := SolveRequest{
-				Instance: req.Instances[i], Algo: req.Algo, DeadlineMS: req.DeadlineMS,
-				Rho: req.Rho, Mu: req.Mu, NoCache: req.NoCache, IncludeSchedule: req.IncludeSchedule,
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Instances) {
+					return
+				}
+				one := SolveRequest{
+					Instance: req.Instances[i], Algo: req.Algo, DeadlineMS: req.DeadlineMS,
+					Rho: req.Rho, Mu: req.Mu, NoCache: req.NoCache, IncludeSchedule: req.IncludeSchedule,
+				}
+				res, err := s.solveOne(&one)
+				if err != nil {
+					resp.Results[i].Error = err.Error()
+				} else {
+					resp.Results[i].Result = res
+				}
 			}
-			res, err := s.solveOne(&one)
-			if err != nil {
-				resp.Results[i].Error = err.Error()
-			} else {
-				resp.Results[i].Result = res
-			}
-		}(i)
+		}()
 	}
-	for range req.Instances {
-		<-done
-	}
+	wg.Wait()
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

@@ -10,8 +10,10 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
+
 	"testing"
 	"time"
 
@@ -517,5 +519,154 @@ func TestMetricsCounters(t *testing.T) {
 		if m[k] != want {
 			t.Errorf("metrics[%q] = %v, want %v", k, m[k], want)
 		}
+	}
+}
+
+// TestSolveDeadlineValidation: non-finite or negative deadline_ms must be
+// rejected with 400 — time.Duration(NaN * float64(time.Millisecond)) is an
+// undefined float->int conversion, and negatives would silently mean
+// "unconstrained".
+func TestSolveDeadlineValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	// nan/inf are invalid JSON and 400 at decode; "negative" and
+	// "overflow" (finite, but deadline*1e6 exceeds int64 — the wrap would
+	// read as "unconstrained") reach solveOne's validation itself.
+	for name, raw := range map[string]string{
+		"nan":      `NaN`,
+		"inf":      `1e999`,
+		"negative": `-5`,
+		"overflow": `1e19`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			enc, err := json.Marshal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body := `{"instance":` + string(enc) + `,"deadline_ms":` + raw + `}`
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("deadline_ms %s: status %d, want 400 (%s)", raw, resp.StatusCode, data)
+			}
+		})
+	}
+	// A valid positive deadline must still be accepted.
+	resp, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, DeadlineMS: 5000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid deadline rejected: %d %s", resp.StatusCode, data)
+	}
+}
+
+// TestSolveIgnoredParamsShareCacheEntry: rho/mu only key the cache for the
+// paper algorithm; for greedy (and the other baselines that ignore them) a
+// parameter-carrying request must hit the entry its parameterless twin
+// populated, and vice versa.
+func TestSolveIgnoredParamsShareCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	rho, mu := 0.3, 2
+
+	_, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Algo: "greedy"})
+	base := decodeSolve(t, data)
+	if base.Cache != "miss" {
+		t.Fatalf("first greedy solve: %+v", base)
+	}
+	_, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Algo: "greedy", Rho: &rho, Mu: &mu})
+	withParams := decodeSolve(t, data)
+	if withParams.Cache != "hit" {
+		t.Errorf("greedy with rho/mu missed the cache: %+v", withParams)
+	}
+	if withParams.Makespan != base.Makespan {
+		t.Errorf("makespan changed across request shapes: %v vs %v", withParams.Makespan, base.Makespan)
+	}
+
+	// The paper algorithm DOES consume rho/mu: its entries must stay split.
+	_, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Algo: "paper"})
+	if r := decodeSolve(t, data); r.Cache != "miss" {
+		t.Fatalf("paper base: %+v", r)
+	}
+	_, data = postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in, Algo: "paper", Rho: &rho})
+	if r := decodeSolve(t, data); r.Cache != "miss" {
+		t.Errorf("paper with rho override shared the base entry: %+v", r)
+	}
+}
+
+// TestLargeBatchBoundedFanout: a batch far larger than the pool must be
+// served by a bounded worker set (one feeder per pool worker), complete,
+// and preserve order. The goroutine count is sampled while the batch is in
+// flight to catch a regression back to goroutine-per-instance fan-out.
+func TestLargeBatchBoundedFanout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	const batch = 3000
+	ins := make([]*malsched.Instance, batch)
+	for i := range ins {
+		ins[i] = in
+	}
+	before := runtime.NumGoroutine()
+
+	type outcome struct {
+		resp *http.Response
+		data []byte
+		err  error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		// Plain HTTP here, not postJSON: t.Fatal only works from the test
+		// goroutine, and a Fatal-ed helper would leave the sampler below
+		// waiting forever.
+		body, err := json.Marshal(BatchRequest{Instances: ins, Algo: "greedy"})
+		if err != nil {
+			res <- outcome{err: err}
+			return
+		}
+		resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res <- outcome{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		res <- outcome{resp: resp, data: data, err: err}
+	}()
+	var peak int
+	var out outcome
+sample:
+	for {
+		select {
+		case out = <-res:
+			break sample
+		default:
+			if g := runtime.NumGoroutine(); g > peak {
+				peak = g
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %.200s", out.resp.StatusCode, out.data)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(out.data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != batch {
+		t.Fatalf("got %d results, want %d", len(br.Results), batch)
+	}
+	for i, r := range br.Results {
+		if r.Error != "" || r.Result == nil {
+			t.Fatalf("result %d: %+v", i, r)
+		}
+	}
+	if peak > before+64 {
+		t.Errorf("goroutine count peaked at %d (baseline %d): fan-out not bounded", peak, before)
 	}
 }

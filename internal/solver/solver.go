@@ -13,6 +13,7 @@ package solver
 import (
 	"malsched/internal/allot"
 	"malsched/internal/listsched"
+	"malsched/internal/prep"
 )
 
 // Workspace is the cross-phase reusable solver state. The zero value is not
@@ -23,11 +24,33 @@ type Workspace struct {
 	Allot *allot.Workspace
 	// List is the phase-2 scheduler workspace.
 	List *listsched.Workspace
+	// Pre is the instance-preprocessing workspace (transitive-reduction
+	// bitsets, chain scratch).
+	Pre *prep.Workspace
 }
 
 // NewWorkspace returns a workspace with both phases' buffers ready.
 func NewWorkspace() *Workspace {
-	return &Workspace{Allot: allot.NewWorkspace(), List: listsched.NewWorkspace()}
+	return &Workspace{Allot: allot.NewWorkspace(), List: listsched.NewWorkspace(), Pre: prep.NewWorkspace()}
+}
+
+// Reduce returns the instance with its precedence graph transitively
+// reduced (internal/prep): same tasks, same indices, same partial order,
+// fewer arcs — so phase 1 builds fewer precedence rows and phase 2 scans
+// fewer arcs, with results unchanged (see the prep package doc). When
+// the reduction leaves the graph untouched, in itself is returned.
+// Nil-safe on ws.
+func (ws *Workspace) Reduce(in *allot.Instance) *allot.Instance {
+	var g = in.G
+	if ws == nil || ws.Pre == nil {
+		g = prep.Reduce(g)
+	} else {
+		g = ws.Pre.Reduce(g)
+	}
+	if g == in.G {
+		return in
+	}
+	return &allot.Instance{G: g, Tasks: in.Tasks, M: in.M}
 }
 
 // LP returns the phase-1 workspace; nil-safe, so callers can pass

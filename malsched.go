@@ -41,6 +41,7 @@ import (
 	"malsched/internal/dag"
 	"malsched/internal/malleable"
 	"malsched/internal/params"
+	"malsched/internal/prep"
 	"malsched/internal/schedule"
 	"malsched/internal/sim"
 	"malsched/internal/solver"
@@ -88,10 +89,13 @@ func RandomTask(name string, p1 float64, m int, rng *rand.Rand) Task {
 	return malleable.RandomConcave(name, p1, m, rng)
 }
 
-// graph converts the edge list into the internal DAG.
+// graph converts the edge list into the internal DAG. The edge list is
+// deduplicated up front (internal/prep): AddEdge tolerates duplicates
+// but pays a successor scan per insert, so canonicalising first keeps
+// dense lists O(E log E) instead of O(E·deg).
 func (in *Instance) graph() (*dag.DAG, error) {
 	g := dag.New(len(in.Tasks))
-	for _, e := range in.Edges {
+	for _, e := range prep.DedupEdges(in.Edges) {
 		if err := g.AddEdge(e[0], e[1]); err != nil {
 			return nil, err
 		}
