@@ -17,10 +17,12 @@ BENCH_SMOKE = Phase1LP|WorkspaceReuse|PoolThroughput|List$$|ListReference/layere
 # additions that pin the devex/preprocessing/segment-formulation speedups
 # (layered_n500_m32 and erdos_n500_m48 on the segment route,
 # layered_n1000_m64 and layered_n2000_m64 on the lazy dual-restart route) —
-# the phase-2 profile scheduler scenarios, and the serving paths.
-# Deliberately excludes the micro-benchmarks (Phase2List at 27us would gate
-# on scheduler jitter).
-BENCH_KEY = BenchmarkPhase1LP/|BenchmarkList/|BenchmarkServe/
+# the phase-2 profile scheduler scenarios, and the serving paths — both
+# the v1 solve/cache path (BenchmarkServe) and the v2 delta re-solve path
+# (BenchmarkServeDelta, whose delta_warm/delta_cold counters benchgate
+# shows next to the timings). Deliberately excludes the micro-benchmarks
+# (Phase2List at 27us would gate on scheduler jitter).
+BENCH_KEY = BenchmarkPhase1LP/|BenchmarkList/|BenchmarkServe/|BenchmarkServeDelta/
 
 .PHONY: all build test race bench bench-json bench-gate cover lint staticcheck ci testdata
 

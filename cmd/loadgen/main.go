@@ -6,7 +6,14 @@
 // the serving scale target of EXPERIMENTS.md E12.
 //
 //	loadgen -addr http://127.0.0.1:8080 -c 500 -d 20s [-testdata testdata]
-//	        [-gen 4] [-algo auto] [-no-cache] [-deadline-ms 0]
+//	        [-gen 4] [-algo auto] [-no-cache] [-deadline-ms 0] [-edits 0]
+//
+// With -edits N > 0 the driver exercises the v2 delta path instead: each
+// base instance is solved once through POST /v2/solve (priming the
+// server's captured LP state), then every request edits N random tasks of
+// a random base and posts base-fingerprint + edits to /v2/solve. The
+// report adds the server's delta outcomes (warm = basis transplant, cold
+// = full re-solve); N <= 8 with -algo paper should be nearly all warm.
 //
 // The exit status is non-zero if any request failed, so the E12 "zero
 // errors under load" criterion is scriptable.
@@ -31,18 +38,35 @@ import (
 	"malsched/internal/gen"
 )
 
-// request mirrors internal/server.SolveRequest (the cmd keeps no import on
-// the server internals; the wire format is the contract).
+// request mirrors internal/server.SolveRequest / SolveRequestV2 (the cmd
+// keeps no import on the server internals; the wire format is the
+// contract). Base and Edits are v2-only and stay empty on /v1 requests.
 type request struct {
-	Instance   *malsched.Instance `json:"instance"`
+	Instance   *malsched.Instance `json:"instance,omitempty"`
+	Base       string             `json:"base,omitempty"`
+	Edits      []taskEdit         `json:"edits,omitempty"`
 	Algo       string             `json:"algo,omitempty"`
 	DeadlineMS float64            `json:"deadline_ms,omitempty"`
 	NoCache    bool               `json:"no_cache,omitempty"`
 }
 
+// taskEdit mirrors internal/server.TaskEdit.
+type taskEdit struct {
+	Task  int       `json:"task"`
+	Times []float64 `json:"times"`
+}
+
+// namedInstance is one instance of the replay mix.
+type namedInstance struct {
+	name string
+	in   *malsched.Instance
+	fp   string // base fingerprint, filled by prime() in -edits mode
+}
+
 type workerStats struct {
 	latencies []time.Duration
 	outcomes  map[string]int
+	deltas    map[string]int
 	errs      int
 	errSample string
 }
@@ -56,16 +80,25 @@ func main() {
 	algo := flag.String("algo", "", "algo field for every request (empty = auto routing)")
 	deadlineMS := flag.Float64("deadline-ms", 0, "deadline_ms field for every request")
 	noCache := flag.Bool("no-cache", false, "bypass the server's result cache (cold path)")
-	seed := flag.Int64("seed", 411, "seed for generated instances")
+	edits := flag.Int("edits", 0, "v2 delta workload: edit this many random tasks of a solved base per request (0 = plain /v1 replay)")
+	seed := flag.Int64("seed", 411, "seed for generated instances and edits")
 	flag.Parse()
 
-	bodies, names, err := loadMix(*testdataDir, *genExtra, *seed, *algo, *deadlineMS, *noCache)
+	mix, err := loadMix(*testdataDir, *genExtra, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("loadgen: %d workers for %v against %s (%d instances: %s)\n",
-		*c, *d, *addr, len(bodies), names)
+	var names []string
+	for _, ni := range mix {
+		names = append(names, ni.name)
+	}
+	mode := "/v1/solve replay"
+	if *edits > 0 {
+		mode = fmt.Sprintf("/v2/solve delta (%d edits/request)", *edits)
+	}
+	fmt.Printf("loadgen: %d workers for %v against %s, %s (%d instances: %v)\n",
+		*c, *d, *addr, mode, len(mix), names)
 
 	client := &http.Client{
 		Timeout: 5 * time.Minute,
@@ -75,7 +108,25 @@ func main() {
 			IdleConnTimeout:     90 * time.Second,
 		},
 	}
+
+	var bodies [][]byte
 	url := *addr + "/v1/solve"
+	if *edits > 0 {
+		url = *addr + "/v2/solve"
+		if err := prime(client, url, mix, *algo); err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: priming bases: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, ni := range mix {
+			raw, err := json.Marshal(request{Instance: ni.in, Algo: *algo, DeadlineMS: *deadlineMS, NoCache: *noCache})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+				os.Exit(2)
+			}
+			bodies = append(bodies, raw)
+		}
+	}
 
 	var next atomic.Int64 // round-robin instance cursor across workers
 	stats := make([]workerStats, *c)
@@ -84,13 +135,31 @@ func main() {
 	var wg sync.WaitGroup
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
-		go func(st *workerStats) {
+		go func(w int, st *workerStats) {
 			defer wg.Done()
 			st.outcomes = make(map[string]int)
+			st.deltas = make(map[string]int)
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
 			for time.Now().Before(deadline) {
-				body := bodies[int(next.Add(1))%len(bodies)]
+				i := int(next.Add(1))
+				var body []byte
+				if *edits > 0 {
+					base := mix[i%len(mix)]
+					raw, err := json.Marshal(request{
+						Base:  base.fp,
+						Edits: randomEdits(base.in, *edits, rng),
+						Algo:  *algo, DeadlineMS: *deadlineMS, NoCache: *noCache,
+					})
+					if err != nil {
+						st.errs++
+						continue
+					}
+					body = raw
+				} else {
+					body = bodies[i%len(bodies)]
+				}
 				t0 := time.Now()
-				outcome, err := solveOnce(client, url, body)
+				outcome, delta, err := solveOnce(client, url, body)
 				lat := time.Since(t0)
 				if err != nil {
 					st.errs++
@@ -101,19 +170,26 @@ func main() {
 				}
 				st.latencies = append(st.latencies, lat)
 				st.outcomes[outcome]++
+				if delta != "" {
+					st.deltas[delta]++
+				}
 			}
-		}(&stats[w])
+		}(w, &stats[w])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	var all []time.Duration
 	outcomes := map[string]int{}
+	deltas := map[string]int{}
 	errs, errSample := 0, ""
 	for i := range stats {
 		all = append(all, stats[i].latencies...)
 		for k, v := range stats[i].outcomes {
 			outcomes[k] += v
+		}
+		for k, v := range stats[i].deltas {
+			deltas[k] += v
 		}
 		errs += stats[i].errs
 		if errSample == "" {
@@ -126,6 +202,9 @@ func main() {
 		len(all), errs, elapsed.Seconds(), float64(len(all))/elapsed.Seconds())
 	fmt.Printf("cache: hit %d, shared %d, miss %d, bypass %d\n",
 		outcomes["hit"], outcomes["shared"], outcomes["miss"], outcomes["bypass"])
+	if *edits > 0 {
+		fmt.Printf("delta: warm %d, cold %d\n", deltas["warm"], deltas["cold"])
+	}
 	if len(all) > 0 {
 		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(all, 50), pct(all, 90), pct(all, 99), all[len(all)-1].Round(time.Microsecond))
@@ -137,36 +216,24 @@ func main() {
 }
 
 // loadMix reads every testdata instance and appends genExtra generated
-// layered instances, returning pre-marshalled request bodies.
-func loadMix(dir string, genExtra int, seed int64, algo string, deadlineMS float64, noCache bool) ([][]byte, string, error) {
+// layered instances.
+func loadMix(dir string, genExtra int, seed int64) ([]namedInstance, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	var bodies [][]byte
-	var names []string
-	marshal := func(name string, in *malsched.Instance) error {
-		raw, err := json.Marshal(request{Instance: in, Algo: algo, DeadlineMS: deadlineMS, NoCache: noCache})
-		if err != nil {
-			return err
-		}
-		bodies = append(bodies, raw)
-		names = append(names, name)
-		return nil
-	}
+	var mix []namedInstance
 	for _, p := range paths {
 		f, err := os.Open(p)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
 		in, err := malsched.ReadJSON(f)
 		f.Close()
 		if err != nil {
-			return nil, "", fmt.Errorf("%s: %w", p, err)
+			return nil, fmt.Errorf("%s: %w", p, err)
 		}
-		if err := marshal(filepath.Base(p), in); err != nil {
-			return nil, "", err
-		}
+		mix = append(mix, namedInstance{name: filepath.Base(p), in: in})
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < genExtra; i++ {
@@ -177,41 +244,107 @@ func loadMix(dir string, genExtra int, seed int64, algo string, deadlineMS float
 				in.Edges = append(in.Edges, [2]int{v, w})
 			}
 		}
-		if err := marshal(fmt.Sprintf("gen-layered-%d", i), in); err != nil {
-			return nil, "", err
+		mix = append(mix, namedInstance{name: fmt.Sprintf("gen-layered-%d", i), in: in})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("no instances found under %s and -gen 0", dir)
+	}
+	return mix, nil
+}
+
+// prime solves each base once through /v2/solve, recording its fingerprint
+// (and, server-side, the captured LP state the delta workload transplants).
+func prime(client *http.Client, url string, mix []namedInstance, algo string) error {
+	for i := range mix {
+		raw, err := json.Marshal(request{Instance: mix[i].in, Algo: algo})
+		if err != nil {
+			return err
 		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: status %d: %s", mix[i].name, resp.StatusCode, truncate(data, 200))
+		}
+		fp, err := extract(data, "fingerprint")
+		if err != nil {
+			return fmt.Errorf("%s: %w", mix[i].name, err)
+		}
+		mix[i].fp = fp
 	}
-	if len(bodies) == 0 {
-		return nil, "", fmt.Errorf("no instances found under %s and -gen 0", dir)
+	return nil
+}
+
+// randomEdits rescales `count` distinct random tasks of base by up to
+// ±10%, preserving each time vector's shape so the edit stays within the
+// delta path's structure contract.
+func randomEdits(base *malsched.Instance, count int, rng *rand.Rand) []taskEdit {
+	n := len(base.Tasks)
+	if count > n {
+		count = n
 	}
-	return bodies, fmt.Sprint(names), nil
+	out := make([]taskEdit, count)
+	seen := make(map[int]bool, count)
+	for e := 0; e < count; e++ {
+		task := rng.Intn(n)
+		for seen[task] {
+			task = rng.Intn(n)
+		}
+		seen[task] = true
+		factor := 0.9 + 0.2*rng.Float64()
+		src := base.Tasks[task].Times
+		times := make([]float64, len(src))
+		for i, v := range src {
+			times[i] = v * factor
+		}
+		out[e] = taskEdit{Task: task, Times: times}
+	}
+	return out
 }
 
 // solveOnce posts one request and extracts the response's cache outcome
-// without a full JSON decode (the driver shares a machine with the server
-// in the E12 setup; client-side parsing must stay out of the way).
-func solveOnce(client *http.Client, url string, body []byte) (string, error) {
+// (and delta label, when present) without a full JSON decode (the driver
+// shares a machine with the server in the E12 setup; client-side parsing
+// must stay out of the way).
+func solveOnce(client *http.Client, url string, body []byte) (cache, delta string, err error) {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	data, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("status %d: %s", resp.StatusCode, truncate(data, 200))
+		return "", "", fmt.Errorf("status %d: %s", resp.StatusCode, truncate(data, 200))
 	}
-	const marker = `"cache":"`
+	cache, err = extract(data, "cache")
+	if err != nil {
+		return "", "", err
+	}
+	delta, _ = extract(data, "delta") // v1 responses have none
+	return cache, delta, nil
+}
+
+// extract pulls the string value of a top-level field out of a response
+// body by marker scan.
+func extract(data []byte, field string) (string, error) {
+	marker := `"` + field + `":"`
 	i := bytes.Index(data, []byte(marker))
 	if i < 0 {
-		return "", fmt.Errorf("response without cache field: %s", truncate(data, 200))
+		return "", fmt.Errorf("response without %s field: %s", field, truncate(data, 200))
 	}
 	rest := data[i+len(marker):]
 	j := bytes.IndexByte(rest, '"')
 	if j < 0 {
-		return "", fmt.Errorf("unterminated cache field")
+		return "", fmt.Errorf("unterminated %s field", field)
 	}
 	return string(rest[:j]), nil
 }

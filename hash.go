@@ -61,8 +61,65 @@ func (in *Instance) Fingerprint() string {
 		}
 	}
 
-	edges := make([][2]int, len(in.Edges))
-	copy(edges, in.Edges)
+	edges := canonicalEdges(in.Edges)
+	writeUvarint(uint64(len(edges)))
+	for _, e := range edges {
+		// Signed varints: edge endpoints are indices and should be
+		// non-negative, but Fingerprint is total, so encode faithfully.
+		h.Write(buf[:binary.PutVarint(buf[:], int64(e[0]))])
+		h.Write(buf[:binary.PutVarint(buf[:], int64(e[1]))])
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// structureFingerprintVersion tags the canonical structure encoding,
+// independently of fingerprintVersion: the two encodings evolve separately
+// (quantization changes bump the full fingerprint only).
+const structureFingerprintVersion = "malsched-sfp-v1"
+
+// StructureFingerprint returns a content-addressed identity of the
+// instance's shape: the hex SHA-256 of a canonical encoding of everything
+// except the processing-time values. Two instances share a structure
+// fingerprint exactly when they have the same machine size, the same number
+// of tasks, the same per-task Times vector lengths, and the same precedence
+// relation (edge order and duplicates ignored, as in Fingerprint).
+//
+// Instances with equal structure fingerprints produce phase-1 LPs with
+// identical row/column layouts under the lazy supporting-line formulation,
+// which is what makes a cached simplex basis from one transplantable onto
+// the other: the delta path of the v2 serving API accepts task edits
+// against a cached base only when the structure fingerprints match.
+func (in *Instance) StructureFingerprint() string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		h.Write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+
+	h.Write([]byte(structureFingerprintVersion))
+	writeUvarint(uint64(in.M))
+
+	writeUvarint(uint64(len(in.Tasks)))
+	for _, t := range in.Tasks {
+		writeUvarint(uint64(len(t.Times)))
+	}
+
+	edges := canonicalEdges(in.Edges)
+	writeUvarint(uint64(len(edges)))
+	for _, e := range edges {
+		h.Write(buf[:binary.PutVarint(buf[:], int64(e[0]))])
+		h.Write(buf[:binary.PutVarint(buf[:], int64(e[1]))])
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalEdges returns the edge list sorted lexicographically with
+// duplicates removed, without modifying the input.
+func canonicalEdges(in [][2]int) [][2]int {
+	edges := make([][2]int, len(in))
+	copy(edges, in)
 	sort.Slice(edges, func(a, b int) bool {
 		if edges[a][0] != edges[b][0] {
 			return edges[a][0] < edges[b][0]
@@ -77,16 +134,7 @@ func (in *Instance) Fingerprint() string {
 		edges[n] = e
 		n++
 	}
-	edges = edges[:n]
-	writeUvarint(uint64(len(edges)))
-	for _, e := range edges {
-		// Signed varints: edge endpoints are indices and should be
-		// non-negative, but Fingerprint is total, so encode faithfully.
-		h.Write(buf[:binary.PutVarint(buf[:], int64(e[0]))])
-		h.Write(buf[:binary.PutVarint(buf[:], int64(e[1]))])
-	}
-
-	return hex.EncodeToString(h.Sum(nil))
+	return edges[:n]
 }
 
 // quantize rounds p's mantissa to its top fingerprintMantissaBits bits,

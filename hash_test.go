@@ -178,6 +178,77 @@ func TestFingerprintTotalOnWeirdValues(t *testing.T) {
 	}
 }
 
+// TestStructureFingerprintSharedAcrossNumbers: the structure fingerprint
+// identifies the DAG shape only — instances equal in shape but differing in
+// processing times must share the structure fingerprint while their full
+// fingerprints differ. This is the delta path's admission condition: a
+// cached basis is transplantable exactly when the LP layout matches, and
+// the layout depends only on structure.
+func TestStructureFingerprintSharedAcrossNumbers(t *testing.T) {
+	a, b := fpInstance(), fpInstance()
+	for i := range b.Tasks {
+		for l := range b.Tasks[i].Times {
+			b.Tasks[i].Times[l] *= 1.37 // scaling preserves monotonicity + concavity
+		}
+	}
+	if a.StructureFingerprint() != b.StructureFingerprint() {
+		t.Error("same shape, different numbers: structure fingerprints differ")
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different numbers share a full fingerprint")
+	}
+}
+
+func TestStructureFingerprintShape(t *testing.T) {
+	sfp := fpInstance().StructureFingerprint()
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(sfp) {
+		t.Fatalf("structure fingerprint %q is not 64 hex chars", sfp)
+	}
+	if sfp == fpInstance().Fingerprint() {
+		t.Fatal("structure fingerprint equals the full fingerprint")
+	}
+}
+
+func TestStructureFingerprintIgnoresNamesAndEdgeNoise(t *testing.T) {
+	a, b := fpInstance(), fpInstance()
+	for i := range b.Tasks {
+		b.Tasks[i].Name = "renamed"
+	}
+	b.Edges = [][2]int{{1, 2}, {0, 1}, {1, 2}}
+	if a.StructureFingerprint() != b.StructureFingerprint() {
+		t.Error("names / edge permutation + duplicate changed the structure fingerprint")
+	}
+}
+
+func TestStructureFingerprintSeparatesShapes(t *testing.T) {
+	base := fpInstance()
+	seen := map[string]string{base.StructureFingerprint(): "base"}
+	record := func(name string, in *Instance) {
+		sfp := in.StructureFingerprint()
+		if prev, dup := seen[sfp]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[sfp] = name
+	}
+
+	m := fpInstance()
+	m.M = 4
+	record("different m", m)
+
+	edge := fpInstance()
+	edge.Edges = [][2]int{{0, 1}}
+	record("dropped edge", edge)
+
+	fewer := fpInstance()
+	fewer.Tasks = fewer.Tasks[:2]
+	fewer.Edges = [][2]int{{0, 1}}
+	record("fewer tasks", fewer)
+
+	widths := fpInstance()
+	widths.Tasks[0].Times = widths.Tasks[0].Times[:4]
+	record("shorter times vector", widths)
+}
+
 // The fingerprint must survive the package's own JSON round-trip: serving a
 // stored instance back through the API must hit the same cache entry.
 func TestFingerprintStableUnderJSONRoundTrip(t *testing.T) {

@@ -158,6 +158,57 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 		}
 	}
 
+	p := ws.buildBaseLP(in, fronts)
+
+	// Seed cuts: the two endpoint supporting lines of every task tie wbar_j
+	// to the work function at both extremes of the domain (the steep end
+	// uses the last representative segment).
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		segs := f.Segments()
+		if segs < 1 {
+			continue
+		}
+		base := int(ws.segOff[j])
+		ws.logCut(p, f, j, 0, n)
+		for s := segs - 1; s > 0; s-- {
+			if ws.segRep[base+s] {
+				ws.logCut(p, f, j, s, n)
+				break
+			}
+		}
+	}
+
+	// The LP is massively degenerate, so the solver runs cost-perturbed
+	// throughout the cut loop (intermediate solutions only steer cut
+	// selection) and the perturbation is polished away once, at the end.
+	ws.LP.DeferPolish = true
+	sol, err := p.SolveWith(&ws.LP)
+	if err != nil {
+		return nil, fmt.Errorf("allot: LP (9) failed: %w", err)
+	}
+	sol, cuts, rounds, err := ws.runCutLoop(p, fronts, sol, in.M)
+	if err != nil {
+		return nil, err
+	}
+	ws.lastLazyN = n
+	return extractFractional(sol, fronts, cuts, rounds), nil
+}
+
+// buildBaseLP constructs the static part of LP (9) — variables, implicit
+// bounds, crash bounds, precedence/L/total-work rows — into the
+// workspace's reusable problem, resets the lazy-cut bookkeeping and the
+// cut replay log, and returns the problem ready for cut seeding
+// (SolveLPWith) or cut replay (SolveLPDeltaWith). The construction order
+// is deterministic and depends only on the instance's structure — task
+// count, machine size and DAG shape — never on the processing-time
+// values, which is what makes row/column positions transplantable between
+// structurally identical instances.
+func (ws *Workspace) buildBaseLP(in *Instance, fronts []malleable.Frontier) *lp.Problem {
+	n := in.G.N()
+	ws.lastLazyN = 0
+	ws.cutLog = ws.cutLog[:0]
+
 	// Variables: completion C_j, processing x_j, work wbar_j for each task,
 	// plus the critical-path length L and makespan C. AddVar assigns
 	// indices sequentially, so the layout is deterministic:
@@ -278,56 +329,41 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	workTerms = append(workTerms, lp.Term{Var: vC, Coef: -1})
 	p.AddConstraint(lp.LE, 0, workTerms...)
 
-	// Seed cuts: the two endpoint supporting lines of every task tie wbar_j
-	// to the work function at both extremes of the domain (the steep end
-	// uses the last representative segment).
-	for j := 0; j < n; j++ {
-		f := &fronts[j]
-		segs := f.Segments()
-		if segs < 1 {
-			continue
-		}
-		base := int(ws.segOff[j])
-		addCut(p, f, j, 0, n)
-		ws.segAdded[base] = true
-		for s := segs - 1; s > 0; s-- {
-			if ws.segRep[base+s] {
-				addCut(p, f, j, s, n)
-				ws.segAdded[base+s] = true
-				break
-			}
-		}
-	}
+	ws.totalSegs = totalSegs
+	return p
+}
 
-	// The LP is massively degenerate, so the solver runs cost-perturbed
-	// throughout the cut loop (intermediate solutions only steer cut
-	// selection) and the perturbation is polished away once, at the end.
-	ws.LP.DeferPolish = true
-	sol, err := p.SolveWith(&ws.LP)
-	if err != nil {
-		return nil, fmt.Errorf("allot: LP (9) failed: %w", err)
-	}
+// logCut materialises segment s of task j as a supporting-line row, marks
+// it generated, and records it in the replay log.
+func (ws *Workspace) logCut(p *lp.Problem, f *malleable.Frontier, j, s, n int) {
+	addCut(p, f, j, s, n)
+	ws.segAdded[int(ws.segOff[j])+s] = true
+	ws.cutLog = append(ws.cutLog, sepPick{task: int32(j), seg: int32(s)})
+}
 
-	// Lazy separation: while some task's work variable sits below its work
-	// function at the current optimum, add the most violated missing
-	// supporting line per offending task and re-optimise warm with the
-	// dual simplex. Every round adds at least one of the finitely many
-	// lines, so the iteration is monotone and terminates; the cap is a
-	// pure safety net. Convergence is confirmed on the polished (exact)
-	// optimum: polishing can move the solution to a vertex that violates
-	// lines the perturbed point satisfied, so the loop re-checks and, if
-	// needed, keeps cutting.
+// runCutLoop drives the lazy separation to convergence from the initial
+// perturbed solve: while some task's work variable sits below its work
+// function at the current optimum, add the most violated missing
+// supporting lines per offending task and re-optimise warm with the dual
+// simplex. Every round adds at least one of the finitely many lines, so
+// the iteration is monotone and terminates; the cap is a pure safety net.
+// Convergence is confirmed on the polished (exact) optimum: polishing can
+// move the solution to a vertex that violates lines the perturbed point
+// satisfied, so the loop re-checks and, if needed, keeps cutting. Shared
+// by the cold path (SolveLPWith) and the delta path (SolveLPDeltaWith).
+func (ws *Workspace) runCutLoop(p *lp.Problem, fronts []malleable.Frontier, sol *lp.Solution, m int) (*lp.Solution, int, int, error) {
 	cuts, rounds := 0, 0
 	polished := false
+	var err error
 	for {
-		added := ws.addViolatedCuts(p, fronts, sol, in.M)
+		added := ws.addViolatedCuts(p, fronts, sol, m)
 		if added == 0 {
 			if polished {
 				break
 			}
 			sol, err = p.PolishWith(&ws.LP)
 			if err != nil {
-				return nil, fmt.Errorf("allot: LP (9) polish failed: %w", err)
+				return nil, 0, 0, fmt.Errorf("allot: LP (9) polish failed: %w", err)
 			}
 			polished = true
 			continue
@@ -335,26 +371,32 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 		polished = false
 		cuts += added
 		rounds++
-		if rounds > totalSegs+4 {
-			return nil, fmt.Errorf("allot: cut loop failed to converge after %d rounds", rounds)
+		if rounds > ws.totalSegs+4 {
+			return nil, 0, 0, fmt.Errorf("allot: cut loop failed to converge after %d rounds", rounds)
 		}
 		sol, err = p.ReSolveWith(&ws.LP)
 		if err != nil {
-			return nil, fmt.Errorf("allot: LP (9) cut round %d failed: %w", rounds, err)
+			return nil, 0, 0, fmt.Errorf("allot: LP (9) cut round %d failed: %w", rounds, err)
 		}
 	}
+	return sol, cuts, rounds, nil
+}
 
+// extractFractional converts the polished LP solution into the package's
+// result shape.
+func extractFractional(sol *lp.Solution, fronts []malleable.Frontier, cuts, rounds int) *Fractional {
+	n := len(fronts)
 	out := &Fractional{
 		X:      make([]float64, n),
 		Wbar:   make([]float64, n),
 		LStar:  make([]float64, n),
 		C:      sol.Obj,
-		L:      sol.X[vL],
+		L:      sol.X[3*n],
 		Cuts:   cuts,
 		Rounds: rounds,
 	}
 	for j := 0; j < n; j++ {
-		out.X[j] = clamp(sol.X[xj(j)], fronts[j].XMin(), fronts[j].XMax())
+		out.X[j] = clamp(sol.X[n+j], fronts[j].XMin(), fronts[j].XMax())
 		// Evaluate the work on the frontier rather than trusting the slack
 		// LP variable: when the total-work row is not binding the LP may
 		// leave wbar_j above w_j(x*_j).
@@ -362,7 +404,7 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 		out.W += out.Wbar[j]
 		out.LStar[j] = fronts[j].FractionalAlloc(out.X[j])
 	}
-	return out, nil
+	return out
 }
 
 // sepShardSize fixes the separation sharding granularity: tasks are cut
@@ -513,8 +555,7 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 	for sh := 0; sh < nsh; sh++ {
 		for _, pk := range ws.sepPicks[sh] {
 			j := int(pk.task)
-			addCut(p, &fronts[j], j, int(pk.seg), n)
-			ws.segAdded[int(ws.segOff[j])+int(pk.seg)] = true
+			ws.logCut(p, &fronts[j], j, int(pk.seg), n)
 			added++
 		}
 	}

@@ -45,6 +45,18 @@ type Workspace struct {
 	// order itself comes from the prep workspace in chains).
 	lpmin []float64
 
+	// Cut replay log of the lazy path: every supporting-line row in append
+	// order (seeds first, then separation rounds). CaptureLP copies it
+	// into snapshots; SolveLPDeltaWith replays a snapshot's log to rebuild
+	// a basis-compatible row layout. lastLazyN is the task count of the
+	// last completed lazy-path solve (0 when the last solve took the
+	// segment route or failed), guarding capture against exporting a basis
+	// whose layout the log does not describe. totalSegs caches the summed
+	// frontier segment count of the last build for the cut loop's round cap.
+	cutLog    []sepPick
+	lastLazyN int
+	totalSegs int
+
 	// SegThreshold overrides the frontier-segment count beyond which
 	// SolveLPWith routes to the segment-variable formulation; 0 means the
 	// measured default (segFormulationMin), negative disables the route.

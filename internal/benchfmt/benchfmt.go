@@ -24,6 +24,11 @@ type Result struct {
 	NsPerOp float64
 	// Samples is how many lines were aggregated into this result.
 	Samples int
+	// Extra holds the benchmark's custom b.ReportMetric values by unit
+	// (e.g. "delta_warm/op" from the serving delta-path benchmarks); the
+	// allocation metrics B/op and allocs/op are excluded. When lines are
+	// aggregated, Extra follows the line the ns/op minimum came from.
+	Extra map[string]float64
 }
 
 // testEvent is the subset of the `go test -json` (test2json) event shape
@@ -50,6 +55,7 @@ func Parse(r io.Reader) (map[string]Result, error) {
 		if prev, seen := out[res.Name]; seen {
 			if prev.NsPerOp < res.NsPerOp {
 				res.NsPerOp = prev.NsPerOp
+				res.Extra = prev.Extra
 			}
 			res.Samples += prev.Samples
 		}
@@ -108,16 +114,30 @@ func ParseLine(line string) (Result, bool) {
 			name = name[:i]
 		}
 	}
+	res := Result{Name: name, Samples: 1}
+	haveNs := false
 	for i := 2; i+1 < len(fields); i += 2 {
-		if fields[i+1] == "ns/op" {
-			ns, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return Result{}, false
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+			haveNs = true
+		case "B/op", "allocs/op", "MB/s":
+			// standard noise, not worth carrying
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
 			}
-			return Result{Name: name, NsPerOp: ns, Samples: 1}, true
+			res.Extra[unit] = v
 		}
 	}
-	return Result{}, false
+	if !haveNs {
+		return Result{}, false
+	}
+	return res, true
 }
 
 // Delta is one benchmark's baseline-to-current comparison.
@@ -130,6 +150,10 @@ type Delta struct {
 	Key bool
 	// Regressed is set when a key benchmark slowed past the threshold.
 	Regressed bool
+	// Extra carries the current run's custom metrics (Result.Extra) so
+	// the report can show them — e.g. the serving benchmarks' delta-path
+	// warm/cold counts.
+	Extra map[string]float64
 }
 
 // Compare matches current results against the baseline. A key benchmark
@@ -153,6 +177,7 @@ func Compare(baseline, current map[string]Result, key *regexp.Regexp, threshold 
 		}
 		if cur, ok := current[name]; ok {
 			d.New = cur.NsPerOp
+			d.Extra = cur.Extra
 		}
 		if d.Old > 0 && d.New > 0 {
 			d.Ratio = d.New / d.Old
@@ -182,7 +207,7 @@ func Format(w io.Writer, deltas []Delta, threshold float64) {
 		if d.Ratio > 0 {
 			ratio = fmt.Sprintf("%.3f", d.Ratio)
 		}
-		tw("%s %-53s %14s %14s %8s\n", mark, d.Name, old, cur, ratio)
+		tw("%s %-53s %14s %14s %8s%s\n", mark, d.Name, old, cur, ratio, extras(d.Extra))
 	}
 	tw("(* = gated, !! = regressed past %.2fx)\n", threshold)
 }
@@ -192,4 +217,27 @@ func side(ns float64) string {
 		return "-"
 	}
 	return strconv.FormatFloat(ns, 'f', 0, 64)
+}
+
+// extras renders a result's custom metrics as a trailing annotation
+// ("  [delta_warm/op=1 delta_cold/op=0]"), sorted by unit for stable output.
+func extras(m map[string]float64) string {
+	if len(m) == 0 {
+		return ""
+	}
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	var b strings.Builder
+	b.WriteString("  [")
+	for i, u := range units {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%g", u, m[u])
+	}
+	b.WriteByte(']')
+	return b.String()
 }

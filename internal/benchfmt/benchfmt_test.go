@@ -151,3 +151,35 @@ func TestCompareIgnoresNonKeyAndMissing(t *testing.T) {
 		}
 	}
 }
+
+// Custom b.ReportMetric units (the serving delta-path counters) must be
+// parsed into Extra — with B/op and allocs/op excluded — and surface in
+// the formatted report.
+func TestParseAndFormatExtraMetrics(t *testing.T) {
+	line := "BenchmarkServeDelta/warm-8 \t       8\t   4900000 ns/op\t         1.000 delta_warm/op\t         0 delta_cold/op\t  165688 B/op\t    1199 allocs/op"
+	res, ok := ParseLine(line)
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if res.NsPerOp != 4900000 {
+		t.Errorf("ns/op = %v", res.NsPerOp)
+	}
+	if res.Extra["delta_warm/op"] != 1 || res.Extra["delta_cold/op"] != 0 {
+		t.Errorf("extras = %v", res.Extra)
+	}
+	if _, ok := res.Extra["B/op"]; ok {
+		t.Error("allocation metric leaked into Extra")
+	}
+
+	cur := map[string]Result{res.Name: res}
+	old := map[string]Result{res.Name: {Name: res.Name, NsPerOp: 5000000, Samples: 1}}
+	deltas, regressed := Compare(old, cur, regexp.MustCompile("."), 1.25)
+	if regressed {
+		t.Error("faster run regressed")
+	}
+	var buf strings.Builder
+	Format(&buf, deltas, 1.25)
+	if !strings.Contains(buf.String(), "[delta_cold/op=0 delta_warm/op=1]") {
+		t.Errorf("report misses the delta counters:\n%s", buf.String())
+	}
+}

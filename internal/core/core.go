@@ -31,6 +31,16 @@ type Options struct {
 	Mu int
 	// SkipVerify skips the final feasibility check (for benchmarks).
 	SkipVerify bool
+	// CaptureLP asks for a warm-start snapshot of the phase-1 LP in
+	// Result.LPSnapshot. Capturing forces the LP onto the lazy-cut route
+	// (the segment-variable formulation's column layout depends on the
+	// processing-time values, so its bases are not transplantable).
+	CaptureLP bool
+	// WarmLP warm-starts phase 1 from a snapshot captured on an instance
+	// with the same structure (task count, DAG shape, machine count) —
+	// the serving layer's delta path. Mismatched snapshots degrade to a
+	// cold solve; the result is an exact LP optimum either way.
+	WarmLP *allot.LPSnapshot
 }
 
 // Result carries the schedule together with the analysis quantities of
@@ -52,6 +62,11 @@ type Result struct {
 	// Guarantee is Makespan / LowerBound, an upper bound on the realised
 	// approximation factor (the true factor vs OPT can only be smaller).
 	Guarantee float64
+	// LPSnapshot is the phase-1 warm-start snapshot when Options.CaptureLP
+	// was set (nil when capture was impossible). It is expressed against
+	// the transitively reduced instance, which is structure-determined, so
+	// it transplants onto any instance with the same structure fingerprint.
+	LPSnapshot *allot.LPSnapshot
 }
 
 // Solve runs the two-phase algorithm on the instance.
@@ -93,11 +108,30 @@ func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, 
 	// The frontier cache in ws is shared by SolveLPWith and RoundWith;
 	// release it on exit so a pooled workspace does not pin the instance.
 	defer ws.Release()
-	frac, err := allot.SolveLPWith(red, ws.LP())
+	lpws := ws.LP()
+	if lpws == nil && (opt.CaptureLP || opt.WarmLP != nil) {
+		lpws = allot.NewWorkspace() // capture needs a handle on the solve's state
+	}
+	if opt.CaptureLP && lpws.SegThreshold >= 0 {
+		prev := lpws.SegThreshold
+		lpws.SegThreshold = -1 // snapshots exist on the lazy route only
+		defer func() { lpws.SegThreshold = prev }()
+	}
+	var frac *allot.Fractional
+	var err error
+	if opt.WarmLP != nil {
+		frac, err = allot.SolveLPDeltaWith(red, lpws, opt.WarmLP)
+	} else {
+		frac, err = allot.SolveLPWith(red, lpws)
+	}
 	if err != nil {
 		return nil, err
 	}
-	alphaPrime := allot.RoundWith(red, frac, choice.Rho, ws.LP())
+	var snap *allot.LPSnapshot
+	if opt.CaptureLP {
+		snap = lpws.CaptureLP(red)
+	}
+	alphaPrime := allot.RoundWith(red, frac, choice.Rho, lpws)
 	alpha := listsched.CapAllotment(alphaPrime, choice.Mu)
 	sched, err := listsched.RunWith(red, alpha, ws.Sched())
 	if err != nil {
@@ -126,6 +160,7 @@ func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, 
 		Params:     choice,
 		Makespan:   sched.Makespan(),
 		LowerBound: lb,
+		LPSnapshot: snap,
 	}
 	if lb > 0 {
 		res.Guarantee = res.Makespan / lb

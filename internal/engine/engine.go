@@ -41,9 +41,15 @@ type job struct {
 // the lifetime of the pool, so workspace warm-up cost is paid once, not per
 // batch. All methods are safe for concurrent use, except that Close must
 // not be called concurrently with itself.
+//
+// Besides the foreground job queue, the pool has a bounded background lane
+// (TryBackground) that workers drain only when no foreground job is
+// waiting — the serving layer's refine-behind queue. Background jobs are
+// fire-and-forget: no completion latch, best-effort on Close.
 type Pool struct {
 	workers int
 	jobs    chan job
+	bg      chan Func
 	wg      sync.WaitGroup // running workers
 
 	mu     sync.RWMutex // guards closed vs. in-flight submissions
@@ -51,12 +57,17 @@ type Pool struct {
 }
 
 // New starts a pool of the given number of workers; workers <= 0 means
-// GOMAXPROCS. The pool holds its goroutines until Close.
+// GOMAXPROCS. The pool holds its goroutines until Close. The background
+// lane buffers up to 4 jobs per worker (at least 16).
 func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{workers: workers, jobs: make(chan job)}
+	depth := 4 * workers
+	if depth < 16 {
+		depth = 16
+	}
+	p := &Pool{workers: workers, jobs: make(chan job), bg: make(chan Func, depth)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -85,9 +96,57 @@ func (p *Pool) Close() {
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	ws := solver.NewWorkspace()
-	for j := range p.jobs {
-		*j.err = runJob(j.ctx, j.fn, ws)
-		j.done.Done()
+	for {
+		// Foreground first: only when no foreground job is waiting does
+		// the worker consider the background lane. A closed pool exits
+		// immediately, dropping whatever the lane still holds (background
+		// work is best-effort by contract).
+		select {
+		case j, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			*j.err = runJob(j.ctx, j.fn, ws)
+			j.done.Done()
+			continue
+		default:
+		}
+		select {
+		case j, ok := <-p.jobs:
+			if !ok {
+				return
+			}
+			*j.err = runJob(j.ctx, j.fn, ws)
+			j.done.Done()
+		case fn := <-p.bg:
+			runBackground(fn, ws)
+		}
+	}
+}
+
+// runBackground executes one background job with the same panic isolation
+// as foreground jobs; the error (if any) is the closure's own business.
+func runBackground(fn Func, ws *solver.Workspace) {
+	defer func() { recover() }()
+	fn(ws)
+}
+
+// TryBackground enqueues fn on the background lane without blocking. It
+// reports false — and drops fn — when the lane is full or the pool is
+// closed; callers that care count the drop. Background jobs run on the
+// same workers (and warm workspaces) as foreground jobs, but only when
+// the foreground queue is empty at pick time.
+func (p *Pool) TryBackground(fn Func) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.bg <- fn:
+		return true
+	default:
+		return false
 	}
 }
 

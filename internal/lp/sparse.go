@@ -189,6 +189,12 @@ type Workspace struct {
 
 	banned []int32
 
+	// Bound-shift log of SolveHotWith: columns whose violated bound was
+	// relaxed onto the transplanted basic value (upper shifts stored as
+	// the column's bitwise complement) and the true bound to restore.
+	shiftIdx []int32
+	shiftBnd []float64
+
 	// Bookkeeping.
 	stats      Stats
 	degen      int

@@ -2,6 +2,8 @@ package server
 
 import (
 	"encoding/json"
+	"expvar"
+	"fmt"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -86,4 +88,92 @@ func BenchmarkServe(b *testing.B) {
 			}
 		})
 	})
+}
+
+// counter reads one of the server's expvar counters (0 when never touched).
+func counter(s *Server, name string) float64 {
+	if v, ok := s.stats.Get(name).(*expvar.Int); ok {
+		return float64(v.Value())
+	}
+	return 0
+}
+
+func serveOnceV2(b *testing.B, h http.Handler, body string) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v2/solve", strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.Bytes())
+	}
+}
+
+// BenchmarkServeDelta measures the v2 delta re-solve path end to end at
+// the scale the API contract targets (n = 500 tasks): "warm" edits 4
+// tasks of a cached base (within the k = 8 budget, so the captured LP
+// basis transplants), "cold" edits k+1 tasks (over budget, full re-solve
+// through the same endpoint). Every request carries no_cache so each
+// iteration really solves; the delta_warm/op and delta_cold/op metrics
+// certify which path ran (benchgate shows them next to the timings). The
+// warm/cold ns/op gap is the delta path's value; the contract wants >= 5x.
+func BenchmarkServeDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(412))
+	g := gen.Layered(25, 20, 2, rng) // n = 500 tasks
+	in := &malsched.Instance{M: 32, Tasks: gen.Tasks(gen.FamilyMixed, g.N(), 32, rng)}
+	for v := 0; v < g.N(); v++ {
+		for _, w := range g.Succs(v) {
+			in.Edges = append(in.Edges, [2]int{v, w})
+		}
+	}
+
+	// deltaBody edits `count` distinct tasks, scaled by a salt-dependent
+	// factor so successive iterations address different fingerprints.
+	deltaBody := func(baseFP string, count, salt int) string {
+		edits := make([]TaskEdit, count)
+		factor := 1 + float64(salt%89+1)/1000
+		for e := range edits {
+			task := (salt + e) % len(in.Tasks)
+			times := make([]float64, len(in.Tasks[task].Times))
+			for i, v := range in.Tasks[task].Times {
+				times[i] = v * factor
+			}
+			edits[e] = TaskEdit{Task: task, Times: times}
+		}
+		raw, err := json.Marshal(SolveRequestV2{Base: baseFP, Edits: edits, Algo: "paper", NoCache: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return string(raw)
+	}
+
+	run := func(b *testing.B, count int) {
+		s := New(Config{Workers: 1})
+		defer s.Close()
+		h := s.Handler()
+
+		raw, err := json.Marshal(SolveRequestV2{Instance: in, Algo: "paper"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v2/solve", strings.NewReader(string(raw))))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("base solve: status %d: %s", rec.Code, rec.Body.Bytes())
+		}
+		var base SolveResponseV2
+		if err := json.Unmarshal(rec.Body.Bytes(), &base); err != nil {
+			b.Fatal(err)
+		}
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serveOnceV2(b, h, deltaBody(base.Fingerprint, count, i))
+		}
+		b.StopTimer()
+		b.ReportMetric(counter(s, "delta_warm")/float64(b.N), "delta_warm/op")
+		b.ReportMetric(counter(s, "delta_cold")/float64(b.N), "delta_cold/op")
+	}
+
+	b.Run(fmt.Sprintf("warm_edits4_n%d", len(in.Tasks)), func(b *testing.B) { run(b, 4) })
+	b.Run(fmt.Sprintf("cold_edits%d_n%d", maxDeltaEdits+1, len(in.Tasks)), func(b *testing.B) { run(b, maxDeltaEdits+1) })
 }

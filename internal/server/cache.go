@@ -15,6 +15,17 @@ type solution struct {
 	res *malsched.Result
 	// algo is the algorithm that produced res (already routed).
 	algo malsched.Algorithm
+	// tier is the quality tier algo belongs to (tierOf(algo)); the cache
+	// never replaces an entry with a lower- or equal-tier one.
+	tier tier
+	// inst is the solved instance, kept on quality entries so a later
+	// delta request can materialise "base + edits" from the fingerprint
+	// alone. nil on exact-key entries (the instance is in the request).
+	inst *malsched.Instance
+	// state is the warm-start handle of a paper solve run with capture
+	// (nil otherwise); the delta path transplants it onto edited
+	// instances with the same structure fingerprint.
+	state *malsched.SolverState
 	// coldNS is the wall time of the originating solve, reported alongside
 	// cache hits so clients can see what the hit saved them.
 	coldNS int64
@@ -157,11 +168,18 @@ func (c *cache) do(key string, fn func() (*solution, error)) (*solution, outcome
 }
 
 // insertLocked adds key -> sol and evicts the shard's least recently used
-// entries down to capacity. Caller holds s.mu.
+// entries down to capacity, tier-monotonically: an entry is only replaced
+// by a strictly higher-tier solution. Racing same-tier inserts keep the
+// first writer (the answers are interchangeable, and first-writer-wins
+// keeps what repeat readers see stable); a refinement overwrites a greedy
+// entry; a late greedy solve can never clobber a paper answer. Caller
+// holds s.mu.
 func (s *cacheShard) insertLocked(key string, sol *solution) {
-	if el, ok := s.items[key]; ok { // lost a race with an identical insert
+	if el, ok := s.items[key]; ok {
 		s.order.MoveToFront(el)
-		el.Value.(*cacheEntry).sol = sol
+		if e := el.Value.(*cacheEntry); sol.tier > e.sol.tier {
+			e.sol = sol
+		}
 		return
 	}
 	s.items[key] = s.order.PushFront(&cacheEntry{key: key, sol: sol})
@@ -170,6 +188,38 @@ func (s *cacheShard) insertLocked(key string, sol *solution) {
 		s.order.Remove(last)
 		delete(s.items, last.Value.(*cacheEntry).key)
 	}
+}
+
+// get returns the resident entry for key (bumping its recency) without
+// computing anything. In-flight computations are not consulted.
+func (c *cache) get(key string) (*solution, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).sol, true
+}
+
+// putIfBetter inserts sol under key tier-monotonically (see insertLocked)
+// and reports whether sol is now the resident entry — false exactly when
+// an entry of equal or higher tier was already there, or the cache is
+// disabled.
+func (c *cache) putIfBetter(key string, sol *solution) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(key, sol)
+	return s.items[key].Value.(*cacheEntry).sol == sol
 }
 
 // len reports the total number of resident entries (for tests and /metrics).

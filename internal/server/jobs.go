@@ -20,15 +20,17 @@ const (
 )
 
 // JobStatus is the externally visible state of an async solve, returned by
-// GET /v1/jobs/{id}. Result is set exactly when State == JobDone; Error
-// exactly when State == JobFailed.
+// GET /v1/jobs/{id} and GET /v2/jobs/{id}. Result is set exactly when
+// State == JobDone (a *SolveResponse for v1 submissions, a
+// *SolveResponseV2 for v2 ones — the store is shared); Error exactly when
+// State == JobFailed.
 type JobStatus struct {
-	ID       string         `json:"id"`
-	State    string         `json:"state"`
-	Created  time.Time      `json:"created"`
-	Finished *time.Time     `json:"finished,omitempty"`
-	Result   *SolveResponse `json:"result,omitempty"`
-	Error    string         `json:"error,omitempty"`
+	ID       string     `json:"id"`
+	State    string     `json:"state"`
+	Created  time.Time  `json:"created"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Result   any        `json:"result,omitempty"`
+	Error    string     `json:"error,omitempty"`
 }
 
 // errJobsBusy rejects submissions past the in-flight bound (HTTP 503).
@@ -83,8 +85,9 @@ func (js *jobStore) setRunning(id string) {
 }
 
 // finish records the terminal outcome and evicts the oldest terminal jobs
-// beyond the store's bound.
-func (js *jobStore) finish(id string, res *SolveResponse, err error, now time.Time) {
+// beyond the store's bound. res must be non-nil when err is nil (it is
+// only assigned on success, so a failed job's result stays omitted).
+func (js *jobStore) finish(id string, res any, err error, now time.Time) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	j, ok := js.jobs[id]

@@ -43,6 +43,11 @@ type routeDecision struct {
 	algo   malsched.Algorithm
 	routed bool // false when the request pinned the algorithm
 	reason string
+	// downgraded marks a deadline-forced drop from the paper algorithm to
+	// greedy: the request wanted the best answer but could not wait for
+	// it. This is the v2 API's refine-behind trigger — answer greedy now,
+	// queue a paper solve into spare pool capacity for next time.
+	downgraded bool
 }
 
 // route picks the algorithm for one request. pinned != nil forces that
@@ -59,7 +64,7 @@ func route(in *malsched.Instance, pinned *malsched.Algorithm, deadline time.Dura
 			return routeDecision{algo: malsched.AlgoPaper, routed: true,
 				reason: fmt.Sprintf("paper estimate %v within deadline %v", paperEst, deadline)}
 		}
-		return routeDecision{algo: malsched.AlgoGreedyCP, routed: true,
+		return routeDecision{algo: malsched.AlgoGreedyCP, routed: true, downgraded: true,
 			reason: fmt.Sprintf("paper estimate %v over deadline %v", paperEst, deadline)}
 	}
 	if n <= autoPaperMaxTasks {

@@ -9,6 +9,13 @@
 //	GET  /healthz      — liveness + pool size
 //	GET  /metrics      — expvar-style JSON counters
 //
+// plus the v2 API (see v2.go): /v2/solve, /v2/batch, /v2/jobs,
+// /v2/jobs/{id} and /v2/solutions/{fp}, which add instance identity in
+// responses, quality tiers, delta re-solve from a cached base, and
+// refine-behind of deadline-downgraded answers. The v1 endpoints are a
+// thin compatibility shim over the same serving core with the v2
+// behaviours switched off.
+//
 // Every request funnels through one Pool whose workers own reusable
 // cross-phase solver workspaces, so the daemon solves with warm buffers no
 // matter which HTTP connection a request arrives on. Results are cached
@@ -21,14 +28,11 @@
 package server
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
-	"math"
 	"net/http"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +103,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("POST /v2/solve", s.handleSolveV2)
+	s.mux.HandleFunc("POST /v2/batch", s.handleBatchV2)
+	s.mux.HandleFunc("POST /v2/jobs", s.handleJobSubmitV2)
+	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v2/solutions/{fp}", s.handleSolutionProbe)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -174,126 +183,21 @@ func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
 }
 
-// solutionKey is the content address of a request: what the instance is,
-// which algorithm will run, and the parameter overrides THAT ALGORITHM
-// consumes. Requests differing only in transport concerns (schedule
-// inclusion, deadline that routed to the same algorithm, cache flags)
-// share a key — and so do requests differing only in rho/mu when the
-// routed algorithm ignores them (every algorithm but paper does), so a
-// client sweeping parameters over a greedy/seq/full/ltw workload no
-// longer fragments the cache into cold entries.
-func solutionKey(in *malsched.Instance, algo malsched.Algorithm, req *SolveRequest) string {
-	key := in.Fingerprint() + "|" + algo.String()
-	if algo == malsched.AlgoPaper {
-		if req.Mu != nil {
-			key += "|mu=" + strconv.Itoa(*req.Mu)
-		}
-		if req.Rho != nil {
-			key += "|rho=" + strconv.FormatFloat(*req.Rho, 'e', 12, 64)
-		}
-	}
-	return key
-}
-
-// solveOne runs one logical solve through routing, cache and pool. It is
-// the shared core of the sync, batch and async handlers.
+// solveOne runs one logical v1 solve. It is a thin shim over the shared
+// serving core in legacy mode (see serve in v2.go): same routing, cache
+// and pool path as /v2, with the v2-only behaviours — quality-slot reads,
+// LP state capture, refine-behind — switched off so responses stay
+// byte-identical to the pre-v2 server.
 func (s *Server) solveOne(req *SolveRequest) (*SolveResponse, error) {
-	in := req.Instance
-	if in == nil {
-		return nil, badRequestf("missing instance")
+	v2 := &SolveRequestV2{
+		Instance: req.Instance, Algo: req.Algo, DeadlineMS: req.DeadlineMS,
+		Rho: req.Rho, Mu: req.Mu, NoCache: req.NoCache, IncludeSchedule: req.IncludeSchedule,
 	}
-	var pinned *malsched.Algorithm
-	if req.Algo != "" && req.Algo != "auto" {
-		algo, err := malsched.ParseAlgorithm(req.Algo)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
-		}
-		pinned = &algo
-	}
-	// A non-finite deadline would flow into an undefined float->int
-	// conversion (time.Duration(NaN * ...)), a negative one would
-	// silently mean "unconstrained", and a finite value overflowing
-	// time.Duration would wrap to the same undefined conversion — all
-	// client errors. The overflow guard compares in float space, where
-	// float64(MaxInt64) is exact.
-	if math.IsNaN(req.DeadlineMS) || math.IsInf(req.DeadlineMS, 0) || req.DeadlineMS < 0 ||
-		req.DeadlineMS*float64(time.Millisecond) >= float64(math.MaxInt64) {
-		return nil, badRequestf("invalid deadline_ms %v: must be finite, non-negative and under %v ms", req.DeadlineMS, int64(math.MaxInt64)/int64(time.Millisecond))
-	}
-	deadline := time.Duration(req.DeadlineMS * float64(time.Millisecond))
-	dec := route(in, pinned, deadline)
-
-	var opts []malsched.Option
-	if req.Rho != nil {
-		opts = append(opts, malsched.WithRho(*req.Rho))
-	}
-	if req.Mu != nil {
-		opts = append(opts, malsched.WithMu(*req.Mu))
-	}
-
-	start := time.Now()
-	solve := func() (*solution, error) {
-		// Validation failures are the client's fault (400); anything a
-		// valid instance provokes past this point — pool closed during
-		// drain, a recovered solver panic — is a server error (500).
-		if err := in.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", errBadRequest, err)
-		}
-		// Solves run under a background context on purpose: a singleflight
-		// result may be shared by many requests (and lands in the cache), so
-		// one disconnecting client must not cancel it for the others.
-		s.stats.Add("solves_"+dec.algo.String(), 1)
-		res, err := s.pool.SolveAlgo(context.Background(), dec.algo, in, opts...)
-		if err != nil {
-			return nil, err
-		}
-		return &solution{res: res, algo: dec.algo, coldNS: int64(time.Since(start))}, nil
-	}
-
-	var (
-		sol   *solution
-		out   outcome
-		err   error
-		label string
-	)
-	if req.NoCache || s.cache == nil {
-		sol, err = solve()
-		label = "bypass"
-	} else {
-		sol, out, err = s.cache.do(solutionKey(in, dec.algo, req), solve)
-		label = out.String()
-	}
-	s.stats.Add("cache_"+label, 1)
+	resp, err := s.serve(v2, true)
 	if err != nil {
 		return nil, err
 	}
-
-	resp := &SolveResponse{
-		Makespan:    sol.res.Makespan,
-		LowerBound:  sol.res.LowerBound,
-		Guarantee:   sol.res.Guarantee,
-		ProvenRatio: sol.res.ProvenRatio,
-		Alloc:       sol.res.Alloc,
-		Algo:        sol.algo.String(),
-		Routed:      dec.routed,
-		RouteReason: dec.reason,
-		Cache:       label,
-		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
-		ColdMS:      float64(sol.coldNS) / float64(time.Millisecond),
-	}
-	if req.IncludeSchedule {
-		items := sol.res.Schedule.Items
-		resp.Schedule = make([]ScheduleItem, len(items))
-		for j, it := range items {
-			resp.Schedule[j] = ScheduleItem{
-				Task: it.Task, Start: it.Start, Duration: it.Duration, Alloc: it.Alloc,
-			}
-			if it.Task >= 0 && it.Task < len(in.Tasks) {
-				resp.Schedule[j].Name = in.Tasks[it.Task].Name
-			}
-		}
-	}
-	return resp, nil
+	return &resp.SolveResponse, nil
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {

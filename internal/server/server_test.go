@@ -366,7 +366,11 @@ func TestJobLifecycle(t *testing.T) {
 	if st.State != JobDone || st.Result == nil || st.Error != "" {
 		t.Fatalf("finished job: %+v", st)
 	}
-	if st.Result.Makespan <= 0 || st.Finished == nil {
+	res, ok := st.Result.(map[string]any)
+	if !ok {
+		t.Fatalf("job result is %T, want an object: %+v", st.Result, st.Result)
+	}
+	if ms, _ := res["makespan"].(float64); ms <= 0 || st.Finished == nil {
 		t.Errorf("job result: %+v", st.Result)
 	}
 

@@ -1,0 +1,34 @@
+package server
+
+import "malsched"
+
+// tier is the quality class of a cached answer. The serving layer's cache
+// is tier-monotonic: within one identity slot, answers only ever move up
+// the ladder (a queued paper refinement overwrites a deadline-downgraded
+// greedy answer; a greedy answer can never clobber a paper one).
+type tier int
+
+const (
+	// tierGreedy: a heuristic answer without an approximation guarantee
+	// (greedy critical-path, sequential, full allotment).
+	tierGreedy tier = iota + 1
+	// tierPaper: an answer with a certified approximation ratio (the
+	// paper's two-phase algorithm, or the LTW comparison baseline).
+	tierPaper
+)
+
+func (t tier) String() string {
+	if t >= tierPaper {
+		return "paper"
+	}
+	return "greedy"
+}
+
+// tierOf maps an algorithm to the quality tier of its answers.
+func tierOf(algo malsched.Algorithm) tier {
+	switch algo {
+	case malsched.AlgoPaper, malsched.AlgoLTW:
+		return tierPaper
+	}
+	return tierGreedy
+}

@@ -146,19 +146,30 @@ type Result struct {
 	Mu          int
 	Rho         float64
 	ProvenRatio float64
+	// State is the warm-start handle captured when the solve ran with
+	// WithCapture (nil otherwise, and nil when capture was impossible).
+	State *SolverState
+}
+
+// solveConfig collects what the options configure: the core algorithm
+// options plus the warm-start plumbing the public layer owns.
+type solveConfig struct {
+	core    core.Options
+	capture bool
+	warm    *SolverState
 }
 
 // Option configures Solve.
-type Option func(*core.Options)
+type Option func(*solveConfig)
 
 // WithRho overrides the rounding parameter rho in [0, 1].
 func WithRho(rho float64) Option {
-	return func(o *core.Options) { o.Rho, o.RhoSet = rho, true }
+	return func(o *solveConfig) { o.core.Rho, o.core.RhoSet = rho, true }
 }
 
 // WithMu overrides the allotment threshold mu in [1, m].
 func WithMu(mu int) Option {
-	return func(o *core.Options) { o.Mu = mu }
+	return func(o *solveConfig) { o.core.Mu = mu }
 }
 
 // Solve runs the paper's two-phase approximation algorithm with the
@@ -176,15 +187,19 @@ func solveWith(in *Instance, ws *solver.Workspace, opts []Option) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	var o core.Options
+	var o solveConfig
 	for _, f := range opts {
 		f(&o)
 	}
-	res, err := core.SolveWith(ai, o, ws)
+	o.core.CaptureLP = o.capture
+	if o.warm != nil && o.warm.snap != nil && o.warm.structFP == in.StructureFingerprint() {
+		o.core.WarmLP = o.warm.snap
+	}
+	res, err := core.SolveWith(ai, o.core, ws)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Schedule:    res.Schedule,
 		Makespan:    res.Makespan,
 		LowerBound:  res.LowerBound,
@@ -193,7 +208,11 @@ func solveWith(in *Instance, ws *solver.Workspace, opts []Option) (*Result, erro
 		Mu:          res.Params.Mu,
 		Rho:         res.Params.Rho,
 		ProvenRatio: res.Params.R,
-	}, nil
+	}
+	if res.LPSnapshot != nil {
+		out.State = &SolverState{snap: res.LPSnapshot, structFP: in.StructureFingerprint()}
+	}
+	return out, nil
 }
 
 // SolveLTW runs the Lepère–Trystram–Woeginger baseline (the comparison

@@ -79,6 +79,24 @@ func (p *Pool) SolveAlgo(ctx context.Context, algo Algorithm, in *Instance, opts
 	return res, err
 }
 
+// TrySolveBackground submits a fire-and-forget solve on the pool's
+// background lane: it runs on a worker only when no foreground solve is
+// waiting, so refinement work never delays interactive requests. The
+// outcome is delivered to done (from the worker goroutine; done must be
+// safe for that). It reports false — and does not run anything — when the
+// lane is full or the pool is closed: background work is best-effort and
+// load-shedding is the caller's signal to count.
+func (p *Pool) TrySolveBackground(algo Algorithm, in *Instance, done func(*Result, error), opts ...Option) bool {
+	if in == nil || done == nil {
+		return false
+	}
+	all := p.combined(opts)
+	return p.eng.TryBackground(func(ws *solver.Workspace) error {
+		done(solveAlgoWith(in, ws, algo, all))
+		return nil
+	})
+}
+
 // BatchResult is the outcome of one instance of a batch: exactly one of
 // Result and Err is set.
 type BatchResult struct {

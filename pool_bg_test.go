@@ -1,0 +1,71 @@
+package malsched
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTrySolveBackgroundMatchesForeground: a background solve must produce
+// exactly the result a foreground solve of the same instance does (same
+// workspaces, same algorithm path), delivered via the callback.
+func TestTrySolveBackgroundMatchesForeground(t *testing.T) {
+	pool := NewPool(2)
+	defer pool.Close()
+	in := exampleInstance()
+
+	want, err := pool.SolveAlgo(context.Background(), AlgoPaper, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var got *Result
+	var gotErr error
+	ok := pool.TrySolveBackground(AlgoPaper, in, func(res *Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		got, gotErr = res, err
+	})
+	if !ok {
+		t.Fatal("background solve rejected on an idle pool")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		done := got != nil || gotErr != nil
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background solve did not complete within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if gotErr != nil {
+		t.Fatal(gotErr)
+	}
+	if fingerprint(got) != fingerprint(want) {
+		t.Errorf("background result differs from foreground:\n bg %s\n fg %s", fingerprint(got), fingerprint(want))
+	}
+}
+
+// TestTrySolveBackgroundRejectsBadArgs: nil instance or callback, and a
+// closed pool, must refuse without running anything.
+func TestTrySolveBackgroundRejectsBadArgs(t *testing.T) {
+	pool := NewPool(1)
+	in := exampleInstance()
+	noop := func(*Result, error) {}
+	if pool.TrySolveBackground(AlgoPaper, nil, noop) {
+		t.Error("nil instance accepted")
+	}
+	if pool.TrySolveBackground(AlgoPaper, in, nil) {
+		t.Error("nil callback accepted")
+	}
+	pool.Close()
+	if pool.TrySolveBackground(AlgoPaper, in, noop) {
+		t.Error("closed pool accepted a background solve")
+	}
+}

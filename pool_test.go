@@ -10,8 +10,6 @@ import (
 	"strings"
 	"sync"
 	"testing"
-
-	"malsched/internal/core"
 )
 
 // testBatch loads every canned instance (plus a few synthetic ones) as the
@@ -227,7 +225,7 @@ func TestPoolCancelMidBatch(t *testing.T) {
 	var once sync.Once
 	// Options run on the worker inside the solve, so this gate suspends the
 	// first job mid-flight; jobs skipped after cancellation never reach it.
-	gate := Option(func(o *core.Options) {
+	gate := Option(func(o *solveConfig) {
 		once.Do(func() { close(started) })
 		<-release
 	})
@@ -265,7 +263,7 @@ func TestPoolRecoversPanickingSolve(t *testing.T) {
 	defer pool.Close()
 
 	calls := 0
-	boomSecond := Option(func(o *core.Options) {
+	boomSecond := Option(func(o *solveConfig) {
 		calls++
 		if calls == 2 {
 			panic("kaboom")
@@ -281,7 +279,7 @@ func TestPoolRecoversPanickingSolve(t *testing.T) {
 		}
 	}
 
-	boomAlways := Option(func(o *core.Options) { panic("kaboom") })
+	boomAlways := Option(func(o *solveConfig) { panic("kaboom") })
 	if res, err := pool.Solve(context.Background(), ins[0], boomAlways); err == nil || res != nil {
 		t.Errorf("Solve with panicking job: res=%v err=%v, want error", res, err)
 	}
