@@ -106,3 +106,4 @@ testdata:
 	$(GO) run ./cmd/geninstance -dag layered -family mixed -n 12 -m 8 -seed 107 > testdata/layered_n12_m8.json
 	$(GO) run ./cmd/geninstance -dag layered -family mixed -n 24 -m 8 -seed 108 > testdata/layered_n24_m8.json
 	$(GO) run ./cmd/geninstance -dag erdos -family mixed -n 32 -m 16 -p 0.15 -seed 109 > testdata/erdos_n32_m16.json
+	$(GO) run ./cmd/geninstance -dag independent -family mixed -n 64 -m 8 -seed 110 > testdata/independent_n64_m8.json

@@ -313,13 +313,32 @@ var listScenarios = []listScenario{
 	{"layered_n2000_m64", 2000, 64, "layered", 0, 21, 16},
 	{"erdos_n2000_m128", 2000, 128, "erdos", 0.004, 22, 32},
 	{"layered_n10000_m256", 10000, 256, "layered", 0, 23, 32},
-	// The adversarial shape for the lazy ready-heap: every commit moves
-	// every queued start, so the queue churn is quadratic (see the package
-	// doc of internal/listsched). Tracked here so the degradation stays
-	// bounded; the reference needs ~12s at n=500 (kept runnable for the
-	// EXPERIMENTS.md E10 speedup figures) and minutes beyond.
+	// The adversarial shape: every task allotted the whole machine, so
+	// every commit raises the entire occupied horizon. Quadratic queue
+	// churn for the retained lazy heap (RunLazyHeap), one wholesale bucket
+	// advance per commit for the calendar queue (see the package doc of
+	// internal/listsched). The reference needs ~12s at n=500 (kept
+	// runnable for the EXPERIMENTS.md E10/E15 speedup figures) and minutes
+	// beyond.
 	{"independent_full_n500_m16", 500, 16, "independent", 0, 25, 0},
 	{"independent_full_n2000_m16", 2000, 16, "independent", 0, 24, 0},
+	// Extreme scale (E15): 10^5-10^6 tasks through the tiered timeline +
+	// bucket queue, with shared processing-time vectors (gen.TasksShared)
+	// so the instances themselves stay cheap to hold. The million-task
+	// scenario is the serving demo's workload: one request, single-digit
+	// seconds.
+	{"layered_n100000_m256", 100_000, 256, "layered", 0, 26, 32},
+	{"independent_full_n100000_m16", 100_000, 16, "independent", 0, 27, 0},
+	// Mixed allotments with no precedence: the whole instance is READY at
+	// once and heavy-allotment classes keep getting leapfrogged by light
+	// tasks, so every implementation re-examines them repeatedly. The
+	// class-grouped queue re-files whole (duration, allotment) classes per
+	// probe instead of single tasks, ~16x faster than the retained lazy
+	// heap here (E15) but still superlinear — which is why the million-task
+	// scenario below uses the saturated shape, where wholesale bucket
+	// advance makes the queue linear by construction.
+	{"independent_mixed_n20000_m64", 20_000, 64, "independent", 0, 29, 16},
+	{"independent_full_n1000000_m64", 1_000_000, 64, "independent", 0, 28, 0},
 }
 
 func (sc listScenario) build(b testing.TB) (*allot.Instance, []int) {
@@ -336,7 +355,16 @@ func (sc listScenario) build(b testing.TB) (*allot.Instance, []int) {
 	default:
 		b.Fatalf("unknown dag %q", sc.dag)
 	}
-	in := gen.Instance(g, gen.FamilyMixed, sc.m, rng)
+	var in *allot.Instance
+	if sc.n >= 20_000 {
+		// Shared processing-time vectors: per-task vectors at n=10^6/m=64
+		// would cost ~512 MB before the scheduler even starts, and a
+		// bounded set of task types is also what the class-grouped ready
+		// queue exploits at scale (64 distinct vectors here).
+		in = gen.InstanceShared(g, gen.FamilyMixed, sc.m, 64, rng)
+	} else {
+		in = gen.Instance(g, gen.FamilyMixed, sc.m, rng)
+	}
 	alloc := make([]int, g.N())
 	for j := range alloc {
 		if sc.maxCap == 0 {
@@ -356,6 +384,10 @@ func BenchmarkList(b *testing.B) {
 		b.Run(sc.name, func(b *testing.B) {
 			in, alloc := sc.build(b)
 			ws := listsched.NewWorkspace()
+			if _, err := listsched.RunWith(in, alloc, ws); err != nil {
+				b.Fatal(err) // warm-up growth outside the timed loop
+			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := listsched.RunWith(in, alloc, ws); err != nil {

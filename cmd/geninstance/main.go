@@ -5,6 +5,15 @@
 // DAG families: chain, independent, forkjoin, layered, outtree, erdos,
 // seriesparallel, cholesky. Task families: powerlaw, amdahl, capped,
 // random, mixed.
+//
+// Huge instances (10^5-10^6 tasks) are practical with -distinct: tasks then
+// share processing-time vectors drawn from a pool of that size (unnamed, as
+// gen.TasksShared), so generation and the JSON stay linear in n rather than
+// n*m per-task vectors. -width widens the layered family beyond the default
+// 3-task layers:
+//
+//	geninstance -dag independent -n 1000000 -m 64 -distinct 64 > huge.json
+//	geninstance -dag layered -n 100000 -width 20 -m 256 -distinct 64 > wide.json
 package main
 
 import (
@@ -25,6 +34,8 @@ func main() {
 	m := flag.Int("m", 8, "machine size")
 	seed := flag.Int64("seed", 1, "random seed")
 	p := flag.Float64("p", 0.3, "edge probability (erdos)")
+	width := flag.Int("width", 3, "layer width (layered)")
+	distinct := flag.Int("distinct", 0, "share processing-time vectors from a pool of this size (0 = per-task vectors)")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -37,7 +48,10 @@ func main() {
 	case "forkjoin":
 		g = gen.ForkJoin(*n - 2)
 	case "layered":
-		w := 3
+		w := *width
+		if w < 1 {
+			w = 1
+		}
 		d := (*n + w - 1) / w
 		g = gen.Layered(d, w, 2, rng)
 	case "outtree":
@@ -70,7 +84,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	inst := &malsched.Instance{M: *m, Tasks: gen.Tasks(fam, g.N(), *m, rng)}
+	var tasks []malsched.Task
+	if *distinct > 0 {
+		tasks = gen.TasksShared(fam, g.N(), *m, *distinct, rng)
+	} else {
+		tasks = gen.Tasks(fam, g.N(), *m, rng)
+	}
+	inst := &malsched.Instance{M: *m, Tasks: tasks}
 	for _, e := range g.Edges() {
 		inst.Edges = append(inst.Edges, e)
 	}

@@ -3,7 +3,7 @@
 // adaptive solver routing (see internal/server and DESIGN.md §8).
 //
 //	malschedd [-addr :8080] [-workers 0] [-cache-entries 4096]
-//	          [-cache-shards 16] [-max-jobs 1024]
+//	          [-cache-shards 16] [-max-jobs 1024] [-max-body 268435456]
 //
 // Endpoints:
 //
@@ -39,6 +39,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 4096, "resident solution cache bound (negative disables)")
 	cacheShards := flag.Int("cache-shards", 16, "cache shard count")
 	maxJobs := flag.Int("max-jobs", 1024, "finished async jobs kept queryable")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 256 MiB default; raise for million-task instances, negative disables)")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	flag.Parse()
 
@@ -47,6 +48,7 @@ func main() {
 		CacheEntries: *cacheEntries,
 		CacheShards:  *cacheShards,
 		MaxJobs:      *maxJobs,
+		MaxBodyBytes: *maxBody,
 	})
 	defer srv.Close()
 	expvar.Publish("malsched", srv.Stats())

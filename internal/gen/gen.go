@@ -71,6 +71,49 @@ func Tasks(family TaskFamily, n, m int, rng *rand.Rand) []malleable.Task {
 	return out
 }
 
+// TasksShared draws n tasks whose processing-time vectors are shared: only
+// `distinct` m-length vectors are allocated and every task aliases one of
+// them, with empty names. At n=10^6 and m=64 per-task vectors would
+// cost ~512 MB; sharing makes million-task instances cheap to hold while
+// drawing from the same families as Tasks. Tasks must therefore be treated
+// as read-only by anything consuming the instance (everything here does).
+func TasksShared(family TaskFamily, n, m, distinct int, rng *rand.Rand) []malleable.Task {
+	if distinct < 1 {
+		distinct = 1
+	}
+	vecs := make([][]float64, distinct)
+	for i := range vecs {
+		p1 := 1 + 99*rng.Float64()
+		f := family
+		if f == FamilyMixed {
+			f = TaskFamily(rng.Intn(4))
+		}
+		var t malleable.Task
+		switch f {
+		case FamilyPowerLaw:
+			t = malleable.PowerLaw("", p1, 0.3+0.7*rng.Float64(), m)
+		case FamilyAmdahl:
+			t = malleable.Amdahl("", p1, 0.4*rng.Float64(), m)
+		case FamilyCapped:
+			t = malleable.CappedLinear("", p1, 1+rng.Intn(m), m)
+		default:
+			t = malleable.RandomConcave("", p1, m, rng)
+		}
+		vecs[i] = t.Times
+	}
+	out := make([]malleable.Task, n)
+	for j := range out {
+		out[j].Times = vecs[rng.Intn(distinct)]
+	}
+	return out
+}
+
+// InstanceShared is Instance with TasksShared vectors: the generator for
+// huge (10^5-10^6 task) instances.
+func InstanceShared(g *dag.DAG, family TaskFamily, m, distinct int, rng *rand.Rand) *allot.Instance {
+	return &allot.Instance{G: g, Tasks: TasksShared(family, g.N(), m, distinct, rng), M: m}
+}
+
 // Chain returns the path graph 0 -> 1 -> ... -> n-1 (worst case for
 // parallelism: L dominates).
 func Chain(n int) *dag.DAG {

@@ -1,0 +1,129 @@
+package listsched
+
+import (
+	"fmt"
+
+	"malsched/internal/allot"
+	"malsched/internal/schedule"
+)
+
+// RunLazyHeap is the previous phase-2 scheduler, retained as a differential
+// oracle: a ready heap of per-task entries whose cached starts are
+// invalidated globally (by version stamp) on every commit and recomputed
+// lazily at pop time. It places every task at exactly the same start as
+// Run — the bucketed scheduler was built to be byte-identical to this one —
+// but degrades to Theta(n^2 log n) queue churn when every commit moves
+// every queued start (the independent_full adversarial shape). It always
+// runs with fresh buffers; use Run/RunWith everywhere outside tests and
+// benchmarks.
+func RunLazyHeap(in *allot.Instance, alloc []int) (*schedule.Schedule, error) {
+	if err := validate(in, alloc); err != nil {
+		return nil, err
+	}
+	n := in.G.N()
+
+	// lazyEntry is one READY task: start is its earliest feasible start as
+	// of profile version stamp — exact when stamp is current, otherwise a
+	// lower bound (commits only ever raise the profile).
+	type lazyEntry struct {
+		start float64
+		task  int32
+		stamp uint32
+	}
+	less := func(a, b lazyEntry) bool {
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		return a.task < b.task
+	}
+	var heap []lazyEntry
+	push := func(e lazyEntry) {
+		heap = append(heap, e)
+		i := len(heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !less(heap[i], heap[parent]) {
+				break
+			}
+			heap[i], heap[parent] = heap[parent], heap[i]
+			i = parent
+		}
+	}
+	pop := func() lazyEntry {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(heap) && less(heap[l], heap[smallest]) {
+				smallest = l
+			}
+			if r < len(heap) && less(heap[r], heap[smallest]) {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			heap[i], heap[smallest] = heap[smallest], heap[i]
+			i = smallest
+		}
+		return top
+	}
+
+	var prof schedule.Profile
+	var version uint32
+	indeg := make([]int32, n)
+	ready := make([]float64, n)
+	dur := make([]float64, n)
+	s := &schedule.Schedule{M: in.M, Items: make([]schedule.Item, n)}
+	for j := 0; j < n; j++ {
+		indeg[j] = int32(len(in.G.Preds(j)))
+		dur[j] = in.Tasks[j].Time(alloc[j])
+		if indeg[j] == 0 {
+			// Empty profile: the earliest fit at ready time 0 is 0 exactly.
+			push(lazyEntry{start: 0, task: int32(j), stamp: version})
+		}
+	}
+
+	nsched := 0
+	for len(heap) > 0 {
+		e := pop()
+		j := int(e.task)
+		if e.stamp != version {
+			// Stale lower bound: recompute against the current profile and
+			// requeue, resuming the walk from the stale start (the true
+			// earliest fit is at least e.start).
+			from := ready[j]
+			if e.start > from {
+				from = e.start
+			}
+			e.start = prof.EarliestFit(in.M, from, dur[j], alloc[j])
+			e.stamp = version
+			push(e)
+			continue
+		}
+		it := schedule.Item{Task: j, Start: e.start, Duration: dur[j], Alloc: alloc[j]}
+		s.Items[j] = it
+		prof.Add(it.Start, it.End(), it.Alloc)
+		version++
+		nsched++
+		end := it.End()
+		for _, k := range in.G.Succs(j) {
+			if end > ready[k] {
+				ready[k] = end
+			}
+			if indeg[k]--; indeg[k] == 0 {
+				st := prof.EarliestFit(in.M, ready[k], dur[k], alloc[k])
+				push(lazyEntry{start: st, task: int32(k), stamp: version})
+			}
+		}
+	}
+	if nsched != n {
+		// Unreachable after validate (the DAG is acyclic), kept as a guard.
+		return nil, fmt.Errorf("listsched: no ready task (cycle?)")
+	}
+	return s, nil
+}

@@ -1,0 +1,83 @@
+package listsched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"malsched/internal/gen"
+)
+
+// TestRunMatchesLazyHeap is the second differential tier: RunReference is
+// quadratic in placed items and unusable past a few hundred tasks, so the
+// retained lazy-heap scheduler — itself pinned byte-identical to the
+// reference at small n — serves as the oracle at the sizes where the bucket
+// queue's wholesale advances and exactness fast paths actually engage.
+func TestRunMatchesLazyHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	ws := NewWorkspace() // shared: reuse must not leak state between shapes
+	for trial := 0; trial < 36; trial++ {
+		family := equivFamilies[trial%len(equivFamilies)]
+		n := 200 + rng.Intn(1800)
+		if testing.Short() && n > 600 {
+			n = 600
+		}
+		m := 4 + rng.Intn(125)
+		g := buildDAG(family, n, 0.002+0.02*rng.Float64(), rng)
+		in := gen.Instance(g, gen.FamilyMixed, m, rng)
+		alloc := make([]int, g.N())
+		for j := range alloc {
+			alloc[j] = 1 + rng.Intn(m)
+		}
+		t.Run(fmt.Sprintf("%s_n%d_m%d", family, g.N(), m), func(t *testing.T) {
+			want, err := RunLazyHeap(in, alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunWith(in, alloc, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSchedule(t, got, want)
+		})
+	}
+}
+
+// TestRunMatchesLazyHeapSaturated drives the adversarial independent_full
+// shape (every task allotted the whole machine) at a size where the lazy
+// heap's global invalidation is already expensive but still tractable, plus
+// near-saturated variants where tasks pack two abreast — shapes that
+// exercise the wholesale bucket advance on every commit.
+func TestRunMatchesLazyHeapSaturated(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	ws := NewWorkspace()
+	for _, cfg := range []struct {
+		name  string
+		n, m  int
+		aFrac float64 // allotment as a fraction of m
+	}{
+		{"full_n1000_m16", 1000, 16, 1.0},
+		{"half_n1000_m16", 1000, 16, 0.5},
+		{"full_n2000_m64", 2000, 64, 1.0},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			if testing.Short() && cfg.n > 1000 {
+				t.Skip("short mode")
+			}
+			in := gen.Instance(gen.Independent(cfg.n), gen.FamilyMixed, cfg.m, rng)
+			alloc := make([]int, cfg.n)
+			for j := range alloc {
+				alloc[j] = max(1, int(float64(cfg.m)*cfg.aFrac))
+			}
+			want, err := RunLazyHeap(in, alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := RunWith(in, alloc, ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSchedule(t, got, want)
+		})
+	}
+}

@@ -7,30 +7,45 @@
 // earliest feasible starting time is scheduled next, never moving previously
 // placed tasks (non-preemptive).
 //
-// The scheduler maintains the free-capacity profile incrementally (a
-// schedule.Profile updated in place as items are committed) and keeps READY
-// tasks in a priority queue keyed by their earliest feasible start, so each
-// task's placement walks the busy-processor step function from its ready
-// time instead of rescanning every placed item. The cost is
-// O((n + E) log n + n*steps) — steps being the profile size — plus the
-// queue maintenance for entries whose cached start a commit invalidates;
-// on typical DAG workloads few entries are invalidated per commit and the
-// total stays near-linear, while the adversarial extreme (every task
-// allotted the whole machine, so each commit moves every queued start)
-// degrades to Theta(n^2 log n) queue churn. Both regimes remain orders of
-// magnitude below the reference implementation's rescans (RunReference,
-// O(n^2) placed-item scans per task: ~700x slower on the saturated shape
-// already at n=500 — see the independent_full scenarios of BenchmarkList
-// and BenchmarkListReference — and ~2600x at n=1000). Both implementations place every task at the same start
-// time whenever distinct event times of the instance are separated by more
-// than the reference's 1e-9 capacity-check tolerance (the profile scheduler
-// is exact; the reference blurs sub-eps gaps) — which holds for every real
-// workload here and is enforced on random and canned instances by
-// differential tests.
+// The scheduler maintains the busy-processor profile incrementally (a
+// schedule.Profile over a tiered, chunked timeline) and keeps READY tasks in
+// a calendar queue keyed by their cached earliest feasible start: one bucket
+// per distinct start time with a min-heap of bucket keys on top, and inside
+// each bucket the tasks grouped by (duration, allotment) equivalence class,
+// each group a min-heap of task indices. Cached starts are lower bounds
+// (committing an item only ever raises the profile), so the queue reproduces
+// the (start, task-index) selection of the reference implementation exactly:
+// the head is re-verified against the current profile before every commit.
+//
+// The grouping is what makes re-verification cheap. Tasks of one class are
+// interchangeable to EarliestFit, so one probe settles a whole group: it
+// either commits the group's smallest index at the bucket key or moves the
+// entire group — an O(1) slice splice, not a per-task reshuffle — to its
+// exact new start. Each bucket also keeps conservative min-duration and
+// min-allotment aggregates, so a bucket whose easiest member cannot start at
+// its key advances wholesale without touching any group. A commit therefore
+// touches only the buckets its profile raise actually shifted. The previous
+// per-entry lazy heap (retained as RunLazyHeap) recomputed one task per pop:
+// on shapes where every commit moves every queued start — independent tasks
+// allotted the whole machine, Theta(n^2 log n) there; mixed allotments from
+// a bounded class set, quadratic per-task churn — the calendar queue does
+// one bucket move or one group splice instead, O((n + E + B log n)) with B
+// the number of group moves (B is one per commit on the saturated shape, and
+// bounded by distinct classes per congestion region on mixed shapes). When
+// every task has a distinct (duration, allotment) pair the groups degenerate
+// to singletons and the behaviour matches the lazy heap. Both
+// implementations place every task at the same start time whenever distinct
+// event times of the instance are separated by more than the reference's
+// 1e-9 capacity-check tolerance (the profile scheduler is exact; the
+// reference blurs sub-eps gaps) — which holds for every real workload here
+// and is enforced on random and canned instances by differential tests.
 package listsched
 
 import (
 	"fmt"
+	"math"
+	"runtime"
+	"sync"
 
 	"malsched/internal/allot"
 	"malsched/internal/schedule"
@@ -48,28 +63,81 @@ func CapAllotment(alpha []int, mu int) []int {
 	return out
 }
 
-// entry is one READY task in the priority queue. start is its earliest
-// feasible start time as of profile version stamp: exact when stamp equals
-// the current version, and otherwise a lower bound, because committing an
-// item only ever raises the profile and can only push starts later.
-type entry struct {
-	start float64
-	task  int32
+// classKey identifies an equivalence class of tasks for EarliestFit: two
+// READY tasks with the same duration and allotment have the same earliest
+// feasible start from any common lower bound.
+type classKey struct {
+	dur  float64
+	need int32
+}
+
+// group is all tasks of one class filed under one bucket, a min-heap by
+// task index. When stamp equals the workspace commit epoch the bucket key
+// is the exact earliest start of every member; otherwise it is a lower
+// bound.
+type group struct {
+	class int32
 	stamp uint32
+	tasks []int32
+}
+
+// bucket is one rung of the calendar queue: every READY task whose cached
+// earliest start is key, as class groups. minDur/minNeed are conservative
+// aggregates — lower bounds over the members, tightened on arrival and
+// never recomputed on removal — valid for wholesale advancing because
+// EarliestFit is monotone in both duration and allotment. advT records the
+// commit epoch of the bucket's last wholesale probe, so each bucket is
+// probed at most once per commit.
+//
+// Groups live in stable slots and gheap orders the slot ids as a min-heap
+// by group head (smallest task index), with pos tracking each slot's heap
+// position. Stable ids keep the class-lookup map (gpos) untouched by heap
+// sifts, and sifts themselves swap int32s; finding the next candidate
+// group is O(1) where a flat scan over frontier buckets holding hundreds
+// of classes was the dominant cost.
+type bucket struct {
+	key     float64
+	minDur  float64
+	minNeed int32
+	advT    uint32
+	live    bool
+	slots   []group
+	free    []int32
+	gheap   []int32
+	pos     []int32 // pos[slot] = index into gheap
+}
+
+// handle is one entry of the bucket-key min-heap. Handles are invalidated
+// lazily: a handle is stale when its bucket died or moved to another key
+// (live buckets have unique keys, so key equality identifies the match).
+type handle struct {
+	key float64
+	b   int32
 }
 
 // Workspace holds the reusable scheduler state: the capacity profile, the
-// ready queue and the per-task arrays. All of it is grown geometrically and
-// reused across runs, so a warm RunWith does near-zero allocation beyond
-// the returned schedule. A Workspace is owned by one goroutine at a time;
-// it is not safe for concurrent use.
+// calendar queue and the per-task arrays. All of it is flat int32/float64
+// storage grown geometrically and reused across runs, so a warm RunWith
+// does near-zero allocation beyond the returned schedule. A Workspace is
+// owned by one goroutine at a time; it is not safe for concurrent use.
 type Workspace struct {
-	prof    schedule.Profile
-	heap    []entry
-	indeg   []int32
-	ready   []float64
-	dur     []float64
-	version uint32
+	prof  schedule.Profile
+	indeg []int32
+	ready []float64
+	dur   []float64
+
+	classKeys map[classKey]int32
+	classDur  []float64
+	classNeed []int32
+
+	buckets []bucket
+	used    int32 // buckets handed out since reset (freeb aside)
+	freeb   []int32
+	byKey   map[float64]int32
+	gpos    map[int64]int32 // bucket<<32|class -> index into bucket.groups
+	handles []handle
+	pool    [][]int32 // recycled group task heaps
+	curT    uint32
 }
 
 // NewWorkspace returns an empty workspace ready for RunWith. The zero
@@ -78,8 +146,35 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 
 func (ws *Workspace) reset(n int) {
 	ws.prof.Reset()
-	ws.heap = ws.heap[:0]
-	ws.version = 0
+	for i := int32(0); i < ws.used; i++ {
+		b := &ws.buckets[i]
+		for _, si := range b.gheap {
+			ws.pool = append(ws.pool, b.slots[si].tasks[:0])
+		}
+		for si := range b.slots {
+			b.slots[si] = group{}
+		}
+		b.slots = b.slots[:0]
+		b.free = b.free[:0]
+		b.gheap = b.gheap[:0]
+		b.pos = b.pos[:0]
+		b.live = false
+	}
+	ws.used = 0
+	ws.freeb = ws.freeb[:0]
+	ws.handles = ws.handles[:0]
+	ws.classDur = ws.classDur[:0]
+	ws.classNeed = ws.classNeed[:0]
+	if ws.byKey == nil {
+		ws.byKey = make(map[float64]int32)
+		ws.gpos = make(map[int64]int32)
+		ws.classKeys = make(map[classKey]int32)
+	} else {
+		clear(ws.byKey)
+		clear(ws.gpos)
+		clear(ws.classKeys)
+	}
+	ws.curT = 0
 	if cap(ws.indeg) < n {
 		// Grow geometrically so a pooled workspace fed ever-larger
 		// instances amortises the per-task arrays instead of reallocating
@@ -100,58 +195,355 @@ func (ws *Workspace) reset(n int) {
 	}
 }
 
-// less orders the ready queue by earliest start, ties broken by smaller
-// task index — the same deterministic rule the reference implementation
-// applies when scanning tasks in index order.
-func less(a, b entry) bool {
-	if a.start != b.start {
-		return a.start < b.start
+// normKey folds -0.0 into +0.0 so float64 map keys compare like the float
+// values do.
+func normKey(k float64) float64 {
+	if k == 0 {
+		return 0
 	}
-	return a.task < b.task
+	return k
 }
 
-func (ws *Workspace) push(e entry) {
-	ws.heap = append(ws.heap, e)
-	h := ws.heap
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !less(h[i], h[parent]) {
+func gposKey(bi, class int32) int64 { return int64(bi)<<32 | int64(class) }
+
+// classID interns a (duration, allotment) class.
+func (ws *Workspace) classID(dur float64, need int32) int32 {
+	ck := classKey{dur, need}
+	if c, ok := ws.classKeys[ck]; ok {
+		return c
+	}
+	c := int32(len(ws.classDur))
+	ws.classKeys[ck] = c
+	ws.classDur = append(ws.classDur, dur)
+	ws.classNeed = append(ws.classNeed, need)
+	return c
+}
+
+// newBucket hands out a dead-pool or fresh bucket keyed k, with aggregates
+// primed for min-tightening by arrivals.
+func (ws *Workspace) newBucket(k float64) int32 {
+	var bi int32
+	if n := len(ws.freeb); n > 0 {
+		bi = ws.freeb[n-1]
+		ws.freeb = ws.freeb[:n-1]
+	} else {
+		if int(ws.used) == len(ws.buckets) {
+			ws.buckets = append(ws.buckets, bucket{})
+		}
+		bi = ws.used
+		ws.used++
+	}
+	b := &ws.buckets[bi]
+	b.key = k
+	b.minDur = math.Inf(1)
+	b.minNeed = math.MaxInt32
+	b.advT = ws.curT
+	b.live = true
+	b.slots = b.slots[:0]
+	b.free = b.free[:0]
+	b.gheap = b.gheap[:0]
+	b.pos = b.pos[:0]
+	return bi
+}
+
+// siftUp restores the group heap upward from heap index hi.
+func siftUp(b *bucket, hi int) {
+	for hi > 0 {
+		parent := (hi - 1) / 2
+		if b.slots[b.gheap[hi]].tasks[0] >= b.slots[b.gheap[parent]].tasks[0] {
 			break
 		}
-		h[i], h[parent] = h[parent], h[i]
+		b.gheap[hi], b.gheap[parent] = b.gheap[parent], b.gheap[hi]
+		b.pos[b.gheap[hi]] = int32(hi)
+		b.pos[b.gheap[parent]] = int32(parent)
+		hi = parent
+	}
+}
+
+// siftDown restores the group heap downward from heap index hi.
+func siftDown(b *bucket, hi int) {
+	for {
+		l, r := 2*hi+1, 2*hi+2
+		smallest := hi
+		if l < len(b.gheap) && b.slots[b.gheap[l]].tasks[0] < b.slots[b.gheap[smallest]].tasks[0] {
+			smallest = l
+		}
+		if r < len(b.gheap) && b.slots[b.gheap[r]].tasks[0] < b.slots[b.gheap[smallest]].tasks[0] {
+			smallest = r
+		}
+		if smallest == hi {
+			break
+		}
+		b.gheap[hi], b.gheap[smallest] = b.gheap[smallest], b.gheap[hi]
+		b.pos[b.gheap[hi]] = int32(hi)
+		b.pos[b.gheap[smallest]] = int32(smallest)
+		hi = smallest
+	}
+}
+
+// addSlot files group g in a fresh slot of b and pushes it onto the group
+// heap, returning the slot id.
+func addSlot(b *bucket, g group) int32 {
+	var si int32
+	if n := len(b.free); n > 0 {
+		si = b.free[n-1]
+		b.free = b.free[:n-1]
+		b.slots[si] = g
+	} else {
+		si = int32(len(b.slots))
+		b.slots = append(b.slots, g)
+		b.pos = append(b.pos, 0)
+	}
+	b.gheap = append(b.gheap, si)
+	b.pos[si] = int32(len(b.gheap) - 1)
+	siftUp(b, len(b.gheap)-1)
+	return si
+}
+
+// dropSlot detaches slot si from b's group heap and frees the slot; the
+// caller has already copied the group out.
+func dropSlot(b *bucket, si int32) {
+	hi := int(b.pos[si])
+	last := len(b.gheap) - 1
+	if hi != last {
+		b.gheap[hi] = b.gheap[last]
+		b.pos[b.gheap[hi]] = int32(hi)
+	}
+	b.gheap = b.gheap[:last]
+	if hi < last {
+		siftDown(b, hi)
+		siftUp(b, hi)
+	}
+	b.slots[si] = group{}
+	b.free = append(b.free, si)
+}
+
+// bucketAt returns the live bucket keyed k, creating (and publishing a
+// handle for) one if needed.
+func (ws *Workspace) bucketAt(k float64) int32 {
+	k = normKey(k)
+	if bi, ok := ws.byKey[k]; ok {
+		return bi
+	}
+	bi := ws.newBucket(k)
+	ws.byKey[k] = bi
+	ws.pushHandle(handle{key: k, b: bi})
+	return bi
+}
+
+// kill retires an emptied bucket.
+func (ws *Workspace) kill(bi int32) {
+	b := &ws.buckets[bi]
+	b.live = false
+	delete(ws.byKey, b.key)
+	ws.freeb = append(ws.freeb, bi)
+}
+
+// pushHandle inserts a bucket-key handle into the min-heap.
+func (ws *Workspace) pushHandle(h handle) {
+	ws.handles = append(ws.handles, h)
+	hs := ws.handles
+	i := len(hs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if hs[i].key >= hs[parent].key {
+			break
+		}
+		hs[i], hs[parent] = hs[parent], hs[i]
 		i = parent
 	}
 }
 
-func (ws *Workspace) pop() entry {
-	h := ws.heap
-	top := h[0]
-	last := len(h) - 1
-	h[0] = h[last]
-	ws.heap = h[:last]
-	h = ws.heap
+func (ws *Workspace) popHandle() {
+	hs := ws.handles
+	last := len(hs) - 1
+	hs[0] = hs[last]
+	ws.handles = hs[:last]
+	hs = ws.handles
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < len(h) && less(h[l], h[smallest]) {
+		if l < len(hs) && hs[l].key < hs[smallest].key {
 			smallest = l
 		}
-		if r < len(h) && less(h[r], h[smallest]) {
+		if r < len(hs) && hs[r].key < hs[smallest].key {
 			smallest = r
 		}
 		if smallest == i {
 			break
 		}
-		h[i], h[smallest] = h[smallest], h[i]
+		hs[i], hs[smallest] = hs[smallest], hs[i]
 		i = smallest
 	}
-	return top
+}
+
+// pushTask inserts task j into a group's index-ordered min-heap.
+func pushTask(tasks []int32, j int32) []int32 {
+	tasks = append(tasks, j)
+	i := len(tasks) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if tasks[i] >= tasks[parent] {
+			break
+		}
+		tasks[i], tasks[parent] = tasks[parent], tasks[i]
+		i = parent
+	}
+	return tasks
+}
+
+func popTask(tasks []int32) []int32 {
+	last := len(tasks) - 1
+	tasks[0] = tasks[last]
+	tasks = tasks[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(tasks) && tasks[l] < tasks[smallest] {
+			smallest = l
+		}
+		if r < len(tasks) && tasks[r] < tasks[smallest] {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		tasks[i], tasks[smallest] = tasks[smallest], tasks[i]
+		i = smallest
+	}
+	return tasks
+}
+
+// insertTask files a newly READY task under its freshly computed exact
+// start k. Joining a group re-certifies it: a window at k fits the class
+// now, and every member's cached bound is k, so the whole group is exact.
+func (ws *Workspace) insertTask(j int32, k float64, need int32) {
+	c := ws.classID(ws.dur[j], need)
+	bi := ws.bucketAt(k)
+	b := &ws.buckets[bi]
+	if d := ws.classDur[c]; d < b.minDur {
+		b.minDur = d
+	}
+	if need < b.minNeed {
+		b.minNeed = need
+	}
+	pk := gposKey(bi, c)
+	if si, ok := ws.gpos[pk]; ok {
+		g := &b.slots[si]
+		g.tasks = pushTask(g.tasks, j)
+		g.stamp = ws.curT
+		if g.tasks[0] == j {
+			siftUp(b, int(b.pos[si])) // head decreased
+		}
+		return
+	}
+	var ts []int32
+	if n := len(ws.pool); n > 0 {
+		ts = ws.pool[n-1]
+		ws.pool = ws.pool[:n-1]
+	}
+	ws.gpos[pk] = addSlot(b, group{class: c, stamp: ws.curT, tasks: append(ts, j)})
+}
+
+// removeGroup detaches the group in slot si from bucket bi (the bucket's
+// aggregates stay conservatively small) and returns it.
+func (ws *Workspace) removeGroup(bi, si int32) group {
+	b := &ws.buckets[bi]
+	g := b.slots[si]
+	delete(ws.gpos, gposKey(bi, g.class))
+	dropSlot(b, si)
+	return g
+}
+
+// addGroup files group g under bucket bi, splicing it in whole or merging
+// (smaller heap into larger) with the bucket's existing group of the same
+// class. exact reports that g's members are known to start exactly at the
+// bucket key; merging with an exact side certifies both — the class fits at
+// the key now, and every member's cached bound is at least the key.
+func (ws *Workspace) addGroup(bi int32, g group, exact bool) {
+	b := &ws.buckets[bi]
+	if d := ws.classDur[g.class]; d < b.minDur {
+		b.minDur = d
+	}
+	if nd := ws.classNeed[g.class]; nd < b.minNeed {
+		b.minNeed = nd
+	}
+	pk := gposKey(bi, g.class)
+	if si, ok := ws.gpos[pk]; ok {
+		dst := &b.slots[si]
+		exact = exact || dst.stamp == ws.curT
+		prevHead := dst.tasks[0]
+		small, big := g.tasks, dst.tasks
+		if len(small) > len(big) {
+			small, big = big, small
+		}
+		for _, t := range small {
+			big = pushTask(big, t)
+		}
+		dst.tasks = big
+		ws.pool = append(ws.pool, small[:0])
+		if exact {
+			dst.stamp = ws.curT
+		}
+		if dst.tasks[0] != prevHead {
+			siftUp(b, int(b.pos[si])) // head decreased
+		}
+		return
+	}
+	if exact {
+		g.stamp = ws.curT
+	}
+	ws.gpos[pk] = addSlot(b, g)
+}
+
+// moveBucket advances bucket bi wholesale to key k (> its current key):
+// every cached start in it is raised to k, still a valid lower bound
+// because the wholesale probe used the bucket's aggregate lower bounds.
+// Without a bucket at k this is an O(1) rekey.
+func (ws *Workspace) moveBucket(bi int32, k float64) {
+	k = normKey(k)
+	b := &ws.buckets[bi]
+	delete(ws.byKey, b.key)
+	if di, ok := ws.byKey[k]; ok {
+		for len(b.gheap) > 0 {
+			// Detaching the heap's last entry keeps every drop O(1).
+			si := b.gheap[len(b.gheap)-1]
+			ws.addGroup(di, ws.removeGroup(bi, si), false)
+		}
+		b.live = false
+		ws.freeb = append(ws.freeb, bi)
+		return
+	}
+	b.key = k
+	ws.byKey[k] = bi
+	ws.pushHandle(handle{key: k, b: bi})
+}
+
+// popHead removes the head task of the group in slot si of bucket bi,
+// retiring the group and the bucket as they empty; died reports that the
+// bucket was killed (its top-of-heap handle is the caller's to pop).
+func (ws *Workspace) popHead(bi, si int32) (j int32, died bool) {
+	b := &ws.buckets[bi]
+	g := &b.slots[si]
+	j = g.tasks[0]
+	g.tasks = popTask(g.tasks)
+	if len(g.tasks) == 0 {
+		gg := ws.removeGroup(bi, si)
+		ws.pool = append(ws.pool, gg.tasks[:0])
+		if len(b.gheap) == 0 {
+			ws.kill(bi)
+			return j, true
+		}
+	} else {
+		siftDown(b, int(b.pos[si])) // head increased
+	}
+	return j, false
 }
 
 // validate checks the allotment vector and the precedence graph, shared by
-// Run and RunReference.
+// Run, RunLazyHeap and RunReference.
 func validate(in *allot.Instance, alloc []int) error {
 	n := in.G.N()
 	if len(alloc) != n {
@@ -165,6 +557,41 @@ func validate(in *allot.Instance, alloc []int) error {
 	return in.G.Validate()
 }
 
+// parallelPrepMin is the task count from which the initial per-task pass
+// (in-degrees and allotted durations) fans out over spare processors.
+const parallelPrepMin = 100_000
+
+// prep fills indeg and dur for all tasks, in parallel past parallelPrepMin
+// when processors are spare. Both fills are pure per-task reads, so the
+// result is identical either way.
+func (ws *Workspace) prep(in *allot.Instance, alloc []int) {
+	n := in.G.N()
+	fill := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			ws.indeg[j] = int32(len(in.G.Preds(j)))
+			ws.dur[j] = in.Tasks[j].Time(alloc[j])
+		}
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if n < parallelPrepMin || procs < 2 {
+		fill(0, n)
+		return
+	}
+	if procs > 8 {
+		procs = 8
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		lo, hi := w*n/procs, (w+1)*n/procs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fill(lo, hi)
+		}()
+	}
+	wg.Wait()
+}
+
 // Run executes LIST: it schedules every task of the instance with the given
 // (already capped) allotment and returns a feasible schedule. It implements
 // Table 1 of the paper with deterministic tie-breaking (smaller task index
@@ -173,7 +600,7 @@ func Run(in *allot.Instance, alloc []int) (*schedule.Schedule, error) {
 	return RunWith(in, alloc, nil)
 }
 
-// RunWith is Run with a reusable workspace: the capacity profile, ready
+// RunWith is Run with a reusable workspace: the capacity profile, calendar
 // queue and per-task buffers live in ws and are reused across calls (a nil
 // ws runs with fresh buffers). The returned schedule never aliases
 // workspace memory.
@@ -186,51 +613,89 @@ func RunWith(in *allot.Instance, alloc []int, ws *Workspace) (*schedule.Schedule
 		ws = NewWorkspace()
 	}
 	ws.reset(n)
+	ws.prep(in, alloc)
 
 	s := &schedule.Schedule{M: in.M, Items: make([]schedule.Item, n)}
 	for j := 0; j < n; j++ {
-		ws.indeg[j] = int32(len(in.G.Preds(j)))
-		ws.dur[j] = in.Tasks[j].Time(alloc[j])
+		// Sources enter the (empty-profile) queue at start 0 exactly.
+		// Ascending order keeps every pushTask an O(1) append: the new
+		// element is never smaller than its heap parent.
 		if ws.indeg[j] == 0 {
-			// Empty profile: the earliest fit at ready time 0 is 0 exactly.
-			ws.push(entry{start: 0, task: int32(j), stamp: ws.version})
+			ws.insertTask(int32(j), 0, int32(alloc[j]))
 		}
 	}
 
 	nsched := 0
-	for len(ws.heap) > 0 {
-		e := ws.pop()
-		j := int(e.task)
-		if e.stamp != ws.version {
-			// Stale lower bound: recompute against the current profile and
-			// requeue. Because stale keys never overestimate, a fresh entry
-			// at the top of the queue is the true minimum — the task the
-			// reference implementation's full rescan would select. The walk
-			// resumes from the stale start rather than the ready time: the
-			// true earliest fit is at least e.start (commits only raise the
-			// profile), so the already-known-busy prefix is skipped.
-			from := ws.ready[j]
-			if e.start > from {
-				from = e.start
-			}
-			e.start = ws.prof.EarliestFit(in.M, from, ws.dur[j], alloc[j])
-			e.stamp = ws.version
-			ws.push(e)
+	for nsched < n && len(ws.handles) > 0 {
+		h := ws.handles[0]
+		bi := h.b
+		b := &ws.buckets[bi]
+		if !b.live || b.key != h.key {
+			ws.popHandle() // stale: bucket died or moved
 			continue
 		}
-		it := schedule.Item{Task: j, Start: e.start, Duration: ws.dur[j], Alloc: alloc[j]}
+		k := b.key
+
+		commitSi := int32(-1)
+		if last, ok := ws.prof.LastTime(); !ok || k >= last {
+			// The profile is empty from k on: every member of every group
+			// fits at k exactly; the smallest head commits.
+			commitSi = b.gheap[0]
+		} else {
+			if b.advT != ws.curT {
+				// One wholesale probe per bucket per epoch: if even the
+				// easiest member (shortest duration, smallest allotment)
+				// cannot start at k, the whole bucket advances at once.
+				b.advT = ws.curT
+				if st := ws.prof.EarliestFit(in.M, k, b.minDur, int(b.minNeed)); st > k {
+					ws.popHandle()
+					ws.moveBucket(bi, st)
+					continue
+				}
+			}
+			si := b.gheap[0]
+			g := &b.slots[si]
+			if g.stamp == ws.curT {
+				commitSi = si // certified this epoch: k is exact
+			} else {
+				// One probe settles the whole class: commit its head at k,
+				// or splice the group to its exact new start. Moved-away
+				// groups did not fit at k, so the next head is still the
+				// smallest index that can start at k.
+				st := ws.prof.EarliestFit(in.M, k, ws.classDur[g.class], int(ws.classNeed[g.class]))
+				if st == k {
+					g.stamp = ws.curT
+					commitSi = si
+				} else {
+					gg := ws.removeGroup(bi, si)
+					if len(b.gheap) == 0 {
+						ws.popHandle()
+						ws.kill(bi)
+					}
+					ws.addGroup(ws.bucketAt(st), gg, true)
+					continue
+				}
+			}
+		}
+
+		// Commit the head at k: it is the global minimum (start, index).
+		j, died := ws.popHead(bi, commitSi)
+		if died {
+			ws.popHandle()
+		}
+		it := schedule.Item{Task: int(j), Start: k, Duration: ws.dur[j], Alloc: alloc[j]}
 		s.Items[j] = it
 		ws.prof.Add(it.Start, it.End(), it.Alloc)
-		ws.version++
+		ws.curT++
 		nsched++
 		end := it.End()
-		for _, k := range in.G.Succs(j) {
-			if end > ws.ready[k] {
-				ws.ready[k] = end
+		for _, succ := range in.G.Succs(int(j)) {
+			if end > ws.ready[succ] {
+				ws.ready[succ] = end
 			}
-			if ws.indeg[k]--; ws.indeg[k] == 0 {
-				st := ws.prof.EarliestFit(in.M, ws.ready[k], ws.dur[k], alloc[k])
-				ws.push(entry{start: st, task: int32(k), stamp: ws.version})
+			if ws.indeg[succ]--; ws.indeg[succ] == 0 {
+				st := ws.prof.EarliestFit(in.M, ws.ready[succ], ws.dur[succ], alloc[succ])
+				ws.insertTask(int32(succ), st, int32(alloc[succ]))
 			}
 		}
 	}

@@ -1,16 +1,14 @@
 package schedule
 
-import "sort"
-
 // Profile is the canonical busy-processor timeline: a step function over
 // time maintained as strictly increasing breakpoints. It is the one event
 // sweep shared by the analysis tools (Schedule.Profile, Classify, HeavyPath
 // via Profile) and by the phase-2 LIST scheduler, which updates it in place
 // as items are committed and queries it for earliest feasible start times.
 //
-// Invariants: times is strictly increasing; busy[i] is the load on
-// [times[i], times[i+1]) and busy[len-1] the load on [times[last], +inf);
-// the load before times[0] is 0. After any sequence of well-formed Add
+// Invariants: breakpoints are strictly increasing; step i carries the load
+// on [t_i, t_{i+1}) and the final step the load on [t_last, +inf); the load
+// before the first breakpoint is 0. After any sequence of well-formed Add
 // calls (positive alloc over a finite interval) the final step's load is 0,
 // because every added interval ends at one of the breakpoints.
 //
@@ -19,46 +17,18 @@ import "sort"
 // when rendering Steps, never while maintaining the timeline, so the order
 // of operations can never make two sweeps disagree (the non-strict-weak-
 // order comparator bug the eps-tolerant sorts used to have).
+//
+// Internally the steps live in the tiered timeline (timeline.go): chunked
+// storage so Add is O(chunk + log k) instead of an O(k) array shift, with
+// per-chunk min/max load aggregates so EarliestFit skips whole chunks. The
+// chunking is invisible here: this type is a thin shim and its results are
+// bit-identical to the flat-array implementation it replaced.
 type Profile struct {
-	times []float64
-	busy  []int
+	tl timeline
 }
 
 // Reset empties the profile, keeping its capacity for reuse.
-func (p *Profile) Reset() {
-	p.times = p.times[:0]
-	p.busy = p.busy[:0]
-}
-
-// stepAt returns the greatest index i with times[i] <= t, or -1 when t lies
-// before the first breakpoint (where the load is 0).
-func (p *Profile) stepAt(t float64) int {
-	i := sort.SearchFloat64s(p.times, t)
-	if i < len(p.times) && p.times[i] == t {
-		return i
-	}
-	return i - 1
-}
-
-// ensureBreak inserts a breakpoint at exactly t if none exists and returns
-// its index. The new step inherits the load of the step containing t.
-func (p *Profile) ensureBreak(t float64) int {
-	i := sort.SearchFloat64s(p.times, t)
-	if i < len(p.times) && p.times[i] == t {
-		return i
-	}
-	level := 0
-	if i > 0 {
-		level = p.busy[i-1]
-	}
-	p.times = append(p.times, 0)
-	copy(p.times[i+1:], p.times[i:])
-	p.times[i] = t
-	p.busy = append(p.busy, 0)
-	copy(p.busy[i+1:], p.busy[i:])
-	p.busy[i] = level
-	return i
-}
+func (p *Profile) Reset() { p.tl.reset() }
 
 // Add raises the load by alloc on [start, end). Intervals without positive
 // extent — end <= start, NaN endpoints — or with alloc == 0 are ignored.
@@ -66,80 +36,66 @@ func (p *Profile) Add(start, end float64, alloc int) {
 	if !(end > start) || alloc == 0 { // negated so NaN endpoints are skipped too
 		return
 	}
-	i := p.ensureBreak(start)
-	j := p.ensureBreak(end) // j > i, and inserting end does not shift i
-	for k := i; k < j; k++ {
-		p.busy[k] += alloc
-	}
+	p.tl.ensureBreak(start)
+	p.tl.ensureBreak(end)
+	p.tl.addRange(start, end, int32(alloc))
 }
 
 // Build populates the profile from a complete set of items in one
 // O(k log k) pass: all start/end events are sorted once and swept, instead
-// of k incremental Adds whose array-shift insertions are quadratic when
-// items arrive out of time order. The resulting timeline is identical to
-// adding every item individually. Zero-load items (end <= start, NaN
-// endpoints, or alloc == 0) are skipped, as in Add.
+// of k incremental Adds whose insertions dominate when items arrive out of
+// time order. The resulting timeline is identical to adding every item
+// individually. Zero-load items (end <= start, NaN endpoints, or
+// alloc == 0) are skipped, as in Add. Past parallelSortMin events the sort
+// runs on spare processors; the swept result is identical either way.
 func (p *Profile) Build(items []Item) {
-	p.Reset()
-	type event struct {
-		t     float64
-		delta int
-	}
-	evs := make([]event, 0, 2*len(items))
+	p.tl.reset()
+	evs := make([]profileEvent, 0, 2*len(items))
 	for _, it := range items {
 		if !(it.End() > it.Start) || it.Alloc == 0 {
 			continue
 		}
-		evs = append(evs, event{it.Start, it.Alloc}, event{it.End(), -it.Alloc})
+		evs = append(evs,
+			profileEvent{it.Start, int32(it.Alloc)},
+			profileEvent{it.End(), int32(-it.Alloc)})
 	}
-	sort.Slice(evs, func(a, b int) bool { return evs[a].t < evs[b].t })
-	busy := 0
+	sortEvents(evs)
+	var busy int32
 	for i := 0; i < len(evs); {
 		t := evs[i].t
 		for i < len(evs) && evs[i].t == t {
 			busy += evs[i].delta
 			i++
 		}
-		p.times = append(p.times, t)
-		p.busy = append(p.busy, busy)
+		p.tl.appendStep(t, busy)
 	}
 }
 
 // EarliestFit returns the earliest time t >= ready such that need
 // processors are free throughout [t, t+dur) on a machine of m processors.
 // It walks the timeline from ready, restarting the window after every step
-// that violates capacity, so the cost is proportional to the number of
-// steps between ready and the returned start — not to the number of items
-// ever added. Requires 1 <= need <= m and dur > 0; the load beyond the last
-// breakpoint is 0 (see the type invariant), so a fit always exists.
+// that violates capacity — crossing whole chunks via their aggregates when
+// possible — so the cost is proportional to the number of chunks between
+// ready and the returned start, not to the number of items ever added.
+// Requires 1 <= need <= m and dur > 0; the load beyond the last breakpoint
+// is 0 (see the type invariant), so a fit always exists.
 func (p *Profile) EarliestFit(m int, ready, dur float64, need int) float64 {
-	t := ready
-	i := p.stepAt(t)
-	for {
-		fits := true
-		for j := i; ; j++ {
-			level := 0
-			if j >= 0 {
-				level = p.busy[j]
-			}
-			if level+need > m {
-				// A violating step always has a successor breakpoint:
-				// the final step's load is 0 and need <= m.
-				t = p.times[j+1]
-				i = j + 1
-				fits = false
-				break
-			}
-			// Step j extends to times[j+1] (or +inf for the last step).
-			if j+1 >= len(p.times) || p.times[j+1] >= t+dur {
-				break
-			}
-		}
-		if fits {
-			return t
-		}
-	}
+	return p.tl.earliestFit(m, ready, dur, need)
 }
+
+// LastTime returns the final breakpoint of the timeline; ok is false when
+// the profile is empty. By the type invariant the load is 0 from that point
+// on, so any window starting at or after it fits trivially — the phase-2
+// scheduler uses this as an O(1) fast path.
+func (p *Profile) LastTime() (float64, bool) { return p.tl.lastTime() }
+
+// Each walks the steps in time order, calling yield with each breakpoint
+// and the load that applies from it to the next breakpoint (0 from the last
+// one, for well-formed items). It stops early when yield returns false.
+func (p *Profile) Each(yield func(t float64, busy int) bool) { p.tl.each(yield) }
+
+// Len returns the number of breakpoints.
+func (p *Profile) Len() int { return p.tl.total }
 
 // Steps renders the profile as merged ProfileSteps over [0, last
 // breakpoint): breakpoints within timeEps of a window anchored at the
@@ -148,31 +104,32 @@ func (p *Profile) EarliestFit(m int, ready, dur float64, need int) float64 {
 // coalescing bounded — a chain of closely spaced breakpoints spanning more
 // than timeEps still yields distinct steps — and happens strictly after
 // the timeline is built, on an already totally ordered sequence, so it is
-// deterministic.
+// deterministic (and independent of where chunk boundaries fall).
 func (p *Profile) Steps() []ProfileStep {
-	if len(p.times) < 2 {
+	times, busy := p.flatten(nil, nil)
+	if len(times) < 2 {
 		return nil
 	}
 	var out []ProfileStep
 	prev := 0.0
-	busy := 0
-	for i := 0; i < len(p.times); {
-		t := p.times[i]
+	level := 0
+	for i := 0; i < len(times); {
+		t := times[i]
 		j := i
-		for j+1 < len(p.times) && p.times[j+1] <= t+timeEps {
+		for j+1 < len(times) && times[j+1] <= t+timeEps {
 			j++
 		}
 		if t > prev+timeEps {
-			if n := len(out); n > 0 && out[n-1].Busy == busy {
+			if n := len(out); n > 0 && out[n-1].Busy == level {
 				out[n-1].To = t
 			} else {
-				out = append(out, ProfileStep{From: prev, To: t, Busy: busy})
+				out = append(out, ProfileStep{From: prev, To: t, Busy: level})
 			}
 			prev = t
 		} else if t > prev {
 			prev = t
 		}
-		busy = p.busy[j]
+		level = busy[j]
 		i = j + 1
 	}
 	return out
@@ -180,11 +137,23 @@ func (p *Profile) Steps() []ProfileStep {
 
 // MaxBusy returns the peak load of the profile.
 func (p *Profile) MaxBusy() int {
-	max := 0
-	for _, b := range p.busy {
-		if b > max {
-			max = b
+	max := int32(0)
+	for _, c := range p.tl.order {
+		if p.tl.cmax[c] > max {
+			max = p.tl.cmax[c]
 		}
 	}
-	return max
+	return int(max)
+}
+
+// flatten appends the breakpoints and loads to the given slices (reused
+// across calls when capacity allows) and returns them.
+func (p *Profile) flatten(times []float64, busy []int) ([]float64, []int) {
+	times, busy = times[:0], busy[:0]
+	p.tl.each(func(t float64, b int) bool {
+		times = append(times, t)
+		busy = append(busy, b)
+		return true
+	})
+	return times, busy
 }

@@ -245,13 +245,15 @@ func TestProfileBuildMatchesIncrementalAdd(t *testing.T) {
 		}
 		var built Profile
 		built.Build(items)
-		if len(built.times) != len(inc.times) {
-			t.Fatalf("trial %d: Build %v/%v vs Add %v/%v", trial, built.times, built.busy, inc.times, inc.busy)
+		bt, bb := built.flatten(nil, nil)
+		it2, ib := inc.flatten(nil, nil)
+		if len(bt) != len(it2) {
+			t.Fatalf("trial %d: Build %v/%v vs Add %v/%v", trial, bt, bb, it2, ib)
 		}
-		for i := range built.times {
-			if built.times[i] != inc.times[i] || built.busy[i] != inc.busy[i] {
+		for i := range bt {
+			if bt[i] != it2[i] || bb[i] != ib[i] {
 				t.Fatalf("trial %d breakpoint %d: Build (%v,%d) vs Add (%v,%d)",
-					trial, i, built.times[i], built.busy[i], inc.times[i], inc.busy[i])
+					trial, i, bt[i], bb[i], it2[i], ib[i])
 			}
 		}
 	}

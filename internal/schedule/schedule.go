@@ -104,24 +104,31 @@ func (s *Schedule) Verify(g *dag.DAG) error {
 	worst := 0
 	overFrom, forgiven := 0.0, 0.0
 	over := false
-	for i, load := range p.busy {
-		// load applies on [times[i], times[i+1]); the final step's load is
-		// 0 (every item ends at a breakpoint), closing any open interval.
+	var overErr error
+	p.Each(func(t float64, load int) bool {
+		// load applies from breakpoint t to the next one; the final step's
+		// load is 0 (every item ends at a breakpoint), closing any open
+		// interval.
 		if load > s.M {
 			if !over {
-				over, overFrom, worst = true, p.times[i], load
+				over, overFrom, worst = true, t, load
 			} else if load > worst {
 				worst = load
 			}
 		} else if over {
 			over = false
-			forgiven += p.times[i] - overFrom
+			forgiven += t - overFrom
 			if forgiven > timeEps {
-				return fmt.Errorf("%w: accumulated overload %v exceeds tolerance %v "+
+				overErr = fmt.Errorf("%w: accumulated overload %v exceeds tolerance %v "+
 					"(last interval [%v, %v) with %d busy, m=%d)",
-					ErrCapacity, forgiven, timeEps, overFrom, p.times[i], worst, s.M)
+					ErrCapacity, forgiven, timeEps, overFrom, t, worst, s.M)
+				return false
 			}
 		}
+		return true
+	})
+	if overErr != nil {
+		return overErr
 	}
 	// Precedence.
 	for _, e := range g.Edges() {

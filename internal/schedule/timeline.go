@@ -1,0 +1,412 @@
+package schedule
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// The tiered timeline behind Profile: breakpoints live in fixed-stride
+// chunks (B-tree-leaf style) so an insertion shifts at most one chunk
+// instead of the whole array, and every chunk carries min/max load
+// aggregates plus a lazily applied load offset, so EarliestFit can accept
+// or reject a whole chunk in O(1) and Add can raise a fully covered chunk
+// in O(1). All time arithmetic stays exact float64, identical to the flat
+// array it replaces: chunking changes where steps are stored, never how
+// they are compared.
+
+// chunkCap is the slab stride: every chunk owns chunkCap step slots and
+// splits into two half-full chunks when an insertion finds it full
+// (appends past the final breakpoint start a fresh chunk instead, so a
+// rightward-growing profile never split-chains).
+const chunkCap = 256
+
+var (
+	zeroSlabT [chunkCap]float64
+	zeroSlabB [chunkCap]int32
+)
+
+// timeline is the chunked store. Chunk c owns
+// slabT/slabB[c*chunkCap : c*chunkCap+cnum[c]]; slabB holds raw loads and
+// the true load of a step is raw + coff of its chunk. The directory
+// (order, first) lists chunk ids in time order with a copy of each
+// chunk's first breakpoint, kept in its own flat array so the binary
+// search touches contiguous memory.
+type timeline struct {
+	slabT []float64
+	slabB []int32
+	cnum  []int32
+	coff  []int32
+	cmin  []int32 // true (offset-applied) min load of the chunk
+	cmax  []int32 // true max load of the chunk
+	order []int32
+	first []float64
+	used  int32 // chunk ids handed out since the last reset
+	total int   // live step count across all chunks
+}
+
+func (tl *timeline) reset() {
+	tl.order = tl.order[:0]
+	tl.first = tl.first[:0]
+	tl.used = 0
+	tl.total = 0
+}
+
+// newChunk hands out an empty chunk id, growing the slabs geometrically
+// (append doubling) the first time each id is used.
+func (tl *timeline) newChunk() int32 {
+	c := tl.used
+	tl.used++
+	if int(c) == len(tl.cnum) {
+		tl.slabT = append(tl.slabT, zeroSlabT[:]...)
+		tl.slabB = append(tl.slabB, zeroSlabB[:]...)
+		tl.cnum = append(tl.cnum, 0)
+		tl.coff = append(tl.coff, 0)
+		tl.cmin = append(tl.cmin, 0)
+		tl.cmax = append(tl.cmax, 0)
+	} else {
+		tl.cnum[c], tl.coff[c], tl.cmin[c], tl.cmax[c] = 0, 0, 0, 0
+	}
+	return c
+}
+
+// find returns the directory index oi and step index si of the greatest
+// breakpoint <= t, or (-1, -1) when t lies before every breakpoint (where
+// the load is 0).
+func (tl *timeline) find(t float64) (int, int) {
+	oi := sort.Search(len(tl.first), func(i int) bool { return tl.first[i] > t }) - 1
+	if oi < 0 {
+		return -1, -1
+	}
+	c := tl.order[oi]
+	base := int(c) * chunkCap
+	steps := tl.slabT[base : base+int(tl.cnum[c])]
+	si := sort.SearchFloat64s(steps, t)
+	if si < len(steps) && steps[si] == t {
+		return oi, si
+	}
+	return oi, si - 1 // >= 0: steps[0] == first[oi] <= t
+}
+
+// recalc rebuilds the min/max aggregates of chunk c from its raw loads.
+func (tl *timeline) recalc(c int32) {
+	base := int(c) * chunkCap
+	raw := tl.slabB[base : base+int(tl.cnum[c])]
+	mn, mx := raw[0], raw[0]
+	for _, b := range raw[1:] {
+		if b < mn {
+			mn = b
+		}
+		if b > mx {
+			mx = b
+		}
+	}
+	tl.cmin[c], tl.cmax[c] = mn+tl.coff[c], mx+tl.coff[c]
+}
+
+// insert places a new step (t, level) at position si of chunk order[oi].
+// level is the true load; the caller guarantees the chunk has room.
+func (tl *timeline) insert(oi, si int, t float64, level int32) {
+	c := tl.order[oi]
+	base := int(c) * chunkCap
+	n := int(tl.cnum[c])
+	copy(tl.slabT[base+si+1:base+n+1], tl.slabT[base+si:base+n])
+	copy(tl.slabB[base+si+1:base+n+1], tl.slabB[base+si:base+n])
+	tl.slabT[base+si] = t
+	tl.slabB[base+si] = level - tl.coff[c]
+	tl.cnum[c]++
+	tl.total++
+	if level < tl.cmin[c] {
+		tl.cmin[c] = level
+	}
+	if level > tl.cmax[c] {
+		tl.cmax[c] = level
+	}
+	if si == 0 {
+		tl.first[oi] = t
+	}
+}
+
+// split divides the full chunk at directory position oi into two half-full
+// chunks, inserting the upper half into the directory at oi+1.
+func (tl *timeline) split(oi int) {
+	c := tl.order[oi]
+	d := tl.newChunk() // may grow the slabs; take bases afterwards
+	cb, db := int(c)*chunkCap, int(d)*chunkCap
+	const half = chunkCap / 2
+	copy(tl.slabT[db:db+half], tl.slabT[cb+half:cb+chunkCap])
+	copy(tl.slabB[db:db+half], tl.slabB[cb+half:cb+chunkCap])
+	tl.cnum[c], tl.cnum[d] = half, half
+	tl.coff[d] = tl.coff[c]
+	tl.recalc(c)
+	tl.recalc(d)
+	tl.order = append(tl.order, 0)
+	copy(tl.order[oi+2:], tl.order[oi+1:])
+	tl.order[oi+1] = d
+	tl.first = append(tl.first, 0)
+	copy(tl.first[oi+2:], tl.first[oi+1:])
+	tl.first[oi+1] = tl.slabT[db]
+}
+
+// appendStep extends the timeline past its final breakpoint with (t, level),
+// starting a fresh chunk when the last one is full. The caller guarantees
+// t is strictly greater than every existing breakpoint.
+func (tl *timeline) appendStep(t float64, level int32) {
+	if n := len(tl.order); n > 0 {
+		c := tl.order[n-1]
+		if int(tl.cnum[c]) < chunkCap {
+			tl.insert(n-1, int(tl.cnum[c]), t, level)
+			return
+		}
+	}
+	c := tl.newChunk()
+	tl.order = append(tl.order, c)
+	tl.first = append(tl.first, t)
+	base := int(c) * chunkCap
+	tl.slabT[base] = t
+	tl.slabB[base] = level
+	tl.cnum[c] = 1
+	tl.cmin[c], tl.cmax[c] = level, level
+	tl.total++
+}
+
+// ensureBreak inserts a breakpoint at exactly t if none exists. The new
+// step inherits the load of the step containing t (0 before the first
+// breakpoint).
+func (tl *timeline) ensureBreak(t float64) {
+	for {
+		oi, si := tl.find(t)
+		if oi < 0 {
+			if tl.total == 0 {
+				tl.appendStep(t, 0)
+				return
+			}
+			if int(tl.cnum[tl.order[0]]) == chunkCap {
+				tl.split(0)
+				continue
+			}
+			tl.insert(0, 0, t, 0)
+			return
+		}
+		c := tl.order[oi]
+		base := int(c) * chunkCap
+		if tl.slabT[base+si] == t {
+			return
+		}
+		level := tl.slabB[base+si] + tl.coff[c]
+		if int(tl.cnum[c]) == chunkCap {
+			if oi == len(tl.order)-1 && si == chunkCap-1 {
+				tl.appendStep(t, level) // past the end: extend, don't split
+				return
+			}
+			tl.split(oi)
+			continue
+		}
+		tl.insert(oi, si+1, t, level)
+		return
+	}
+}
+
+// addRange raises the load by alloc on [start, end). Both endpoints must
+// already be breakpoints. Fully covered chunks take the delta as an O(1)
+// offset; the boundary chunks update per step and rebuild their aggregates.
+func (tl *timeline) addRange(start, end float64, alloc int32) {
+	oi1, si1 := tl.find(start)
+	oi2, si2 := tl.find(end)
+	for oi := oi1; oi <= oi2; oi++ {
+		c := tl.order[oi]
+		lo := 0
+		if oi == oi1 {
+			lo = si1
+		}
+		hi := int(tl.cnum[c])
+		if oi == oi2 {
+			hi = si2
+		}
+		if lo >= hi {
+			continue
+		}
+		if lo == 0 && hi == int(tl.cnum[c]) {
+			tl.coff[c] += alloc
+			tl.cmin[c] += alloc
+			tl.cmax[c] += alloc
+			continue
+		}
+		base := int(c) * chunkCap
+		for i := lo; i < hi; i++ {
+			tl.slabB[base+i] += alloc
+		}
+		tl.recalc(c)
+	}
+}
+
+// earliestFit is Profile.EarliestFit on the chunked store: the same
+// walk-and-restart sweep as the flat version — every candidate start and
+// comparison is identical — with two chunk-level shortcuts: a chunk whose
+// max load fits is crossed without touching its steps, and a chunk whose
+// min load violates restarts the window after its last step directly.
+func (tl *timeline) earliestFit(m int, ready, dur float64, need int) float64 {
+	if tl.total == 0 {
+		return ready
+	}
+	free := int32(m - need)
+	t := ready
+	oi, si := tl.find(t)
+outer:
+	for {
+		wend := t + dur
+		joi, jsi := oi, si
+		if joi < 0 {
+			// Load 0 before the first breakpoint; the next breakpoint is
+			// the first chunk's first step.
+			if tl.first[0] >= wend {
+				return t
+			}
+			joi, jsi = 0, 0
+		}
+		for {
+			c := tl.order[joi]
+			if jsi == 0 {
+				if tl.cmax[c] <= free {
+					// The whole chunk fits: if no breakpoint follows it or
+					// the next chunk starts at/after the window end, t wins
+					// (any in-chunk breakpoint >= wend implies the same).
+					if joi+1 >= len(tl.order) || tl.first[joi+1] >= wend {
+						return t
+					}
+					joi = joi + 1
+					continue
+				}
+				if tl.cmin[c] > free {
+					// The whole chunk violates: the final step's load is 0,
+					// so a violating chunk always has a successor chunk.
+					t = tl.first[joi+1]
+					oi, si = joi+1, 0
+					continue outer
+				}
+			}
+			n := int(tl.cnum[c])
+			base := int(c) * chunkCap
+			off := tl.coff[c]
+			for jsi < n {
+				if tl.slabB[base+jsi]+off > free {
+					if jsi+1 < n {
+						t = tl.slabT[base+jsi+1]
+						oi, si = joi, jsi+1
+					} else {
+						// Successor is the next chunk's first step, which
+						// exists because the final step's load is 0.
+						t = tl.first[joi+1]
+						oi, si = joi+1, 0
+					}
+					continue outer
+				}
+				if jsi+1 < n {
+					if tl.slabT[base+jsi+1] >= wend {
+						return t
+					}
+					jsi++
+					continue
+				}
+				break
+			}
+			if joi+1 >= len(tl.order) || tl.first[joi+1] >= wend {
+				return t
+			}
+			joi, jsi = joi+1, 0
+		}
+	}
+}
+
+// each walks the live steps in time order, stopping early when yield
+// returns false.
+func (tl *timeline) each(yield func(t float64, load int) bool) {
+	for _, c := range tl.order {
+		base := int(c) * chunkCap
+		off := tl.coff[c]
+		for i := 0; i < int(tl.cnum[c]); i++ {
+			if !yield(tl.slabT[base+i], int(tl.slabB[base+i]+off)) {
+				return
+			}
+		}
+	}
+}
+
+// lastTime returns the final breakpoint; ok is false on an empty timeline.
+func (tl *timeline) lastTime() (float64, bool) {
+	n := len(tl.order)
+	if n == 0 {
+		return 0, false
+	}
+	c := tl.order[n-1]
+	return tl.slabT[int(c)*chunkCap+int(tl.cnum[c])-1], true
+}
+
+// profileEvent is one endpoint of an item during Build.
+type profileEvent struct {
+	t     float64
+	delta int32
+}
+
+// parallelSortMin is the event count from which Build sorts in parallel
+// (given spare processors): at 10^5+ tasks the O(k log k) event sort is
+// the build's dominant cost.
+const parallelSortMin = 1 << 17
+
+// sortEvents orders events by time. Large slabs are cut into segments
+// sorted concurrently and merged; the result is the same time order either
+// way, and equal-time events are interchangeable (the sweep folds all
+// deltas at one time into a single step before emitting it).
+func sortEvents(evs []profileEvent) {
+	byTime := func(e []profileEvent) func(a, b int) bool {
+		return func(a, b int) bool { return e[a].t < e[b].t }
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if len(evs) < parallelSortMin || procs < 2 {
+		sort.Slice(evs, byTime(evs))
+		return
+	}
+	segs := 4
+	if procs > 4 {
+		segs = 8
+	}
+	bounds := make([]int, segs+1)
+	for i := 0; i <= segs; i++ {
+		bounds[i] = i * len(evs) / segs
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < segs; i++ {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			seg := evs[lo:hi]
+			sort.Slice(seg, byTime(seg))
+		}(bounds[i], bounds[i+1])
+	}
+	wg.Wait()
+	scratch := make([]profileEvent, len(evs))
+	for width := 1; width < segs; width *= 2 {
+		for i := 0; i+width <= segs; i += 2 * width {
+			lo, mid := bounds[i], bounds[i+width]
+			hi := bounds[min(i+2*width, segs)]
+			mergeEvents(evs[lo:mid], evs[mid:hi], scratch[lo:hi])
+			copy(evs[lo:hi], scratch[lo:hi])
+		}
+	}
+}
+
+func mergeEvents(a, b, out []profileEvent) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].t < a[i].t {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
+}

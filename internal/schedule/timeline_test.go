@@ -1,0 +1,207 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// flatProfile is the pre-chunking Profile implementation, retained as the
+// differential oracle for the tiered timeline: same exact-float64 Add and
+// the same walk-and-restart EarliestFit, on a plain array.
+type flatProfile struct {
+	times []float64
+	busy  []int
+}
+
+func (p *flatProfile) add(start, end float64, alloc int) {
+	if !(end > start) || alloc == 0 {
+		return
+	}
+	i := p.ensureBreak(start)
+	j := p.ensureBreak(end)
+	for k := i; k < j; k++ {
+		p.busy[k] += alloc
+	}
+}
+
+func (p *flatProfile) ensureBreak(t float64) int {
+	i := sort.SearchFloat64s(p.times, t)
+	if i < len(p.times) && p.times[i] == t {
+		return i
+	}
+	level := 0
+	if i > 0 {
+		level = p.busy[i-1]
+	}
+	p.times = append(p.times, 0)
+	copy(p.times[i+1:], p.times[i:])
+	p.times[i] = t
+	p.busy = append(p.busy, 0)
+	copy(p.busy[i+1:], p.busy[i:])
+	p.busy[i] = level
+	return i
+}
+
+func (p *flatProfile) earliestFit(m int, ready, dur float64, need int) float64 {
+	t := ready
+	i := sort.SearchFloat64s(p.times, t)
+	if !(i < len(p.times) && p.times[i] == t) {
+		i--
+	}
+	for {
+		fits := true
+		for j := i; ; j++ {
+			level := 0
+			if j >= 0 {
+				level = p.busy[j]
+			}
+			if level+need > m {
+				t = p.times[j+1]
+				i = j + 1
+				fits = false
+				break
+			}
+			if j+1 >= len(p.times) || p.times[j+1] >= t+dur {
+				break
+			}
+		}
+		if fits {
+			return t
+		}
+	}
+}
+
+// TestTimelineMatchesFlatProfile drives the chunked timeline and the flat
+// reference through identical random workloads big enough to force many
+// chunk splits and whole-chunk lazy offsets, checking bit-identical
+// breakpoints, loads, and EarliestFit answers throughout.
+func TestTimelineMatchesFlatProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 8; trial++ {
+		const m = 16
+		var p Profile
+		var ref flatProfile
+		nAdd := 200 + rng.Intn(2000) // up to ~4000 breakpoints: 15+ chunks
+		for i := 0; i < nAdd; i++ {
+			var start, dur float64
+			switch rng.Intn(3) {
+			case 0: // short interval at random position
+				start = float64(rng.Intn(4 * nAdd))
+				dur = 1 + float64(rng.Intn(8))
+			case 1: // long interval covering whole chunks (lazy offset path)
+				start = float64(rng.Intn(2 * nAdd))
+				dur = float64(nAdd/2 + rng.Intn(nAdd))
+			default: // append-heavy growth at the right edge
+				last, _ := p.LastTime()
+				start = last + float64(1+rng.Intn(4))
+				dur = 1 + float64(rng.Intn(8))
+			}
+			alloc := 1 + rng.Intn(m)
+			p.Add(start, start+dur, alloc)
+			ref.add(start, start+dur, alloc)
+			if i%97 == 0 {
+				ready := float64(rng.Intn(5 * nAdd))
+				d := 0.5 + float64(rng.Intn(3*nAdd))
+				need := 1 + rng.Intn(m)
+				got := p.EarliestFit(m, ready, d, need)
+				want := ref.earliestFit(m, ready, d, need)
+				if got != want {
+					t.Fatalf("trial %d add %d: EarliestFit(ready=%v dur=%v need=%v) = %v, flat %v",
+						trial, i, ready, d, need, got, want)
+				}
+			}
+		}
+		times, busy := p.flatten(nil, nil)
+		if len(times) != len(ref.times) {
+			t.Fatalf("trial %d: %d breakpoints vs flat %d", trial, len(times), len(ref.times))
+		}
+		for i := range times {
+			if times[i] != ref.times[i] || busy[i] != ref.busy[i] {
+				t.Fatalf("trial %d breakpoint %d: (%v,%d) vs flat (%v,%d)",
+					trial, i, times[i], busy[i], ref.times[i], ref.busy[i])
+			}
+		}
+		if p.Len() != len(ref.times) {
+			t.Fatalf("trial %d: Len = %d, want %d", trial, p.Len(), len(ref.times))
+		}
+		if last, ok := p.LastTime(); !ok || last != ref.times[len(ref.times)-1] {
+			t.Fatalf("trial %d: LastTime = %v,%v, want %v", trial, last, ok, ref.times[len(ref.times)-1])
+		}
+	}
+}
+
+func TestProfileAddZeroExtentAndNaN(t *testing.T) {
+	var p Profile
+	p.Add(1, 1, 3)                   // zero extent
+	p.Add(2, 1, 3)                   // negative extent
+	p.Add(math.NaN(), 5, 2)          // NaN start
+	p.Add(0, math.NaN(), 2)          // NaN end
+	p.Add(math.NaN(), math.NaN(), 2) // NaN both
+	p.Add(3, 4, 0)                   // zero alloc
+	if p.Len() != 0 {
+		t.Fatalf("degenerate Adds left %d breakpoints", p.Len())
+	}
+	p.Add(0, 1, 2)
+	if steps := p.Steps(); len(steps) != 1 || (steps[0] != ProfileStep{0, 1, 2}) {
+		t.Fatalf("steps after valid Add = %+v", steps)
+	}
+}
+
+func TestProfileEarliestFitEmpty(t *testing.T) {
+	var p Profile
+	if got := p.EarliestFit(4, 3.5, 10, 4); got != 3.5 {
+		t.Fatalf("EarliestFit on empty profile = %v, want ready time", got)
+	}
+	if _, ok := p.LastTime(); ok {
+		t.Fatalf("LastTime on empty profile reported ok")
+	}
+	if p.MaxBusy() != 0 {
+		t.Fatalf("MaxBusy on empty profile = %d", p.MaxBusy())
+	}
+}
+
+// TestProfileStepsAcrossChunkBoundaries builds more than a full chunk of
+// breakpoints so Steps must coalesce and merge across chunk boundaries
+// exactly as the flat rendering would.
+func TestProfileStepsAcrossChunkBoundaries(t *testing.T) {
+	var p Profile
+	n := 3*chunkCap + 17
+	items := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		it := Item{Task: i, Start: float64(i), Duration: 1.5, Alloc: 1 + i%2}
+		items = append(items, it)
+		p.Add(it.Start, it.End(), it.Alloc)
+	}
+	want := referenceSteps(items)
+	got := p.Steps()
+	if len(got) != len(want) {
+		t.Fatalf("steps = %d, oracle %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("step %d: %+v vs oracle %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTimelineBuildParallelMatchesSerial checks the parallel event sort
+// produces the identical timeline (it is only engaged past parallelSortMin
+// events, so exercise sortEvents directly at that size).
+func TestTimelineBuildParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := parallelSortMin + 1024
+	evs := make([]profileEvent, n)
+	for i := range evs {
+		evs[i] = profileEvent{t: float64(rng.Intn(n / 4)), delta: int32(1 + rng.Intn(3))}
+	}
+	serial := append([]profileEvent(nil), evs...)
+	sort.Slice(serial, func(a, b int) bool { return serial[a].t < serial[b].t })
+	sortEvents(evs)
+	for i := range evs {
+		if evs[i].t != serial[i].t {
+			t.Fatalf("event %d: t=%v vs serial %v", i, evs[i].t, serial[i].t)
+		}
+	}
+}

@@ -54,22 +54,29 @@ type Config struct {
 	// (further submissions get 503) and at most this many finished jobs
 	// queryable; <= 0 means the default (1024).
 	MaxJobs int
+	// MaxBodyBytes caps request bodies; oversized requests get a JSON 413.
+	// 0 means the default (256 MiB, room for ~10^5-task instances; a
+	// million-task instance serialises past 1 GiB and should be raised
+	// explicitly), negative disables the cap.
+	MaxBodyBytes int64
 }
 
 const (
 	defaultCacheEntries = 4096
 	defaultCacheShards  = 16
 	defaultMaxJobs      = 1024
+	defaultMaxBody      = 256 << 20
 )
 
 // Server is the serving layer. Create with New, expose via Handler, release
 // the solver pool with Close.
 type Server struct {
-	pool  *malsched.Pool
-	cache *cache
-	jobs  *jobStore
-	mux   *http.ServeMux
-	start time.Time
+	pool    *malsched.Pool
+	cache   *cache
+	jobs    *jobStore
+	mux     *http.ServeMux
+	start   time.Time
+	maxBody int64 // request body cap; <= 0 means unlimited
 
 	stats        *expvar.Map
 	cacheEntries expvar.Int // sampled into stats on /metrics
@@ -88,12 +95,17 @@ func New(cfg Config) *Server {
 	if maxJobs <= 0 {
 		maxJobs = defaultMaxJobs
 	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody == 0 {
+		maxBody = defaultMaxBody
+	}
 	s := &Server{
-		pool:  malsched.NewPool(cfg.Workers),
-		jobs:  newJobStore(maxJobs),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
-		stats: new(expvar.Map).Init(),
+		pool:    malsched.NewPool(cfg.Workers),
+		jobs:    newJobStore(maxJobs),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+		maxBody: maxBody,
+		stats:   new(expvar.Map).Init(),
 	}
 	if entries > 0 {
 		s.cache = newCache(entries, shards)
@@ -183,6 +195,27 @@ func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
 }
 
+// decodeBody decodes the request body into v under the server's body cap,
+// writing the error response (JSON 413 on overflow, 400 otherwise) itself
+// when it reports false.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := r.Body
+	if s.maxBody > 0 {
+		body = http.MaxBytesReader(w, body, s.maxBody)
+	}
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
 // solveOne runs one logical v1 solve. It is a thin shim over the shared
 // serving core in legacy mode (see serve in v2.go): same routing, cache
 // and pool path as /v2, with the v2-only behaviours — quality-slot reads,
@@ -203,8 +236,7 @@ func (s *Server) solveOne(req *SolveRequest) (*SolveResponse, error) {
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add("requests_solve", 1)
 	var req SolveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.solveOne(&req)
@@ -242,8 +274,7 @@ type BatchResponse struct {
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add("requests_batch", 1)
 	var req BatchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp := BatchResponse{Results: make([]BatchItem, len(req.Instances))}
@@ -293,8 +324,7 @@ type JobAccepted struct {
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add("requests_jobs", 1)
 	var req SolveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Instance == nil {

@@ -176,6 +176,51 @@ func mustJSON(v any) string {
 	return string(raw)
 }
 
+func TestBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 2048})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	small := mustJSON(SolveRequest{Instance: in})
+	if len(small) > 2048 {
+		t.Fatalf("test instance serialises to %d bytes, want under the 2048 cap", len(small))
+	}
+	// Padding a request past the cap must yield a JSON 413 on every POST
+	// endpoint; the in-cap request must still work.
+	big := `{"pad": "` + strings.Repeat("x", 4096) + `", ` + small[1:]
+	for _, path := range []string{"/v1/solve", "/v1/batch", "/v1/jobs", "/v2/solve", "/v2/batch", "/v2/jobs"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversized: status %d, want 413 (%s)", path, resp.StatusCode, data)
+		}
+		if !bytes.Contains(data, []byte("error")) {
+			t.Errorf("%s oversized: 413 without JSON error body: %s", path, data)
+		}
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Instance: in})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-cap solve under body limit: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestBodyLimitDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: -1})
+	in := loadTestdata(t, "chain_n10_m4.json")
+	big := `{"pad": "` + strings.Repeat("x", 1<<20) + `", ` + mustJSON(SolveRequest{Instance: in})[1:]
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("uncapped 1 MiB request: status %d, want 200 (%s)", resp.StatusCode, data)
+	}
+}
+
 func TestSolveMethodNotAllowed(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp, err := http.Get(ts.URL + "/v1/solve")

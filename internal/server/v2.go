@@ -33,7 +33,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -388,8 +387,7 @@ func parseDeadline(ms float64) (time.Duration, error) {
 func (s *Server) handleSolveV2(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add("requests_v2_solve", 1)
 	var req SolveRequestV2
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp, err := s.serve(&req, false)
@@ -427,8 +425,7 @@ type BatchResponseV2 struct {
 func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add("requests_v2_batch", 1)
 	var req BatchRequestV2
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	resp := BatchResponseV2{Results: make([]BatchItemV2, len(req.Instances))}
@@ -467,8 +464,7 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobSubmitV2(w http.ResponseWriter, r *http.Request) {
 	s.stats.Add("requests_v2_jobs", 1)
 	var req SolveRequestV2
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if req.Instance == nil && req.Base == "" {
