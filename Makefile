@@ -24,7 +24,7 @@ BENCH_SMOKE = Phase1LP|WorkspaceReuse|PoolThroughput|List$$|ListReference/layere
 # (Phase2List at 27us would gate on scheduler jitter).
 BENCH_KEY = BenchmarkPhase1LP/|BenchmarkList/|BenchmarkServe/|BenchmarkServeDelta/
 
-.PHONY: all build test race bench bench-json bench-gate cover lint staticcheck ci testdata
+.PHONY: all build test race bench bench-json bench-gate chaos cover lint staticcheck ci testdata
 
 all: build
 
@@ -63,6 +63,18 @@ bench-gate:
 		$(GO) run ./cmd/benchgate -baseline bench-baseline/$$f -current $$f \
 			-key '$(BENCH_KEY)' -threshold 1.25 || exit 1; \
 	done
+
+# Fault-injection chaos run: the full loadgen-shaped workload at 500
+# concurrent clients under the race detector, with every fault point armed
+# at its CI rate and a fixed seed (the fault pattern is deterministic, so a
+# red run reproduces bit-for-bit with the same seed). Mirrors the CI chaos
+# job. Override the knobs like: make chaos CHAOS_CLIENTS=100 CHAOS_SEED=7
+CHAOS_CLIENTS ?= 500
+CHAOS_REQUESTS ?= 4
+CHAOS_SEED ?= 1
+chaos:
+	$(GO) test -race -count=1 -run '^TestChaos$$' -v ./internal/server \
+		-chaos.clients=$(CHAOS_CLIENTS) -chaos.requests=$(CHAOS_REQUESTS) -chaos.seed=$(CHAOS_SEED)
 
 # Coverage profile + per-package summary + the internal/server floor the CI
 # coverage job enforces (soft there, hard here).

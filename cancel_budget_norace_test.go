@@ -1,0 +1,12 @@
+//go:build !race
+
+package malsched
+
+import "time"
+
+// cancelLatencyBudget bounds how long a running solve may take to notice
+// cancellation and return. The solver polls its cancel flag every simplex
+// pivot and every scheduling chunk, so 50ms is generous on a plain build;
+// the race-detector build (see cancel_budget_race_test.go) relaxes it —
+// instrumentation slows individual pivots by an order of magnitude.
+const cancelLatencyBudget = 50 * time.Millisecond

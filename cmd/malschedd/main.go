@@ -4,6 +4,7 @@
 //
 //	malschedd [-addr :8080] [-workers 0] [-cache-entries 4096]
 //	          [-cache-shards 16] [-max-jobs 1024] [-max-body 268435456]
+//	          [-max-pending 1024]
 //
 // Endpoints:
 //
@@ -11,10 +12,14 @@
 //	POST /v1/batch     {"instances": [{...}, ...]}
 //	POST /v1/jobs      async submit -> {"id": ...}
 //	GET  /v1/jobs/{id} poll
-//	GET  /healthz
+//	GET  /healthz      liveness: is the process up
+//	GET  /readyz       readiness: accepting new work? 503 while draining
 //	GET  /metrics      counters (also under expvar at /debug/vars)
 //
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// SIGINT/SIGTERM flip /readyz to 503 (so load balancers stop routing here)
+// and then drain in-flight requests before exiting. Overload responses (429
+// from the admission queue, 503 from job-slot pressure or deadline
+// shedding) carry a Retry-After header.
 package main
 
 import (
@@ -40,6 +45,7 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 16, "cache shard count")
 	maxJobs := flag.Int("max-jobs", 1024, "finished async jobs kept queryable")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = 256 MiB default; raise for million-task instances, negative disables)")
+	maxPending := flag.Int("max-pending", 0, "admission bound: max requests waiting for a solver worker (0 = 1024 default); excess is shed with 429")
 	drain := flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
 	flag.Parse()
 
@@ -49,6 +55,7 @@ func main() {
 		CacheShards:  *cacheShards,
 		MaxJobs:      *maxJobs,
 		MaxBodyBytes: *maxBody,
+		MaxPending:   *maxPending,
 	})
 	defer srv.Close()
 	expvar.Publish("malsched", srv.Stats())
@@ -68,6 +75,7 @@ func main() {
 	select {
 	case sig := <-sigc:
 		log.Printf("malschedd: %v, draining for up to %v", sig, *drain)
+		srv.SetDraining(true) // flip /readyz first so balancers stop routing here
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

@@ -33,6 +33,7 @@
 package allot
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -43,6 +44,11 @@ import (
 	"malsched/internal/lp"
 	"malsched/internal/malleable"
 )
+
+// ErrCutPanic marks a panic isolated inside a cut-separation shard scan
+// (errors.Is-able, so the serving layer's degradation ladder can classify
+// it as a recoverable solver panic).
+var ErrCutPanic = errors.New("allot: cut separation panicked")
 
 // Instance couples the precedence graph with the malleable tasks and the
 // machine size. Tasks[j] corresponds to vertex j of G.
@@ -356,7 +362,15 @@ func (ws *Workspace) runCutLoop(p *lp.Problem, fronts []malleable.Frontier, sol 
 	polished := false
 	var err error
 	for {
-		added := ws.addViolatedCuts(p, fronts, sol, m)
+		// The re-solves below poll the same flag per pivot; checking here
+		// too keeps the O(n·m) separation scans off a canceled request.
+		if ws.LP.Cancel.Canceled() {
+			return nil, 0, 0, lp.ErrCanceled
+		}
+		added, sepErr := ws.addViolatedCuts(p, fronts, sol, m)
+		if sepErr != nil {
+			return nil, 0, 0, sepErr
+		}
 		if added == 0 {
 			if polished {
 				break
@@ -423,6 +437,11 @@ const (
 // sepPick is one selected cut: segment seg of task task's frontier.
 type sepPick struct{ task, seg int32 }
 
+// FaultCutWorker is a fault-injection hook (internal/faultinject): when
+// non-nil and returning true, a separation shard panics mid-scan,
+// exercising the worker panic isolation below. nil in production builds.
+var FaultCutWorker func() bool
+
 // separateShard scans the tasks of shard sh (the contiguous index range
 // [sh*sepShardSize, (sh+1)*sepShardSize) ∩ [0, n)) for their top-K
 // violated missing supporting lines at the solution x, appending picks —
@@ -430,6 +449,9 @@ type sepPick struct{ task, seg int32 }
 // reusable buffer. It only reads shared state (solution, frontiers, cut
 // bookkeeping), so shards run concurrently without synchronisation.
 func (ws *Workspace) separateShard(sh int, fronts []malleable.Frontier, solX []float64) {
+	if FaultCutWorker != nil && FaultCutWorker() {
+		panic("faultinject: cut-worker-panic")
+	}
 	n := len(fronts)
 	lo, hi := sh*sepShardSize, (sh+1)*sepShardSize
 	if hi > n {
@@ -505,7 +527,7 @@ func (ws *Workspace) separateShard(sh int, fronts []malleable.Frontier, solX []f
 // layout depends only on n, and the merge walks shards in order, so the
 // appended cut sequence is byte-identical to a serial run for every
 // worker count.
-func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier, sol *lp.Solution, m int) int {
+func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier, sol *lp.Solution, m int) (int, error) {
 	n := len(fronts)
 	sum := 0.0
 	for j := 0; j < n; j++ {
@@ -514,7 +536,7 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 	}
 	c := sol.X[3*n+1]
 	if sum/float64(m)-c <= cutEps*(1+math.Abs(c)) {
-		return 0
+		return 0, nil
 	}
 
 	nsh := (n + sepShardSize - 1) / sepShardSize
@@ -530,11 +552,20 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 	}
 	if workers <= 1 || n < sepParThreshold {
 		for sh := 0; sh < nsh; sh++ {
-			ws.separateShard(sh, fronts, sol.X)
+			if err := ws.separateShardSafe(sh, fronts, sol.X); err != nil {
+				return 0, err
+			}
 		}
 	} else {
+		// A panic on a spawned goroutine would kill the process — the
+		// engine's per-job recover only guards the worker goroutine — so
+		// each shard scan runs under its own recover and the first failure
+		// is kept. Remaining shards still run (they are cheap and the
+		// buffers must be left consistent), their picks are just discarded.
 		var next atomic.Int32
 		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		var firstErr error
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
@@ -544,11 +575,20 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 					if sh >= nsh {
 						return
 					}
-					ws.separateShard(sh, fronts, sol.X)
+					if err := ws.separateShardSafe(sh, fronts, sol.X); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+					}
 				}
 			}()
 		}
 		wg.Wait()
+		if firstErr != nil {
+			return 0, firstErr
+		}
 	}
 
 	added := 0
@@ -559,7 +599,21 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 			added++
 		}
 	}
-	return added
+	return added, nil
+}
+
+// separateShardSafe runs one shard scan with panic isolation, converting a
+// panic into an error the cut loop can surface (and the serving layer's
+// degradation ladder can recover from).
+func (ws *Workspace) separateShardSafe(sh int, fronts []malleable.Frontier, solX []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ws.sepPicks[sh] = ws.sepPicks[sh][:0] // half-filled picks are garbage
+			err = fmt.Errorf("%w: shard %d: %v", ErrCutPanic, sh, r)
+		}
+	}()
+	ws.separateShard(sh, fronts, solX)
+	return nil
 }
 
 func clamp(x, lo, hi float64) float64 {

@@ -1,0 +1,46 @@
+// Package cancelflag carries a cancellation signal into the solver's hot
+// loops without threading a context.Context through them. A Flag is one
+// atomic bool: the engine layer sets it from a context watcher goroutine,
+// and the simplex pivot loops, cut-separation rounds and phase-2 commit
+// loop poll it every few iterations — an atomic load costs ~1 ns against
+// pivots in the hundreds of microseconds, so the checkpoints are free on
+// the solve path while bounding abort latency to a handful of pivots.
+package cancelflag
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrCanceled is returned by solver layers that observed a set Flag. The
+// engine maps it back to the originating context's error before the caller
+// sees it, so public API users receive context.Canceled /
+// context.DeadlineExceeded as usual.
+var ErrCanceled = errors.New("solve canceled")
+
+// Flag is a set-once-per-job cancellation latch. The zero value is usable.
+// All methods are safe for concurrent use and nil-safe, so deeply nested
+// solver code can poll an unwired (nil) flag for free.
+type Flag struct {
+	set atomic.Bool
+}
+
+// Set requests cancellation. Nil-safe no-op.
+func (f *Flag) Set() {
+	if f != nil {
+		f.set.Store(true)
+	}
+}
+
+// Clear re-arms the flag for the next job. Nil-safe no-op.
+func (f *Flag) Clear() {
+	if f != nil {
+		f.set.Store(false)
+	}
+}
+
+// Canceled reports whether cancellation was requested. Nil flags are never
+// canceled.
+func (f *Flag) Canceled() bool {
+	return f != nil && f.set.Load()
+}

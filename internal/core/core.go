@@ -12,7 +12,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"malsched/internal/allot"
 	"malsched/internal/listsched"
@@ -20,6 +22,12 @@ import (
 	"malsched/internal/schedule"
 	"malsched/internal/solver"
 )
+
+// ErrNumericTaint is reported when a solve produced a non-finite makespan
+// or lower bound — the numerical state is poisoned (NaN/Inf crept through
+// the LP or rounding) and the result cannot be trusted. Recoverable by
+// re-solving on a different tier.
+var ErrNumericTaint = errors.New("core: non-finite result (numeric taint)")
 
 // Options tunes the solver. The zero value requests the paper's parameter
 // choices.
@@ -41,6 +49,13 @@ type Options struct {
 	// the serving layer's delta path. Mismatched snapshots degrade to a
 	// cold solve; the result is an exact LP optimum either way.
 	WarmLP *allot.LPSnapshot
+	// DenseLP routes phase 1 through the dense reference oracle
+	// (allot.SolveLPReference) instead of the sparse simplex — the
+	// degradation ladder's fallback when the sparse path hits numerical
+	// trouble. The dense tableau materialises all n*m supporting lines,
+	// so this is only viable for small instances. Incompatible with
+	// CaptureLP/WarmLP (no snapshot exists on the dense route).
+	DenseLP bool
 }
 
 // Result carries the schedule together with the analysis quantities of
@@ -119,9 +134,12 @@ func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, 
 	}
 	var frac *allot.Fractional
 	var err error
-	if opt.WarmLP != nil {
+	switch {
+	case opt.DenseLP:
+		frac, err = allot.SolveLPReference(red)
+	case opt.WarmLP != nil:
 		frac, err = allot.SolveLPDeltaWith(red, lpws, opt.WarmLP)
-	} else {
+	default:
 		frac, err = allot.SolveLPWith(red, lpws)
 	}
 	if err != nil {
@@ -152,13 +170,17 @@ func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, 
 	if frac.C > lb {
 		lb = frac.C
 	}
+	makespan := sched.Makespan()
+	if !isFinite(makespan) || !isFinite(lb) {
+		return nil, fmt.Errorf("%w: makespan=%v lb=%v", ErrNumericTaint, makespan, lb)
+	}
 	res := &Result{
 		Schedule:   sched,
 		Fractional: frac,
 		AlphaPrime: alphaPrime,
 		Alpha:      alpha,
 		Params:     choice,
-		Makespan:   sched.Makespan(),
+		Makespan:   makespan,
 		LowerBound: lb,
 		LPSnapshot: snap,
 	}
@@ -167,3 +189,5 @@ func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, 
 	}
 	return res, nil
 }
+
+func isFinite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

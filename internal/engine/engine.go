@@ -18,12 +18,29 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"malsched/internal/cancelflag"
 	"malsched/internal/solver"
 )
 
 // ErrClosed is reported for jobs submitted after Close.
 var ErrClosed = errors.New("engine: pool is closed")
+
+// ErrPanicked marks jobs that panicked on a worker; the panic value is
+// wrapped into the message. Callers classify it with errors.Is.
+var ErrPanicked = errors.New("engine: job panicked")
+
+// Fault-injection hooks (internal/faultinject); nil in production builds,
+// where each costs one pointer comparison.
+var (
+	// FaultSlowSolve, when non-nil, returns an extra delay a job sleeps
+	// on its worker before running (0 for no delay on this job).
+	FaultSlowSolve func() time.Duration
+	// FaultBGDrop, when non-nil and returning true, drops a
+	// TryBackground submission as if the lane were full.
+	FaultBGDrop func() bool
+)
 
 // Func is one unit of work. It receives the calling worker's reusable
 // workspace, which is valid only for the duration of the call.
@@ -128,6 +145,9 @@ func (p *Pool) worker() {
 // as foreground jobs; the error (if any) is the closure's own business.
 func runBackground(fn Func, ws *solver.Workspace) {
 	defer func() { recover() }()
+	// A foreground job's cancellation must not leak into background work
+	// sharing the workspace.
+	ws.CancelFlag().Clear()
 	fn(ws)
 }
 
@@ -142,6 +162,9 @@ func (p *Pool) TryBackground(fn Func) bool {
 	if p.closed {
 		return false
 	}
+	if FaultBGDrop != nil && FaultBGDrop() {
+		return false
+	}
 	select {
 	case p.bg <- fn:
 		return true
@@ -150,31 +173,76 @@ func (p *Pool) TryBackground(fn Func) bool {
 	}
 }
 
-// runJob executes one job with context short-circuiting and panic
-// isolation: a job queued behind a cancelled context is skipped, and a
+// runJob executes one job with context short-circuiting, live cancellation
+// and panic isolation: a job queued behind a cancelled context is skipped, a
+// context cancelled mid-solve sets the workspace's cancel flag (polled every
+// pivot / scheduling step, so the solve aborts within microseconds), and a
 // panicking job is converted into an error instead of killing the worker.
 func runJob(ctx context.Context, fn Func, ws *solver.Workspace) (err error) {
 	if e := ctx.Err(); e != nil {
 		return e
 	}
+	// The flag lives on the pooled workspace, so a previous job's
+	// cancellation must not leak into this one.
+	flag := ws.CancelFlag()
+	flag.Clear()
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			defer close(exited)
+			select {
+			case <-done:
+				flag.Set()
+			case <-stop:
+			}
+		}()
+		// LIFO defers: the recover below runs first, so a panic is
+		// reported as a panic even if cancellation raced it.
+		defer func() {
+			close(stop)
+			// Wait the watcher out: a watcher that already woke on done
+			// would otherwise set the flag after the NEXT job on this
+			// pooled workspace cleared it, spuriously cancelling it.
+			<-exited
+			if errors.Is(err, cancelflag.ErrCanceled) && ctx.Err() != nil {
+				err = ctx.Err()
+			}
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("engine: job panicked: %v", r)
+			err = fmt.Errorf("%w: %v", ErrPanicked, r)
 		}
 	}()
+	if FaultSlowSolve != nil {
+		if d := FaultSlowSolve(); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	return fn(ws)
 }
 
 // Run executes every Func on the pool and returns one error slot per input,
 // order-preserving: errs[i] is the outcome of fns[i] no matter which worker
 // ran it. Errors are isolated per job. When ctx is cancelled, jobs not yet
-// started fail with the context's error while running jobs complete; Run
+// started fail with the context's error, while running jobs abort at their
+// next cancel-flag checkpoint (or complete, if they get there first); Run
 // always waits for the jobs it managed to start.
 func (p *Pool) Run(ctx context.Context, fns []Func) []error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	errs := make([]error, len(fns))
+
+	// An already-cancelled context fails the whole batch up front without
+	// touching the job channel, so no worker slot is consumed.
+	if e := ctx.Err(); e != nil {
+		for i := range errs {
+			errs[i] = e
+		}
+		return errs
+	}
 
 	p.mu.RLock()
 	if p.closed {

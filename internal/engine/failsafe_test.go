@@ -1,0 +1,116 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"malsched/internal/cancelflag"
+	"malsched/internal/solver"
+)
+
+// A Run with an already-cancelled context must fail fast without touching
+// the job channel: here the pool's only worker is busy, so any attempt to
+// hand the job to a worker would block until it frees up.
+func TestPreCancelledRunConsumesNoWorkerSlot(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go p.RunOne(context.Background(), func(ws *solver.Workspace) error {
+		close(started)
+		<-release
+		return nil
+	})
+	<-started // the single worker is now occupied
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	err := p.RunOne(ctx, func(ws *solver.Workspace) error { return nil })
+	elapsed := time.Since(t0)
+	close(release)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("pre-cancelled RunOne took %v; it must not wait for a worker", elapsed)
+	}
+}
+
+func TestPanicIsErrPanicked(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	err := p.RunOne(context.Background(), func(ws *solver.Workspace) error {
+		panic("kaboom")
+	})
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("err = %v, want ErrPanicked", err)
+	}
+}
+
+// A context cancelled mid-job must set the workspace's cancel flag (the
+// solver phases poll it) and surface as the context's error, not as the
+// internal sentinel.
+func TestMidJobCancellationSetsFlagAndMapsError(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	err := p.RunOne(ctx, func(ws *solver.Workspace) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for !ws.CancelFlag().Canceled() {
+			if time.Now().After(deadline) {
+				t.Error("cancel flag never set")
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return cancelflag.ErrCanceled // what the solver hot loops return
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A previous job's cancellation must not leak into the next job on the
+// same (pooled, workspace-reusing) worker.
+func TestCancelFlagClearedBetweenJobs(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel2 := make(chan struct{})
+	go func() { <-cancel2; cancel() }()
+	p.RunOne(ctx, func(ws *solver.Workspace) error {
+		close(cancel2)
+		for !ws.CancelFlag().Canceled() {
+			time.Sleep(time.Millisecond)
+		}
+		return cancelflag.ErrCanceled
+	})
+	err := p.RunOne(context.Background(), func(ws *solver.Workspace) error {
+		if ws.CancelFlag().Canceled() {
+			return errors.New("stale cancel flag on fresh job")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultBGDropDropsSubmission(t *testing.T) {
+	p := New(1)
+	defer p.Close()
+	FaultBGDrop = func() bool { return true }
+	defer func() { FaultBGDrop = nil }()
+	if p.TryBackground(func(ws *solver.Workspace) error { return nil }) {
+		t.Fatal("TryBackground accepted a submission the fault hook should drop")
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"sync"
 
 	"malsched/internal/allot"
+	"malsched/internal/cancelflag"
 	"malsched/internal/schedule"
 )
 
@@ -121,6 +122,12 @@ type handle struct {
 // does near-zero allocation beyond the returned schedule. A Workspace is
 // owned by one goroutine at a time; it is not safe for concurrent use.
 type Workspace struct {
+	// Cancel, when non-nil, is polled every cancelCheckEvery loop
+	// iterations of RunWith and aborts the run with
+	// cancelflag.ErrCanceled once set (the phase-2 half of end-to-end
+	// solve cancellation; phase 1 polls the same flag per pivot).
+	Cancel *cancelflag.Flag
+
 	prof  schedule.Profile
 	indeg []int32
 	ready []float64
@@ -625,8 +632,15 @@ func RunWith(in *allot.Instance, alloc []int, ws *Workspace) (*schedule.Schedule
 		}
 	}
 
+	// cancelCheckEvery spaces the cancellation checkpoints: commits run
+	// ~1 µs warm, so 1024 iterations bound abort latency near a
+	// millisecond while keeping the check off the per-commit profile.
+	const cancelCheckEvery = 1024
 	nsched := 0
-	for nsched < n && len(ws.handles) > 0 {
+	for spins := 0; nsched < n && len(ws.handles) > 0; spins++ {
+		if spins%cancelCheckEvery == 0 && ws.Cancel.Canceled() {
+			return nil, cancelflag.ErrCanceled
+		}
 		h := ws.handles[0]
 		bi := h.b
 		b := &ws.buckets[bi]

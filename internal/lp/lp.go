@@ -34,6 +34,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"malsched/internal/cancelflag"
 )
 
 // Sense is the direction of a linear constraint.
@@ -187,7 +189,16 @@ var (
 	ErrUnbounded  = errors.New("lp: problem is unbounded")
 	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
 	ErrSingular   = errors.New("lp: basis is numerically singular")
+	// ErrCanceled is returned when Workspace.Cancel was set mid-solve; it
+	// aliases cancelflag.ErrCanceled so callers match either sentinel.
+	ErrCanceled = cancelflag.ErrCanceled
 )
+
+// FaultLUFactor is a fault-injection hook (internal/faultinject): when
+// non-nil and returning true, a basis factorization reports ErrSingular.
+// nil in production builds — the cost there is one pointer comparison per
+// factorization.
+var FaultLUFactor func() bool
 
 const tol = 1e-9
 

@@ -42,6 +42,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"malsched/internal/cancelflag"
 )
 
 // Nonbasic/basic status of a column.
@@ -91,6 +93,14 @@ type Workspace struct {
 	// to select cuts and polish once at the end instead of re-fighting
 	// the degenerate final pivots every round.
 	DeferPolish bool
+
+	// Cancel, when non-nil, is polled by the primal and dual pivot loops
+	// (every pivot — an atomic load against pivots costing hundreds of
+	// microseconds at scale) and aborts the solve with ErrCanceled once
+	// set. The engine layer wires one flag per worker and drives it from
+	// the job's context, so a client disconnect frees the worker within a
+	// few pivots instead of after the full solve.
+	Cancel *cancelflag.Flag
 
 	// Model, rebuilt from the Problem each (re)solve. Column index space:
 	// [0, nstruct) structural, [nstruct, nstruct+nrows) logicals,
@@ -550,6 +560,14 @@ func (ws *Workspace) appendEta(r int) {
 // factorize rebuilds the LU factorization of the current basis, clears
 // the eta file and recomputes the basic variable values from scratch.
 func (ws *Workspace) factorize() error {
+	if FaultLUFactor != nil && FaultLUFactor() {
+		// Invalidate the failure coordinates: an injected failure has no
+		// real unpivoted row, and letting repairSingular act on stale
+		// ones would swap a healthy basic variable out — corrupting the
+		// basis instead of simulating a failed factorization.
+		ws.lu.failPos, ws.lu.failRow = -1, -1
+		return ErrSingular
+	}
 	if err := ws.lu.factor(ws); err != nil {
 		return err
 	}
@@ -977,6 +995,9 @@ func (ws *Workspace) primal(maxIter int) (int, error) {
 	ws.bland = false
 	iters := 0
 	for {
+		if ws.Cancel.Canceled() {
+			return iters, ErrCanceled
+		}
 		if ws.needRefactor || len(ws.etaPivot) >= ws.refactorLimit() {
 			if err := ws.refresh(); err != nil {
 				return iters, err
@@ -1320,6 +1341,9 @@ func (ws *Workspace) dual(maxIter int) (int, error) {
 	bland := false
 	reseed := true
 	for {
+		if ws.Cancel.Canceled() {
+			return iters, ErrCanceled
+		}
 		if ws.needRefactor || len(ws.etaPivot) >= ws.refactorLimit() {
 			if err := ws.refresh(); err != nil {
 				if err == ErrSingular {
@@ -1801,7 +1825,9 @@ func (p *Problem) ReSolveWith(ws *Workspace) (*Solution, error) {
 		ws.stats.Phase2Iters += iters
 	}
 	if err != nil {
-		if err == ErrInfeasible {
+		if err == ErrInfeasible || err == ErrCanceled {
+			// Infeasibility is a fact about the problem; cancellation must
+			// not trigger a full cold solve. Neither falls back.
 			return nil, err
 		}
 		return p.SolveWith(ws) // numerical trouble: cold restart is sound

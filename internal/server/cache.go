@@ -2,10 +2,19 @@ package server
 
 import (
 	"container/list"
+	"context"
+	"errors"
 	"sync"
 
 	"malsched"
+	"malsched/internal/cancelflag"
 )
+
+// FaultCacheShard is the cache fault-injection hook (internal/faultinject);
+// nil in production. When it fires, do() fails open to a direct compute and
+// get() reports a miss — a broken shard degrades to extra solves, never to
+// wrong or missing answers.
+var FaultCacheShard func() bool
 
 // solution is what the cache stores per canonical request: the solver
 // result together with how it was produced. Entries are immutable once
@@ -132,39 +141,58 @@ func (o outcome) String() string {
 // Concurrent calls for the same key run fn once and share its result;
 // errors are returned to every waiter of that flight but are not cached,
 // so a later call retries. A nil cache always computes (bypass).
-func (c *cache) do(key string, fn func() (*solution, error)) (*solution, outcome, error) {
-	if c == nil {
+//
+// ctx is the *waiter's* context: a waiter whose flight leader was cancelled
+// inherits the leader's context error, which says nothing about this
+// request — so a live waiter retries the lookup (becoming the new leader,
+// or finding the entry another retry cached) instead of failing a healthy
+// request with someone else's cancellation.
+func (c *cache) do(ctx context.Context, key string, fn func() (*solution, error)) (*solution, outcome, error) {
+	if c == nil || (FaultCacheShard != nil && FaultCacheShard()) {
 		sol, err := fn()
 		return sol, outcomeMiss, err
 	}
 	s := c.shardFor(key)
 
-	s.mu.Lock()
-	if el, ok := s.items[key]; ok {
-		s.order.MoveToFront(el)
-		sol := el.Value.(*cacheEntry).sol
+	for {
+		s.mu.Lock()
+		if el, ok := s.items[key]; ok {
+			s.order.MoveToFront(el)
+			sol := el.Value.(*cacheEntry).sol
+			s.mu.Unlock()
+			return sol, outcomeHit, nil
+		}
+		if f, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			<-f.done
+			if isCancellation(f.err) && ctx != nil && ctx.Err() == nil {
+				continue
+			}
+			return f.sol, outcomeShared, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[key] = f
 		s.mu.Unlock()
-		return sol, outcomeHit, nil
-	}
-	if f, ok := s.inflight[key]; ok {
+
+		f.sol, f.err = fn()
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if f.err == nil {
+			s.insertLocked(key, f.sol)
+		}
 		s.mu.Unlock()
-		<-f.done
-		return f.sol, outcomeShared, f.err
+		close(f.done)
+		return f.sol, outcomeMiss, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.inflight[key] = f
-	s.mu.Unlock()
+}
 
-	f.sol, f.err = fn()
-
-	s.mu.Lock()
-	delete(s.inflight, key)
-	if f.err == nil {
-		s.insertLocked(key, f.sol)
-	}
-	s.mu.Unlock()
-	close(f.done)
-	return f.sol, outcomeMiss, f.err
+// isCancellation reports whether err came from a cancelled or expired
+// context (including the solver's internal cancellation sentinel).
+func isCancellation(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, cancelflag.ErrCanceled))
 }
 
 // insertLocked adds key -> sol and evicts the shard's least recently used
@@ -193,7 +221,7 @@ func (s *cacheShard) insertLocked(key string, sol *solution) {
 // get returns the resident entry for key (bumping its recency) without
 // computing anything. In-flight computations are not consulted.
 func (c *cache) get(key string) (*solution, bool) {
-	if c == nil {
+	if c == nil || (FaultCacheShard != nil && FaultCacheShard()) {
 		return nil, false
 	}
 	s := c.shardFor(key)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -19,10 +20,10 @@ func TestCacheHitAfterMiss(t *testing.T) {
 	c := newCache(8, 2)
 	calls := 0
 	fn := func() (*solution, error) { calls++; return testSolution(1), nil }
-	if _, out, err := c.do("k", fn); err != nil || out != outcomeMiss {
+	if _, out, err := c.do(context.Background(), "k", fn); err != nil || out != outcomeMiss {
 		t.Fatalf("first do: outcome %v err %v, want miss nil", out, err)
 	}
-	sol, out, err := c.do("k", fn)
+	sol, out, err := c.do(context.Background(), "k", fn)
 	if err != nil || out != outcomeHit {
 		t.Fatalf("second do: outcome %v err %v, want hit nil", out, err)
 	}
@@ -34,17 +35,17 @@ func TestCacheHitAfterMiss(t *testing.T) {
 func TestCacheDoesNotCacheErrors(t *testing.T) {
 	c := newCache(8, 1)
 	boom := errors.New("boom")
-	if _, _, err := c.do("k", func() (*solution, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.do(context.Background(), "k", func() (*solution, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if c.len() != 0 {
 		t.Fatalf("error was cached: len = %d", c.len())
 	}
 	// The key must be retryable and cacheable afterwards.
-	if _, out, err := c.do("k", func() (*solution, error) { return testSolution(2), nil }); err != nil || out != outcomeMiss {
+	if _, out, err := c.do(context.Background(), "k", func() (*solution, error) { return testSolution(2), nil }); err != nil || out != outcomeMiss {
 		t.Fatalf("retry: outcome %v err %v", out, err)
 	}
-	if _, out, _ := c.do("k", nil); out != outcomeHit {
+	if _, out, _ := c.do(context.Background(), "k", nil); out != outcomeHit {
 		t.Fatalf("after retry: outcome %v, want hit", out)
 	}
 }
@@ -53,20 +54,20 @@ func TestCacheLRUEviction(t *testing.T) {
 	c := newCache(4, 1) // single shard so the LRU order is global
 	mk := func(i int) string { return fmt.Sprintf("k%d", i) }
 	for i := 0; i < 4; i++ {
-		c.do(mk(i), func() (*solution, error) { return testSolution(float64(i)), nil })
+		c.do(context.Background(), mk(i), func() (*solution, error) { return testSolution(float64(i)), nil })
 	}
 	// Touch k0 so k1 is the LRU victim.
-	if _, out, _ := c.do(mk(0), nil); out != outcomeHit {
+	if _, out, _ := c.do(context.Background(), mk(0), nil); out != outcomeHit {
 		t.Fatal("k0 not resident")
 	}
-	c.do(mk(9), func() (*solution, error) { return testSolution(9), nil })
+	c.do(context.Background(), mk(9), func() (*solution, error) { return testSolution(9), nil })
 	if c.len() != 4 {
 		t.Fatalf("len = %d, want capacity 4", c.len())
 	}
-	if _, out, _ := c.do(mk(0), func() (*solution, error) { return testSolution(0), nil }); out != outcomeHit {
+	if _, out, _ := c.do(context.Background(), mk(0), func() (*solution, error) { return testSolution(0), nil }); out != outcomeHit {
 		t.Error("recently used k0 was evicted")
 	}
-	if _, out, _ := c.do(mk(1), func() (*solution, error) { return testSolution(1), nil }); out != outcomeMiss {
+	if _, out, _ := c.do(context.Background(), mk(1), func() (*solution, error) { return testSolution(1), nil }); out != outcomeMiss {
 		t.Error("LRU k1 survived past capacity")
 	}
 }
@@ -83,7 +84,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sol, out, err := c.do("same", func() (*solution, error) {
+			sol, out, err := c.do(context.Background(), "same", func() (*solution, error) {
 				calls.Add(1)
 				<-gate // hold the flight open until every waiter queued
 				return testSolution(7), nil
@@ -121,7 +122,7 @@ func TestCacheCapacitySmallerThanShards(t *testing.T) {
 	c := newCache(2, 16) // shards clamp to entries; every shard cap >= 1
 	for i := 0; i < 10; i++ {
 		key := fmt.Sprintf("k%d", i)
-		if _, _, err := c.do(key, func() (*solution, error) { return testSolution(1), nil }); err != nil {
+		if _, _, err := c.do(context.Background(), key, func() (*solution, error) { return testSolution(1), nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -134,7 +135,7 @@ func TestNilCacheBypasses(t *testing.T) {
 	var c *cache
 	calls := 0
 	for i := 0; i < 3; i++ {
-		_, out, err := c.do("k", func() (*solution, error) { calls++; return testSolution(1), nil })
+		_, out, err := c.do(context.Background(), "k", func() (*solution, error) { calls++; return testSolution(1), nil })
 		if err != nil || out != outcomeMiss {
 			t.Fatalf("nil cache: outcome %v err %v", out, err)
 		}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A submission past the in-flight bound is a 503 with a Retry-After hint,
+// and the slot frees up once the running job finishes.
+func TestJobSubmitBusy503RetryAfter(t *testing.T) {
+	withSlowSolve(t, 300*time.Millisecond)
+	_, ts := newTestServer(t, Config{Workers: 1, MaxJobs: 1})
+	in := loadTestdata(t, "chain_n10_m4.json")
+
+	resp, data := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Instance: in, NoCache: true})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: status %d: %s", resp.StatusCode, data)
+	}
+	var acc JobAccepted
+	if err := json.Unmarshal(data, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Instance: in, NoCache: true})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-bound submit: status %d, want 503: %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("jobs-busy 503 without Retry-After header")
+	}
+
+	// Honouring the hint works: once the running job finishes, the next
+	// submission is accepted again.
+	waitForJob(t, ts.URL+acc.URL)
+	resp, data = postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Instance: in})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after drain: status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// A concurrent submission storm against a small in-flight bound: every
+// response is either 202 or 503 (never a 500, never a hang), and every
+// accepted job reaches a terminal state — observed as done/failed, or as a
+// 404 after being finished and evicted by the FIFO bound. No accepted job
+// may be silently lost in a non-terminal state.
+func TestJobStoreConcurrentSubmitOverflow(t *testing.T) {
+	withSlowSolve(t, 20*time.Millisecond) // keep jobs in flight long enough to collide
+	_, ts := newTestServer(t, Config{Workers: 4, MaxJobs: 4})
+	in := loadTestdata(t, "chain_n10_m4.json")
+
+	const clients, perClient = 12, 8
+	var (
+		mu       sync.Mutex
+		accepted []string
+		rejected int
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, data := postJSON(t, ts.URL+"/v1/jobs", SolveRequest{Instance: in})
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					var acc JobAccepted
+					if err := json.Unmarshal(data, &acc); err != nil {
+						t.Error(err)
+						return
+					}
+					mu.Lock()
+					accepted = append(accepted, acc.URL)
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					if ra := resp.Header.Get("Retry-After"); ra == "" {
+						t.Error("storm 503 without Retry-After")
+						return
+					}
+				default:
+					t.Errorf("storm submit: status %d: %s", resp.StatusCode, data)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if len(accepted) == 0 {
+		t.Fatal("storm accepted nothing")
+	}
+	if rejected == 0 {
+		t.Error("storm never overflowed the bound; the test exercised nothing")
+	}
+	t.Logf("storm: %d accepted, %d rejected", len(accepted), rejected)
+
+	// Every accepted job must reach a terminal state within the deadline.
+	deadline := time.Now().Add(20 * time.Second)
+	for _, url := range accepted {
+		for {
+			resp, err := http.Get(ts.URL + url)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st JobStatus
+			jsonErr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusNotFound {
+				break // finished, then evicted by the FIFO bound: terminal
+			}
+			if resp.StatusCode != http.StatusOK || jsonErr != nil {
+				t.Fatalf("poll %s: status %d, err %v", url, resp.StatusCode, jsonErr)
+			}
+			if st.State == JobDone || st.State == JobFailed {
+				if st.State == JobFailed {
+					t.Errorf("job %s failed on a valid instance: %s", st.ID, st.Error)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s stuck in state %q past the deadline", url, st.State)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// Finished-job eviction follows completion order, not creation order: with
+// out-of-order finishes, the job that finished first is evicted first.
+func TestJobStoreEvictionFollowsFinishOrder(t *testing.T) {
+	js := newJobStore(2)
+	now := time.Now()
+	mk := func() string {
+		t.Helper()
+		id, err := js.create(now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	// Jobs a and b, with b (created later) finishing first; c created
+	// once a slot frees. Finish order: b, a, c.
+	a, b := mk(), mk()
+	js.finish(b, &SolveResponse{}, nil, now)
+	c := mk()
+	js.finish(a, &SolveResponse{}, nil, now)
+	js.finish(c, &SolveResponse{}, nil, now)
+
+	// Bound 2, three terminal jobs: b finished first, so b is evicted —
+	// even though a was created before it.
+	if _, ok := js.get(b); ok {
+		t.Error("first-finished job survived eviction (eviction must follow finish order)")
+	}
+	for _, id := range []string{a, c} {
+		if _, ok := js.get(id); !ok {
+			t.Errorf("job %s evicted although it finished later", id)
+		}
+	}
+}

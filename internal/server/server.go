@@ -28,6 +28,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -59,6 +60,11 @@ type Config struct {
 	// million-task instance serialises past 1 GiB and should be raised
 	// explicitly), negative disables the cap.
 	MaxBodyBytes int64
+	// MaxPending bounds how many requests may wait for a solver worker at
+	// once (the admission queue past the cache); requests beyond it are
+	// shed with 429 + Retry-After instead of queueing without bound.
+	// <= 0 means the default (1024).
+	MaxPending int
 }
 
 const (
@@ -66,6 +72,18 @@ const (
 	defaultCacheShards  = 16
 	defaultMaxJobs      = 1024
 	defaultMaxBody      = 256 << 20
+	defaultMaxPending   = 1024
+
+	// statusClientClosedRequest is nginx's non-standard code for "the
+	// client went away before the response": the right label for a solve
+	// aborted by its own request context, and distinct from every
+	// server-fault status the ladder is meant to prevent.
+	statusClientClosedRequest = 499
+
+	// retryAfterSeconds is the Retry-After hint on every shed response
+	// (429 and 503): pending-queue and job-slot pressure drains at solve
+	// speed, so "shortly" is the honest answer.
+	retryAfterSeconds = "1"
 )
 
 // Server is the serving layer. Create with New, expose via Handler, release
@@ -77,6 +95,14 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 	maxBody int64 // request body cap; <= 0 means unlimited
+
+	// pending is the admission queue: a slot is held from "this request
+	// needs a solve" to "its solve finished", bounding queued work.
+	pending chan struct{}
+	// draining flips /readyz to 503 ahead of shutdown so load balancers
+	// stop routing here while in-flight requests finish (/healthz stays
+	// green: the process is alive, just not accepting).
+	draining atomic.Bool
 
 	stats        *expvar.Map
 	cacheEntries expvar.Int // sampled into stats on /metrics
@@ -99,12 +125,17 @@ func New(cfg Config) *Server {
 	if maxBody == 0 {
 		maxBody = defaultMaxBody
 	}
+	maxPending := cfg.MaxPending
+	if maxPending <= 0 {
+		maxPending = defaultMaxPending
+	}
 	s := &Server{
 		pool:    malsched.NewPool(cfg.Workers),
 		jobs:    newJobStore(maxJobs),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
 		maxBody: maxBody,
+		pending: make(chan struct{}, maxPending),
 		stats:   new(expvar.Map).Init(),
 	}
 	if entries > 0 {
@@ -121,6 +152,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v2/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v2/solutions/{fp}", s.handleSolutionProbe)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -137,6 +169,11 @@ func (s *Server) Stats() expvar.Var { return s.stats }
 // Close shuts down the solver pool. In-flight solves complete; requests
 // arriving afterwards fail.
 func (s *Server) Close() { s.pool.Close() }
+
+// SetDraining flips the /readyz answer. Call with true before shutting the
+// HTTP listener down so load balancers drain traffic away first; /healthz
+// is unaffected.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // SolveRequest is the body of POST /v1/solve and POST /v1/jobs.
 type SolveRequest struct {
@@ -186,10 +223,27 @@ type SolveResponse struct {
 	ElapsedMS float64        `json:"elapsed_ms"`
 	ColdMS    float64        `json:"cold_ms"`
 	Schedule  []ScheduleItem `json:"schedule,omitempty"`
+	// Degraded marks an answer produced by a fallback rung after the
+	// primary solver failed recoverably; DegradedReason is the failure
+	// class that triggered the ladder (iteration-limit, singular-basis,
+	// nan-taint, infeasible, solver-panic). Both omitted on the normal
+	// path, so pre-existing responses are byte-identical.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
 }
 
 // errBadRequest marks errors caused by the request (vs. server failures).
 var errBadRequest = errors.New("bad request")
+
+// errOverloaded rejects solves past the admission bound (HTTP 429 with a
+// Retry-After hint): the pending queue is full, so queueing more work would
+// only grow latency without bound.
+var errOverloaded = errors.New("server: overloaded, pending queue full, retry later")
+
+// errShedDeadline drops requests whose client deadline expired while they
+// waited for a worker (HTTP 503 with Retry-After): the client has already
+// given up on this answer, so solving it would waste a worker.
+var errShedDeadline = errors.New("server: deadline expired while queued, request shed")
 
 func badRequestf(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{errBadRequest}, args...)...)
@@ -221,12 +275,12 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool 
 // and pool path as /v2, with the v2-only behaviours — quality-slot reads,
 // LP state capture, refine-behind — switched off so responses stay
 // byte-identical to the pre-v2 server.
-func (s *Server) solveOne(req *SolveRequest) (*SolveResponse, error) {
+func (s *Server) solveOne(ctx context.Context, req *SolveRequest) (*SolveResponse, error) {
 	v2 := &SolveRequestV2{
 		Instance: req.Instance, Algo: req.Algo, DeadlineMS: req.DeadlineMS,
 		Rho: req.Rho, Mu: req.Mu, NoCache: req.NoCache, IncludeSchedule: req.IncludeSchedule,
 	}
-	resp, err := s.serve(v2, true)
+	resp, err := s.serve(ctx, v2, true)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +293,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.solveOne(&req)
+	resp, err := s.solveOne(r.Context(), &req)
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -302,7 +356,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 					Instance: req.Instances[i], Algo: req.Algo, DeadlineMS: req.DeadlineMS,
 					Rho: req.Rho, Mu: req.Mu, NoCache: req.NoCache, IncludeSchedule: req.IncludeSchedule,
 				}
-				res, err := s.solveOne(&one)
+				res, err := s.solveOne(r.Context(), &one)
 				if err != nil {
 					resp.Results[i].Error = err.Error()
 				} else {
@@ -333,6 +387,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.jobs.create(time.Now())
 	if errors.Is(err, errJobsBusy) {
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		s.httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -342,7 +397,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	go func() {
 		s.jobs.setRunning(id)
-		res, err := s.solveOne(&req)
+		// Background context by contract: an accepted job must complete
+		// even after its submitter disconnects.
+		res, err := s.solveOne(context.Background(), &req)
 		s.jobs.finish(id, res, err, time.Now())
 	}()
 	s.writeJSON(w, http.StatusAccepted, JobAccepted{ID: id, URL: "/v1/jobs/" + id})
@@ -366,19 +423,49 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleReadyz answers readiness probes: 200 while the server accepts new
+// work, 503 once SetDraining(true) flips it (liveness, /healthz, is a
+// separate question — a draining process is alive but should get no new
+// traffic).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ready",
+		"workers": s.pool.Workers(),
+	})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.cacheEntries.Set(int64(s.cache.len()))
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, s.stats.String())
 }
 
-// solveError maps a solveOne error onto the right status code.
+// solveError maps a serve error onto the right status code. Recoverable
+// solver failures never reach here (the degradation ladder answers them);
+// what remains is client faults (400), load shedding (429/503 with a
+// Retry-After hint), the client's own cancellation or deadline (499/504),
+// and genuine server faults (500).
 func (s *Server) solveError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	if errors.Is(err, errBadRequest) {
-		status = http.StatusBadRequest
+	switch {
+	case errors.Is(err, errBadRequest):
+		s.httpError(w, http.StatusBadRequest, err)
+	case errors.Is(err, errOverloaded):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, errShedDeadline), errors.Is(err, errJobsBusy):
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		s.httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.Canceled):
+		s.httpError(w, statusClientClosedRequest, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.httpError(w, http.StatusGatewayTimeout, err)
+	default:
+		s.httpError(w, http.StatusInternalServerError, err)
 	}
-	s.httpError(w, status, err)
 }
 
 func (s *Server) httpError(w http.ResponseWriter, status int, err error) {

@@ -50,6 +50,10 @@ import (
 // re-solves cold (the transplanted basis would be too stale to help).
 const maxDeltaEdits = 8
 
+// shedMinWait is the least real queueing time before a deadline shed can
+// fire (see the shed check in serve).
+const shedMinWait = 5 * time.Millisecond
+
 // TaskEdit replaces one task's processing-time vector in a delta request.
 type TaskEdit struct {
 	// Task is the index of the task to edit (into the base instance).
@@ -197,7 +201,14 @@ func applyEdits(base *malsched.Instance, edits []TaskEdit) (*malsched.Instance, 
 // endpoints run with legacy false and get the full pipeline: delta
 // resolution, quality-first lookup for routed requests, capture on paper
 // solves, and refine-behind on deadline downgrades.
-func (s *Server) serve(req *SolveRequestV2, legacy bool) (*SolveResponseV2, error) {
+//
+// ctx is the request's context: it is threaded into the pool so a client
+// disconnect aborts the solve mid-pivot (the async job endpoints pass
+// context.Background() — a submitted job outlives its submitter by
+// contract). Solver failures run the degradation ladder (see degrade);
+// admission past the cache is bounded by s.pending with deadline-aware
+// shedding.
+func (s *Server) serve(ctx context.Context, req *SolveRequestV2, legacy bool) (*SolveResponseV2, error) {
 	start := time.Now()
 	in, warm, delta, err := s.resolveInstance(req)
 	if err != nil {
@@ -241,7 +252,7 @@ func (s *Server) serve(req *SolveRequestV2, legacy bool) (*SolveResponseV2, erro
 	// repeat at hit latency. Pinned requests skip this (pinning means
 	// "run THIS algorithm", not "at least this good").
 	var sol *solution
-	label := ""
+	label, degradedReason := "", ""
 	if !legacy && useCache && dec.routed {
 		if e, ok := s.cache.get(qkey); ok && e.tier >= tierOf(dec.algo) {
 			sol, label = e, "hit"
@@ -261,11 +272,35 @@ func (s *Server) serve(req *SolveRequestV2, legacy bool) (*SolveResponseV2, erro
 			if err := in.Validate(); err != nil {
 				return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 			}
+			// Admission control: past the cache, at most MaxPending
+			// requests may sit ahead of the solver pool; the rest are
+			// shed immediately (429) rather than queued without bound.
+			select {
+			case s.pending <- struct{}{}:
+			default:
+				s.stats.Add("shed_queue_full", 1)
+				return nil, errOverloaded
+			}
+			defer func() { <-s.pending }()
+			// Deadline-aware shedding: a request whose latency budget
+			// already expired while it waited (behind a failed
+			// singleflight leader, or parked in the pending queue) is
+			// dropped, not solved — solving it would burn a worker on an
+			// answer the client has given up on. The absolute floor keeps
+			// sub-millisecond deadlines meaning "route me cheap" (their
+			// established role) rather than "shed me": only real queueing
+			// time can trigger a shed.
+			if deadline > 0 {
+				if waited := time.Since(start); waited > deadline && waited >= shedMinWait {
+					s.stats.Add("shed_deadline", 1)
+					return nil, errShedDeadline
+				}
+			}
 			s.stats.Add("solves_"+dec.algo.String(), 1)
 			if delta != "" && dec.algo == malsched.AlgoPaper && !legacy {
 				s.stats.Add("delta_"+delta, 1)
 			}
-			res, err := s.pool.SolveAlgo(context.Background(), dec.algo, in, opts...)
+			res, err := s.pool.SolveAlgo(ctx, dec.algo, in, opts...)
 			if err != nil {
 				return nil, err
 			}
@@ -279,12 +314,26 @@ func (s *Server) serve(req *SolveRequestV2, legacy bool) (*SolveResponseV2, erro
 			sol, err = solve()
 			label = "bypass"
 		} else {
-			sol, out, err = s.cache.do(exactKey(fp, dec.algo, req), solve)
+			sol, out, err = s.cache.do(ctx, exactKey(fp, dec.algo, req), solve)
 			label = out.String()
 		}
 		s.stats.Add("cache_"+label, 1)
 		if err != nil {
-			return nil, err
+			// Degradation ladder: a recoverable solver failure is re-solved
+			// on a lower rung instead of surfacing as a 500. The fallback
+			// runs under its own flight key — never the exact key, so a
+			// degraded answer can't masquerade as a clean one — because a
+			// failed leader fans its error out to every singleflight waiter
+			// at once, and each running its own fallback would turn one
+			// fault into a re-solve stampede.
+			dsol, reason, ok := s.degradeShared(ctx, in, fp, dec, err, req, start, useCache)
+			if !ok {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					err = ctxErr
+				}
+				return nil, err
+			}
+			sol, degradedReason = dsol, reason
 		}
 		if !legacy && useCache {
 			s.cache.putIfBetter(qkey, sol)
@@ -306,6 +355,10 @@ func (s *Server) serve(req *SolveRequestV2, legacy bool) (*SolveResponseV2, erro
 		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
 		ColdMS:      float64(sol.coldNS) / float64(time.Millisecond),
 	}}
+	if degradedReason != "" {
+		resp.Degraded = true
+		resp.DegradedReason = degradedReason
+	}
 	if !legacy {
 		resp.Fingerprint = fp
 		resp.StructureFingerprint = in.StructureFingerprint()
@@ -326,6 +379,99 @@ func (s *Server) serve(req *SolveRequestV2, legacy bool) (*SolveResponseV2, erro
 		}
 	}
 	return resp, nil
+}
+
+// denseFallbackMaxTasks and denseFallbackMaxCells cap the dense-oracle
+// rung of the degradation ladder: the dense tableau materialises all n*m
+// supporting lines, so its cost scales with the task count *and* the
+// machine count. Past either bound the rung would trade a numerical
+// failure for a tableau storm (a 96-task, 16-machine instance already
+// pivots over a ~2000x3000 dense tableau); such instances fall straight
+// through to the greedy rung.
+const (
+	denseFallbackMaxTasks = 128
+	denseFallbackMaxCells = 1024
+)
+
+// degradeShared runs the degradation ladder at most once per request
+// identity: concurrent requests that inherited the same leader's failure
+// share one fallback solve through the cache's singleflight (under a
+// dedicated "degraded" key, so the answer never lands where a clean solve
+// would be read from). Without this, a failed leader turns every waiter
+// into an independent fallback solver at once. Cache-less requests fall
+// back to a direct ladder run.
+func (s *Server) degradeShared(ctx context.Context, in *malsched.Instance, fp string, dec routeDecision, cause error, req *SolveRequestV2, start time.Time, useCache bool) (*solution, string, bool) {
+	if !useCache {
+		return s.degrade(ctx, in, dec, cause, req, start)
+	}
+	kind := malsched.ClassifyFailure(cause)
+	if !kind.Recoverable() {
+		return nil, "", false
+	}
+	dsol, _, err := s.cache.do(ctx, "d|"+exactKey(fp, dec.algo, req), func() (*solution, error) {
+		d, _, ok := s.degrade(ctx, in, dec, cause, req, start)
+		if !ok {
+			// Report a dead context as such so live waiters retry the
+			// flight (cache.do's cancellation rule) instead of failing a
+			// healthy request with this leader's abandoned ladder.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, cause
+		}
+		return d, nil
+	})
+	if err != nil || dsol == nil {
+		return nil, "", false
+	}
+	return dsol, kind.String(), true
+}
+
+// degrade is the degradation ladder: after a recoverable solver failure
+// (iteration limit, singular basis, NaN taint, spurious infeasibility,
+// worker panic — see malsched.ClassifyFailure) it re-solves the instance on
+// progressively cheaper rungs and returns the first answer that lands,
+// together with the failure-class label the response carries. It reports
+// ok=false — and the caller surfaces the original error — when the failure
+// is not recoverable (bad request, cancellation) or every rung failed too.
+//
+//	rung 1: dense LP oracle — same paper-tier answer, none of the sparse
+//	        solver's basis machinery; small instances only.
+//	rung 2: greedy critical path — always cheap, tier "greedy".
+func (s *Server) degrade(ctx context.Context, in *malsched.Instance, dec routeDecision, cause error, req *SolveRequestV2, start time.Time) (*solution, string, bool) {
+	kind := malsched.ClassifyFailure(cause)
+	if !kind.Recoverable() {
+		return nil, "", false
+	}
+	reason := kind.String()
+	s.stats.Add("degrade_attempts", 1)
+	if dec.algo == malsched.AlgoPaper && len(in.Tasks) <= denseFallbackMaxTasks &&
+		len(in.Tasks)*in.M <= denseFallbackMaxCells {
+		var opts []malsched.Option
+		if req.Rho != nil {
+			opts = append(opts, malsched.WithRho(*req.Rho))
+		}
+		if req.Mu != nil {
+			opts = append(opts, malsched.WithMu(*req.Mu))
+		}
+		opts = append(opts, malsched.WithDenseLP())
+		if res, err := s.pool.SolveAlgo(ctx, malsched.AlgoPaper, in, opts...); err == nil {
+			s.stats.Add("degrade_dense", 1)
+			return &solution{
+				res: res, algo: malsched.AlgoPaper, tier: tierPaper,
+				inst: in, coldNS: int64(time.Since(start)),
+			}, reason, true
+		}
+	}
+	if res, err := s.pool.SolveAlgo(ctx, malsched.AlgoGreedyCP, in); err == nil {
+		s.stats.Add("degrade_greedy", 1)
+		return &solution{
+			res: res, algo: malsched.AlgoGreedyCP, tier: tierGreedy,
+			inst: in, coldNS: int64(time.Since(start)),
+		}, reason, true
+	}
+	s.stats.Add("degrade_exhausted", 1)
+	return nil, "", false
 }
 
 // maybeRefine queues a background paper solve behind a deadline-downgraded
@@ -390,7 +536,7 @@ func (s *Server) handleSolveV2(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	resp, err := s.serve(&req, false)
+	resp, err := s.serve(r.Context(), &req, false)
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -448,7 +594,7 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, r *http.Request) {
 					Instance: req.Instances[i], Algo: req.Algo, DeadlineMS: req.DeadlineMS,
 					Rho: req.Rho, Mu: req.Mu, NoCache: req.NoCache, IncludeSchedule: req.IncludeSchedule,
 				}
-				res, err := s.serve(&one, false)
+				res, err := s.serve(r.Context(), &one, false)
 				if err != nil {
 					resp.Results[i].Error = err.Error()
 				} else {
@@ -473,6 +619,7 @@ func (s *Server) handleJobSubmitV2(w http.ResponseWriter, r *http.Request) {
 	}
 	id, err := s.jobs.create(time.Now())
 	if errors.Is(err, errJobsBusy) {
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		s.httpError(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -482,7 +629,9 @@ func (s *Server) handleJobSubmitV2(w http.ResponseWriter, r *http.Request) {
 	}
 	go func() {
 		s.jobs.setRunning(id)
-		res, err := s.serve(&req, false)
+		// Background context by contract: an accepted job must complete
+		// (and stay queryable) even after its submitter disconnects.
+		res, err := s.serve(context.Background(), &req, false)
 		if err != nil {
 			s.jobs.finish(id, nil, err, time.Now())
 		} else {

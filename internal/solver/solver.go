@@ -12,6 +12,7 @@ package solver
 
 import (
 	"malsched/internal/allot"
+	"malsched/internal/cancelflag"
 	"malsched/internal/listsched"
 	"malsched/internal/prep"
 )
@@ -27,11 +28,29 @@ type Workspace struct {
 	// Pre is the instance-preprocessing workspace (transitive-reduction
 	// bitsets, chain scratch).
 	Pre *prep.Workspace
+
+	// cancel is the one cancellation flag shared by both phases' hot
+	// loops; the engine clears it per job and sets it from the job
+	// context's watcher (see CancelFlag).
+	cancel cancelflag.Flag
 }
 
 // NewWorkspace returns a workspace with both phases' buffers ready.
 func NewWorkspace() *Workspace {
-	return &Workspace{Allot: allot.NewWorkspace(), List: listsched.NewWorkspace(), Pre: prep.NewWorkspace()}
+	ws := &Workspace{Allot: allot.NewWorkspace(), List: listsched.NewWorkspace(), Pre: prep.NewWorkspace()}
+	ws.Allot.LP.Cancel = &ws.cancel
+	ws.List.Cancel = &ws.cancel
+	return ws
+}
+
+// CancelFlag returns the workspace's shared cancellation flag, which both
+// solver phases poll. Nil-safe: a nil workspace has no flag (and the
+// phases treat a nil flag as never canceled).
+func (ws *Workspace) CancelFlag() *cancelflag.Flag {
+	if ws == nil {
+		return nil
+	}
+	return &ws.cancel
 }
 
 // Reduce returns the instance with its precedence graph transitively

@@ -172,6 +172,16 @@ func WithMu(mu int) Option {
 	return func(o *solveConfig) { o.core.Mu = mu }
 }
 
+// WithDenseLP routes phase 1 through the dense reference LP oracle instead
+// of the sparse simplex. The dense tableau materialises every supporting
+// line, so this is only viable for small instances; it exists as the
+// serving layer's fallback rung when the sparse path hits numerical
+// trouble (the dense route shares none of the sparse solver's basis
+// machinery, so failures there do not reproduce here).
+func WithDenseLP() Option {
+	return func(o *solveConfig) { o.core.DenseLP = true }
+}
+
 // Solve runs the paper's two-phase approximation algorithm with the
 // parameter choices of Theorem 4.1 (overridable through options). For
 // solving many instances, or many requests concurrently, prefer a Pool: it

@@ -109,8 +109,10 @@ type BatchResult struct {
 // regardless of scheduling, so results are deterministic for any worker
 // count. Errors are isolated per instance — an invalid or failing instance
 // does not affect its siblings. When ctx is cancelled, instances not yet
-// started fail with the context's error; SolveBatch always waits for the
-// solves it started.
+// started fail with the context's error, and solves already running abort
+// at their next cancellation checkpoint (also with the context's error)
+// unless they finish first; SolveBatch always waits for the solves it
+// started.
 func (p *Pool) SolveBatch(ctx context.Context, ins []*Instance, opts ...Option) []BatchResult {
 	out := make([]BatchResult, len(ins))
 	all := p.combined(opts)

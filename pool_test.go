@@ -208,9 +208,11 @@ func TestPoolConcurrentSolvers(t *testing.T) {
 }
 
 // TestPoolCancelMidBatch cancels while the first solve of a batch is
-// running on a single worker: the started solve must complete (SolveBatch
-// waits for solves it started), everything still queued must fail with the
-// context's error, and the pool must stay usable.
+// running on a single worker: the started solve must terminate promptly —
+// completing if it beats the cancellation to the finish, or aborting with
+// the context's error at a cancel-flag checkpoint (the race between the
+// two is real and both outcomes are correct) — everything still queued
+// must fail with the context's error, and the pool must stay usable.
 func TestPoolCancelMidBatch(t *testing.T) {
 	ins := testBatch(t)
 	if len(ins) < 3 {
@@ -236,8 +238,17 @@ func TestPoolCancelMidBatch(t *testing.T) {
 	}()
 
 	out := pool.SolveBatch(ctx, ins, gate)
-	if out[0].Err != nil || out[0].Result == nil || out[0].Result.Makespan <= 0 {
-		t.Errorf("started solve: err=%v result=%+v, want completion", out[0].Err, out[0].Result)
+	switch {
+	case out[0].Err == nil:
+		if out[0].Result == nil || out[0].Result.Makespan <= 0 {
+			t.Errorf("started solve completed without a usable result: %+v", out[0].Result)
+		}
+	case errors.Is(out[0].Err, context.Canceled):
+		if out[0].Result != nil {
+			t.Errorf("started solve aborted but still produced a result")
+		}
+	default:
+		t.Errorf("started solve: err=%v, want completion or context.Canceled", out[0].Err)
 	}
 	for i := 1; i < len(out); i++ {
 		if !errors.Is(out[i].Err, context.Canceled) {
