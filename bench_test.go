@@ -149,20 +149,29 @@ type phase1Scenario struct {
 	dag  string // "erdos" or "layered"
 	p    float64
 	seed int64
+	// force pins the phase-1 formulation ("" = the production auto
+	// route by segment mass).
+	force allot.Formulation
 }
 
 var phase1Scenarios = []phase1Scenario{
-	{"erdos_n24_m8", 24, 8, "erdos", 0.2, 9}, // the historical small scenario
-	{"layered_n200_m16", 200, 16, "layered", 0, 9},
+	{"erdos_n24_m8", 24, 8, "erdos", 0.2, 9, ""}, // the historical small scenario
+	{"layered_n200_m16", 200, 16, "layered", 0, 9, ""},
 	// Routes through the segment-variable formulation (segment mass in
 	// the mid window; see internal/allot/segment.go).
-	{"layered_n500_m32", 500, 32, "layered", 0, 9},
+	{"layered_n500_m32", 500, 32, "layered", 0, 9, allot.FormulationSegment},
 	// Dense random precedence at scale: the scenario where transitive
 	// reduction (internal/prep) pays — ~2/3 of its arcs are implied.
-	{"erdos_n500_m48", 500, 48, "erdos", 0.03, 9},
+	{"erdos_n500_m48", 500, 48, "erdos", 0.03, 9, allot.FormulationSegment},
 	// Above the segment window: the lazy-cut loop with dual restarts.
-	{"layered_n1000_m64", 1000, 64, "layered", 0, 9},
-	{"layered_n2000_m64", 2000, 64, "layered", 0, 9},
+	{"layered_n1000_m64", 1000, 64, "layered", 0, 9, allot.FormulationLazy},
+	{"layered_n2000_m64", 2000, 64, "layered", 0, 9, allot.FormulationLazy},
+	// The parametric min-cut sweep on the ISSUE-5 headline scenario
+	// (auto now routes it here; the pin keeps the measurement stable
+	// against router retunes), and the scale the simplex paths never
+	// reached.
+	{"layered_n2000_m64_mincut", 2000, 64, "layered", 0, 9, allot.FormulationMincut},
+	{"layered_n10000_m64", 10000, 64, "layered", 0, 9, ""},
 }
 
 func (sc phase1Scenario) build() *allot.Instance {
@@ -186,6 +195,7 @@ func BenchmarkPhase1LP(b *testing.B) {
 		b.Run(sc.name, func(b *testing.B) {
 			in := sc.build()
 			ws := solver.NewWorkspace()
+			ws.LP().ForceFormulation = sc.force
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -42,12 +42,13 @@ func main() {
 	exact := flag.Bool("exact", false, "run the brute-force exact study instead")
 	phase1 := flag.Bool("phase1", false, "run the phase-1 LP scaling study instead")
 	phase1max := flag.Int("phase1max", 2000, "largest task count for -phase1")
+	phase1form := flag.String("phase1formulation", "", "pin the -phase1 formulation: lazy, segment, mincut or dense (empty = auto routing)")
 	n := flag.Int("n", 24, "tasks per instance (approximate)")
 	workers := flag.Int("workers", 0, "solver workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *phase1 {
-		phase1Study(*seed, *phase1max)
+		phase1Study(*seed, *phase1max, *phase1form)
 		return
 	}
 	pool := engine.New(*workers)
@@ -59,15 +60,17 @@ func main() {
 	ratioStudy(pool, *seed, *trials, *n)
 }
 
-// phase1Study measures the lazy-cut sparse phase 1 across instance sizes
-// (EXPERIMENTS.md E11): layered DAGs, mixed task families, machine sizes
-// growing with n. Each row reports the warm-workspace solve time, the
-// model size, and how many supporting-line cuts the separation loop
-// materialised out of the Θ(n·m) it avoided building.
-func phase1Study(seed int64, nmax int) {
-	fmt.Println("phase-1 LP scaling (lazy cuts + sparse revised simplex)")
-	fmt.Println("n\tm\tedges\ttime\tcuts\trounds\tC*")
+// phase1Study measures phase 1 across instance sizes (EXPERIMENTS.md E11,
+// E16): layered DAGs, mixed task families, machine sizes growing with n.
+// Each row reports the warm-workspace solve time, the model size, which
+// formulation solved the row (pinned, or the router's pick), and that
+// formulation's effort counters — lazy cuts and separation rounds on the
+// simplex routes, sweep breakpoints and flow augmentations on mincut.
+func phase1Study(seed int64, nmax int, formulation string) {
+	fmt.Println("phase-1 LP scaling")
+	fmt.Println("n\tm\tedges\tformulation\ttime\tcuts\trounds\tC*")
 	ws := allot.NewWorkspace()
+	ws.ForceFormulation = allot.Formulation(formulation)
 	for _, cfg := range []struct{ n, m int }{
 		{100, 16}, {200, 16}, {500, 32}, {1000, 64}, {2000, 64}, {5000, 64}, {10000, 64},
 	} {
@@ -85,7 +88,8 @@ func phase1Study(seed int64, nmax int) {
 			fmt.Printf("%d\t%d\t%d\tERROR: %v\n", cfg.n, cfg.m, g.M(), err)
 			continue
 		}
-		fmt.Printf("%d\t%d\t%d\t%v\t%d\t%d\t%.4f\n", g.N(), cfg.m, g.M(), el.Round(time.Millisecond), frac.Cuts, frac.Rounds, frac.C)
+		fmt.Printf("%d\t%d\t%d\t%s\t%v\t%d\t%d\t%.4f\n",
+			g.N(), cfg.m, g.M(), frac.Formulation, el.Round(time.Millisecond), frac.Cuts, frac.Rounds, frac.C)
 	}
 }
 

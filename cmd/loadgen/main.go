@@ -49,12 +49,13 @@ import (
 // keeps no import on the server internals; the wire format is the
 // contract). Base and Edits are v2-only and stay empty on /v1 requests.
 type request struct {
-	Instance   *malsched.Instance `json:"instance,omitempty"`
-	Base       string             `json:"base,omitempty"`
-	Edits      []taskEdit         `json:"edits,omitempty"`
-	Algo       string             `json:"algo,omitempty"`
-	DeadlineMS float64            `json:"deadline_ms,omitempty"`
-	NoCache    bool               `json:"no_cache,omitempty"`
+	Instance    *malsched.Instance `json:"instance,omitempty"`
+	Base        string             `json:"base,omitempty"`
+	Edits       []taskEdit         `json:"edits,omitempty"`
+	Algo        string             `json:"algo,omitempty"`
+	DeadlineMS  float64            `json:"deadline_ms,omitempty"`
+	NoCache     bool               `json:"no_cache,omitempty"`
+	Formulation string             `json:"formulation,omitempty"`
 }
 
 // taskEdit mirrors internal/server.TaskEdit.
@@ -87,6 +88,7 @@ func main() {
 	testdataDir := flag.String("testdata", "testdata", "directory of instance JSON files")
 	genExtra := flag.Int("gen", 0, "additional generated layered n=96 m=16 instances in the mix")
 	algo := flag.String("algo", "", "algo field for every request (empty = auto routing)")
+	formulation := flag.String("formulation", "", "formulation field for every request: lazy, segment, mincut or dense (empty = auto; v2 only, forces /v2/solve)")
 	deadlineMS := flag.Float64("deadline-ms", 0, "deadline_ms field for every request")
 	noCache := flag.Bool("no-cache", false, "bypass the server's result cache (cold path)")
 	edits := flag.Int("edits", 0, "v2 delta workload: edit this many random tasks of a solved base per request (0 = plain /v1 replay)")
@@ -121,15 +123,19 @@ func main() {
 
 	var bodies [][]byte
 	url := *addr + "/v1/solve"
-	if *edits > 0 {
+	if *edits > 0 || *formulation != "" {
+		// Formulation pins are a v2-only request field (v1 ignores
+		// unknown fields by contract, which would silently drop the pin).
 		url = *addr + "/v2/solve"
+	}
+	if *edits > 0 {
 		if err := prime(client, url, mix, *algo); err != nil {
 			fmt.Fprintf(os.Stderr, "loadgen: priming bases: %v\n", err)
 			os.Exit(2)
 		}
 	} else {
 		for _, ni := range mix {
-			raw, err := json.Marshal(request{Instance: ni.in, Algo: *algo, DeadlineMS: *deadlineMS, NoCache: *noCache})
+			raw, err := json.Marshal(request{Instance: ni.in, Algo: *algo, DeadlineMS: *deadlineMS, NoCache: *noCache, Formulation: *formulation})
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
 				os.Exit(2)
@@ -159,6 +165,7 @@ func main() {
 						Base:  base.fp,
 						Edits: randomEdits(base.in, *edits, rng),
 						Algo:  *algo, DeadlineMS: *deadlineMS, NoCache: *noCache,
+						Formulation: *formulation,
 					})
 					if err != nil {
 						st.errs++
@@ -231,6 +238,7 @@ func main() {
 		fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
 			pct(all, 50), pct(all, 90), pct(all, 99), all[len(all)-1].Round(time.Microsecond))
 	}
+	reportFormulations(client, *addr)
 	if errs > 0 {
 		fmt.Fprintf(os.Stderr, "loadgen: %d requests failed (first: %s)\n", errs, errSample)
 		os.Exit(1)
@@ -238,6 +246,41 @@ func main() {
 	// Sheds deliberately do not trip the exit: a 429/503 with Retry-After
 	// is the server protecting itself, which is exactly the behaviour
 	// under test in overload runs.
+}
+
+// reportFormulations scrapes the server's versioned /metrics document
+// (schema_version >= 2) and prints the per-formulation phase-1 section —
+// how the server's formulation router actually spread this run's solves.
+// Silent on older servers or scrape failures: the report is advisory.
+func reportFormulations(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		SchemaVersion int `json:"schema_version"`
+		Formulations  map[string]struct {
+			Solves   int64 `json:"solves"`
+			Cuts     int64 `json:"cuts"`
+			Rounds   int64 `json:"rounds"`
+			WarmHits int64 `json:"warm_hits"`
+			Degrades int64 `json:"degrades"`
+		} `json:"formulations"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&doc) != nil || doc.SchemaVersion < 2 {
+		return
+	}
+	names := make([]string, 0, len(doc.Formulations))
+	for name := range doc.Formulations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := doc.Formulations[name]
+		fmt.Printf("formulation %-8s solves %d, cuts %d, rounds %d, warm %d, degrades %d\n",
+			name, f.Solves, f.Cuts, f.Rounds, f.WarmHits, f.Degrades)
+	}
 }
 
 // loadMix reads every testdata instance and appends genExtra generated

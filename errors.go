@@ -7,6 +7,7 @@ import (
 	"malsched/internal/allot"
 	"malsched/internal/core"
 	"malsched/internal/engine"
+	"malsched/internal/flow"
 	"malsched/internal/lp"
 )
 
@@ -43,7 +44,10 @@ func ClassifyFailure(err error) FailureKind {
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, lp.ErrCanceled):
 		return FailNone
-	case errors.Is(err, lp.ErrIterLimit):
+	case errors.Is(err, lp.ErrIterLimit),
+		errors.Is(err, flow.ErrStalled):
+		// A stalled parametric sweep is the flow core's iteration-budget
+		// analogue: progress stopped, a simplex rung can still answer.
 		return FailIterLimit
 	case errors.Is(err, lp.ErrSingular):
 		return FailSingular

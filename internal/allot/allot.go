@@ -87,6 +87,28 @@ func (in *Instance) Frontiers() []malleable.Frontier {
 	return fs
 }
 
+// Formulation names one of the interchangeable solve paths for LP (9).
+// All four optimise the same slope-representative relaxation and agree
+// on the optimum to the cut tolerance; they differ in machinery and in
+// which instance shapes they are fast on.
+type Formulation string
+
+const (
+	// FormulationLazy: sparse simplex with lazy supporting-line cuts
+	// and dual-simplex warm restarts (this file).
+	FormulationLazy Formulation = "lazy"
+	// FormulationSegment: the columnwise segment-variable
+	// reformulation, solved in one artificial-free call (segment.go).
+	FormulationSegment Formulation = "segment"
+	// FormulationMincut: Fulkerson's parametric min-cut sweep on the
+	// project-crashing network (mincut.go + internal/flow).
+	FormulationMincut Formulation = "mincut"
+	// FormulationDense: the dense reference tableau (reference.go),
+	// the differential oracle and the degradation ladder's last solver
+	// rung.
+	FormulationDense Formulation = "dense"
+)
+
 // Fractional is the optimal solution of LP (9).
 type Fractional struct {
 	X     []float64 // x*_j: fractional processing times
@@ -95,9 +117,12 @@ type Fractional struct {
 	L     float64   // L*: fractional critical-path length
 	W     float64   // W*: fractional total work
 	LStar []float64 // l*_j = w_j(x*_j)/x*_j (Eq. 12)
-	// Cuts is the number of supporting-line rows generated lazily beyond
-	// the two endpoint lines per task; Rounds the number of dual-simplex
-	// warm restarts the cut loop needed. Diagnostics only.
+	// Formulation records which solve path produced this solution.
+	Formulation Formulation
+	// Cuts and Rounds are per-formulation solve-effort diagnostics: on
+	// the lazy path, supporting-line rows generated beyond the two
+	// endpoint seeds and dual-simplex warm restarts; on the mincut
+	// path, parametric breakpoints and warm augmenting paths.
 	Cuts, Rounds int
 }
 
@@ -145,23 +170,48 @@ func SolveLPWith(in *Instance, ws *Workspace) (*Fractional, error) {
 	n := in.G.N()
 	fronts := ws.frontiers(in)
 
-	// Route by frontier segment mass: in the mid regime the lazy-cut
-	// loop would materialise thousands of rows one dual restart at a
-	// time, while the segment-variable formulation (segment.go) solves
-	// the same relaxation in a single call on a basis that never grows
-	// (see the crossover notes at segFormulationMin).
-	if thr := ws.SegThreshold; thr >= 0 {
-		lo, hi := segFormulationMin, segFormulationMax
-		if thr > 0 {
-			lo, hi = thr, math.MaxInt
-		}
+	// Route between the formulations. A pinned formulation (requests,
+	// tests, LP-snapshot capture) short-circuits; otherwise route by
+	// frontier segment mass: beyond mincutFormulationMin the parametric
+	// sweep dominates both simplex paths (mincut.go), in the mid window
+	// the segment-variable formulation beats the lazy loop's one-
+	// restart-per-row-batch convergence (see the crossover notes at
+	// segFormulationMin/mincutFormulationMin), and small instances stay
+	// on the lazy-cut loop below.
+	switch ws.ForceFormulation {
+	case FormulationSegment:
+		return solveLPSegments(in, ws, fronts)
+	case FormulationMincut:
+		return solveLPMincut(in, ws, fronts)
+	case FormulationDense:
+		return SolveLPReference(in)
+	case FormulationLazy:
+		// fall through to the lazy-cut loop
+	case "":
 		total := 0
 		for j := range fronts {
 			total += fronts[j].Segments()
 		}
-		if total >= lo && total <= hi {
-			return solveLPSegments(in, ws, fronts)
+		if thr := ws.MincutThreshold; thr >= 0 {
+			lo := mincutFormulationMin
+			if thr > 0 {
+				lo = thr
+			}
+			if total >= lo {
+				return solveLPMincut(in, ws, fronts)
+			}
 		}
+		if thr := ws.SegThreshold; thr >= 0 {
+			lo, hi := segFormulationMin, segFormulationMax
+			if thr > 0 {
+				lo, hi = thr, math.MaxInt
+			}
+			if total >= lo && total <= hi {
+				return solveLPSegments(in, ws, fronts)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("allot: unknown formulation %q", ws.ForceFormulation)
 	}
 
 	p := ws.buildBaseLP(in, fronts)
@@ -401,13 +451,14 @@ func (ws *Workspace) runCutLoop(p *lp.Problem, fronts []malleable.Frontier, sol 
 func extractFractional(sol *lp.Solution, fronts []malleable.Frontier, cuts, rounds int) *Fractional {
 	n := len(fronts)
 	out := &Fractional{
-		X:      make([]float64, n),
-		Wbar:   make([]float64, n),
-		LStar:  make([]float64, n),
-		C:      sol.Obj,
-		L:      sol.X[3*n],
-		Cuts:   cuts,
-		Rounds: rounds,
+		X:           make([]float64, n),
+		Wbar:        make([]float64, n),
+		LStar:       make([]float64, n),
+		C:           sol.Obj,
+		L:           sol.X[3*n],
+		Formulation: FormulationLazy,
+		Cuts:        cuts,
+		Rounds:      rounds,
 	}
 	for j := 0; j < n; j++ {
 		out.X[j] = clamp(sol.X[n+j], fronts[j].XMin(), fronts[j].XMax())

@@ -1,0 +1,107 @@
+// The parametric min-cut ("mincut") formulation of LP (9). LP (9) is
+// exactly the classical project-crashing LP: minimise
+// C = max(L(x), W(x)/m) where L is the critical-path length of the
+// activity network under processing times x and W the total work, with
+// each task's work a convex piecewise-linear non-increasing function of
+// its time. Fulkerson's parametric min-cut sweep (internal/flow) traces
+// phi(lambda) = min{W : L(x) <= lambda} downward from the uncrashed
+// critical path, one min-cut breakpoint at a time, and stops at the
+// crossing of m*lambda with phi — the optimum of the max — in
+// near-linear time per breakpoint, with no simplex involved at all.
+//
+// The network is the standard activity-on-arc expansion of the reduced
+// DAG: task j becomes arc in_j -> out_j with base duration XMax_j and a
+// crashing curve read off the same slope-representative work envelope
+// the simplex paths optimise (repFill in segment.go — the 1e-6 slope
+// collapse makes all three formulations solve the identical relaxation,
+// which is what the differential suite pins); precedence (i,j) becomes
+// the rigid zero-length arc out_i -> in_j, DAG sources hang off the
+// super-source S and sinks feed the super-sink T, mirroring row for row
+// how buildBaseLP emits x_j <= C_j only for sources and C_j <= L only
+// for sinks.
+//
+// The payoff over both simplex formulations is structural: a simplex
+// solve pays a pivot per envelope piece the optimum crosses against an
+// ever-growing basis factorization, while the sweep pays roughly one
+// warm augmenting path per parametric breakpoint on a graph of 2n+2
+// nodes — layered n=2000/m=64 drops from ~18 s (lazy) to ~1.1 s,
+// measured back to back on the same machine, and n=10^4 lands in
+// ~46 s where the simplex paths never finished (EXPERIMENTS.md E16).
+
+package allot
+
+import (
+	"fmt"
+
+	"malsched/internal/malleable"
+)
+
+// mincutFormulationMin is the frontier segment mass beyond which
+// SolveLPWith routes to the parametric min-cut formulation. Measured on
+// the BenchmarkPhase1LP scenarios (see segment.go for the lazy/segment
+// crossovers): the sweep already wins at the bottom of the segment
+// window — n=200/m=16 (mass ~2.4k): lazy 19ms vs mincut 2ms;
+// n=500/m=32 (mass ~12k): segment 0.48s vs mincut 8ms — and scales
+// near-linearly where both simplex paths are quadratic-plus, so the
+// window is open-ended above. Below ~2k mass the lazy loop converges in
+// a couple of restarts on a tiny basis and the crossing is in the
+// noise; the sweep takes over from the segment window's former floor.
+const mincutFormulationMin = 6000
+
+// solveLPMincut builds the project-crashing network for the instance
+// and runs the parametric sweep. fronts are the instance's efficient
+// frontiers (already computed into ws).
+func solveLPMincut(in *Instance, ws *Workspace, fronts []malleable.Frontier) (*Fractional, error) {
+	n := in.G.N()
+	fw := &ws.Flow
+	fw.Cancel = ws.LP.Cancel
+	fw.Reset(2*n + 2)
+	const src, snk = 0, 1
+	taskArc := growInt32(ws.mcArc, n)
+	wfloor := 0.0
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		wfloor += f.W[0]
+		taskArc[j] = int32(fw.Arc(2+2*j, 3+2*j, f.XMax()))
+		if f.Segments() >= 1 {
+			sigmas := ws.repFill(f)
+			for k := range sigmas {
+				fw.Piece(sigmas[k], ws.repWidth[k])
+			}
+		}
+		if len(in.G.Preds(j)) == 0 {
+			fw.Arc(src, 2+2*j, 0)
+		}
+		for _, s := range in.G.Succs(j) {
+			fw.Arc(3+2*j, 2+2*s, 0)
+		}
+		if len(in.G.Succs(j)) == 0 {
+			fw.Arc(3+2*j, snk, 0)
+		}
+	}
+	ws.mcArc = taskArc
+
+	c, err := fw.Sweep(src, snk, float64(in.M), wfloor)
+	if err != nil {
+		return nil, fmt.Errorf("allot: LP (9) mincut formulation failed: %w", err)
+	}
+
+	out := &Fractional{
+		X:           make([]float64, n),
+		Wbar:        make([]float64, n),
+		LStar:       make([]float64, n),
+		C:           c,
+		L:           fw.Lambda,
+		Formulation: FormulationMincut,
+		Cuts:        fw.Breakpoints,
+		Rounds:      fw.Augments,
+	}
+	for j := 0; j < n; j++ {
+		f := &fronts[j]
+		out.X[j] = clamp(f.XMax()-fw.Y(int(taskArc[j])), f.XMin(), f.XMax())
+		out.Wbar[j] = f.WorkAt(out.X[j])
+		out.W += out.Wbar[j]
+		out.LStar[j] = f.FractionalAlloc(out.X[j])
+	}
+	return out, nil
+}

@@ -79,11 +79,12 @@ func SolveLPReference(in *Instance) (*Fractional, error) {
 	}
 
 	out := &Fractional{
-		X:     make([]float64, n),
-		Wbar:  make([]float64, n),
-		LStar: make([]float64, n),
-		C:     sol.Obj,
-		L:     sol.X[vL],
+		X:           make([]float64, n),
+		Wbar:        make([]float64, n),
+		LStar:       make([]float64, n),
+		C:           sol.Obj,
+		L:           sol.X[vL],
+		Formulation: FormulationDense,
 	}
 	for j := 0; j < n; j++ {
 		out.X[j] = clamp(sol.X[xj(j)], fronts[j].XMin(), fronts[j].XMax())

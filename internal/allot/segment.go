@@ -228,11 +228,12 @@ func solveLPSegments(in *Instance, ws *Workspace, fronts []malleable.Frontier) (
 	}
 
 	out := &Fractional{
-		X:     make([]float64, n),
-		Wbar:  make([]float64, n),
-		LStar: make([]float64, n),
-		C:     cHat + sol.Obj, // sol.Obj = -gC*
-		L:     lhat - sol.X[vGL],
+		X:           make([]float64, n),
+		Wbar:        make([]float64, n),
+		LStar:       make([]float64, n),
+		C:           cHat + sol.Obj, // sol.Obj = -gC*
+		L:           lhat - sol.X[vGL],
+		Formulation: FormulationSegment,
 	}
 	for j := 0; j < n; j++ {
 		f := &fronts[j]

@@ -2,6 +2,7 @@ package allot
 
 import (
 	"malsched/internal/dag"
+	"malsched/internal/flow"
 	"malsched/internal/lp"
 	"malsched/internal/malleable"
 	"malsched/internal/prep"
@@ -62,6 +63,24 @@ type Workspace struct {
 	// measured default (segFormulationMin), negative disables the route.
 	// Exposed for tests and experiments.
 	SegThreshold int
+
+	// MincutThreshold overrides the frontier-segment count beyond which
+	// SolveLPWith routes to the parametric min-cut formulation, with the
+	// same semantics as SegThreshold: 0 means the measured default
+	// (mincutFormulationMin), negative disables the route. The mincut
+	// window is checked before the segment window.
+	MincutThreshold int
+
+	// ForceFormulation, when non-empty, pins SolveLPWith to one solve
+	// path regardless of segment mass — the request-level formulation
+	// pin of the serving API, and how CaptureLP keeps the solve on the
+	// lazy route (snapshots only exist there).
+	ForceFormulation Formulation
+
+	// Flow is the parametric min-cut scratch of the mincut formulation;
+	// mcArc maps task j to its crashable arc in the built network.
+	Flow  flow.Workspace
+	mcArc []int32
 
 	// Segment-formulation scratch: the representative-line buffers of the
 	// per-task envelope fills (see segment.go).

@@ -40,10 +40,18 @@ type Options struct {
 	// SkipVerify skips the final feasibility check (for benchmarks).
 	SkipVerify bool
 	// CaptureLP asks for a warm-start snapshot of the phase-1 LP in
-	// Result.LPSnapshot. Capturing forces the LP onto the lazy-cut route
-	// (the segment-variable formulation's column layout depends on the
-	// processing-time values, so its bases are not transplantable).
+	// Result.LPSnapshot. Snapshots only exist on the lazy-cut route (the
+	// other formulations have no transplantable basis), so capture is
+	// best-effort: when the router sends the solve elsewhere — e.g. a
+	// large instance onto the min-cut sweep — the result simply carries
+	// no snapshot. Pin Formulation to lazy to make capture unconditional.
 	CaptureLP bool
+	// Formulation pins the phase-1 LP formulation (lazy, segment, mincut
+	// or dense); empty lets the router pick by instance shape. A dense pin
+	// routes through the reference oracle exactly like DenseLP. Pins other
+	// than lazy are incompatible with CaptureLP/WarmLP, whose snapshots
+	// only exist on the lazy simplex route.
+	Formulation allot.Formulation
 	// WarmLP warm-starts phase 1 from a snapshot captured on an instance
 	// with the same structure (task count, DAG shape, machine count) —
 	// the serving layer's delta path. Mismatched snapshots degrade to a
@@ -124,29 +132,50 @@ func SolveWith(in *allot.Instance, opt Options, ws *solver.Workspace) (*Result, 
 	// release it on exit so a pooled workspace does not pin the instance.
 	defer ws.Release()
 	lpws := ws.LP()
-	if lpws == nil && (opt.CaptureLP || opt.WarmLP != nil) {
-		lpws = allot.NewWorkspace() // capture needs a handle on the solve's state
+	if lpws == nil && (opt.CaptureLP || opt.WarmLP != nil || opt.Formulation != "") {
+		lpws = allot.NewWorkspace() // capture and pinning need a handle on the solve's state
 	}
-	if opt.CaptureLP && lpws.SegThreshold >= 0 {
-		prev := lpws.SegThreshold
-		lpws.SegThreshold = -1 // snapshots exist on the lazy route only
-		defer func() { lpws.SegThreshold = prev }()
+	pin := opt.Formulation
+	switch pin {
+	case "", allot.FormulationLazy, allot.FormulationSegment,
+		allot.FormulationMincut, allot.FormulationDense:
+	default:
+		return nil, fmt.Errorf("core: unknown formulation %q (valid: %s, %s, %s, %s)",
+			pin, allot.FormulationLazy, allot.FormulationSegment,
+			allot.FormulationMincut, allot.FormulationDense)
+	}
+	if pin != "" && pin != allot.FormulationLazy {
+		if opt.CaptureLP {
+			return nil, fmt.Errorf("core: CaptureLP requires the lazy formulation, not %q", pin)
+		}
+		if opt.WarmLP != nil {
+			return nil, fmt.Errorf("core: WarmLP requires the lazy formulation, not %q", pin)
+		}
 	}
 	var frac *allot.Fractional
 	var err error
 	switch {
-	case opt.DenseLP:
+	case opt.DenseLP || pin == allot.FormulationDense:
 		frac, err = allot.SolveLPReference(red)
 	case opt.WarmLP != nil:
 		frac, err = allot.SolveLPDeltaWith(red, lpws, opt.WarmLP)
 	default:
-		frac, err = allot.SolveLPWith(red, lpws)
+		if pin != "" {
+			prev := lpws.ForceFormulation
+			lpws.ForceFormulation = pin
+			frac, err = allot.SolveLPWith(red, lpws)
+			lpws.ForceFormulation = prev
+		} else {
+			frac, err = allot.SolveLPWith(red, lpws)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
 	var snap *allot.LPSnapshot
-	if opt.CaptureLP {
+	if opt.CaptureLP && frac.Formulation == allot.FormulationLazy {
+		// Only the lazy route leaves a transplantable basis + cut log in
+		// the workspace; after any other route the capture state is stale.
 		snap = lpws.CaptureLP(red)
 	}
 	alphaPrime := allot.RoundWith(red, frac, choice.Rho, lpws)

@@ -38,6 +38,10 @@ const (
 	// BGLaneDrop drops a background-lane submission as if the lane were
 	// full (engine.FaultBGDrop).
 	BGLaneDrop = "bg-lane-drop"
+	// FlowSweepStall stalls the parametric min-cut sweep mid-solve, as if
+	// an augmentation budget were exhausted (flow.FaultSweep). Surfaces as
+	// flow.ErrStalled; the ladder retries on a simplex rung.
+	FlowSweepStall = "flow-sweep-stall"
 )
 
 // Injector decides, per named point, whether each successive call fires.

@@ -32,6 +32,7 @@ import (
 	"malsched/internal/allot"
 	"malsched/internal/engine"
 	"malsched/internal/faultinject"
+	"malsched/internal/flow"
 	"malsched/internal/lp"
 )
 
@@ -47,10 +48,14 @@ func TestChaos(t *testing.T) {
 		Set(faultinject.CutWorkerPanic, 0.01).
 		Set(faultinject.CacheShardError, 0.02).
 		Set(faultinject.SlowSolve, 0.02).
-		Set(faultinject.BGLaneDrop, 0.10)
+		Set(faultinject.BGLaneDrop, 0.10).
+		// Consulted once per sweep event, so even a low rate stalls a
+		// fair share of the mincut-pinned solves below.
+		Set(faultinject.FlowSweepStall, 0.01)
 
 	lp.FaultLUFactor = inj.Hook(faultinject.LUFactorFail)
 	allot.FaultCutWorker = inj.Hook(faultinject.CutWorkerPanic)
+	flow.FaultSweep = inj.Hook(faultinject.FlowSweepStall)
 	FaultCacheShard = inj.Hook(faultinject.CacheShardError)
 	slow := inj.Hook(faultinject.SlowSolve)
 	engine.FaultSlowSolve = func() time.Duration {
@@ -63,6 +68,7 @@ func TestChaos(t *testing.T) {
 	t.Cleanup(func() {
 		lp.FaultLUFactor = nil
 		allot.FaultCutWorker = nil
+		flow.FaultSweep = nil
 		FaultCacheShard = nil
 		engine.FaultSlowSolve = nil
 		engine.FaultBGDrop = nil
@@ -84,16 +90,33 @@ func TestChaos(t *testing.T) {
 		mu        sync.Mutex
 		jobs      []string           // accepted job URLs
 		bestTier  = map[string]int{} // fingerprint -> highest tier seen via probes
+		probeSer  = map[string]*sync.Mutex{}
 		responses int
 		degraded  int
 		shed      int
 	)
 	rank := map[string]int{"greedy": 1, "paper": 2}
 
+	// Probes of the same fingerprint are serialized (per-fp lock held
+	// across the GET): the quality slot is tier-monotonic on the server,
+	// but two overlapping probes can read it in one order and report in
+	// the other, and that observation-order race would look like a
+	// regression. Serial probes observe the slot in read order, so the
+	// monotonicity check below is exact. Distinct fingerprints still
+	// probe concurrently.
 	probe := func(tb testing.TB, fp string) {
 		if fp == "" {
 			return
 		}
+		mu.Lock()
+		ser := probeSer[fp]
+		if ser == nil {
+			ser = &sync.Mutex{}
+			probeSer[fp] = ser
+		}
+		mu.Unlock()
+		ser.Lock()
+		defer ser.Unlock()
 		resp, err := http.Get(ts.URL + "/v2/solutions/" + fp)
 		if err != nil {
 			tb.Errorf("probe: %v", err)
@@ -145,6 +168,12 @@ func TestChaos(t *testing.T) {
 					req.Algo = "greedy"
 				case 2:
 					req.DeadlineMS = float64(1 + rng.Intn(50))
+				case 3:
+					// Pin the parametric min-cut formulation so the armed
+					// flow-sweep fault point actually sits on the solve
+					// path; its stalls must ride the ladder like any other
+					// recoverable failure.
+					req.Formulation = "mincut"
 				}
 				async := rng.Intn(4) == 0
 
@@ -252,6 +281,7 @@ func TestChaos(t *testing.T) {
 	for _, name := range []string{
 		faultinject.LUFactorFail, faultinject.CutWorkerPanic,
 		faultinject.CacheShardError, faultinject.SlowSolve,
+		faultinject.FlowSweepStall,
 	} {
 		t.Logf("fault %-18s fired %d/%d", name, inj.Fired(name), inj.Calls(name))
 	}

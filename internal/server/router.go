@@ -21,21 +21,50 @@ import (
 // LTW 20.6 ms, greedy 4.1 ms (E12). It stays reachable by pinning
 // "algo": "ltw" (the comparison baseline of the paper's Table 3).
 //
-// The cost model is a one-coefficient fit of the committed benchmarks
-// (EXPERIMENTS.md E13, Xeon 2.10GHz): after the devex/preprocessing/
-// segment-formulation push, BenchmarkPhase1LP runs at ~0.5 µs·n² around
-// n=200, ~2 µs·n² at n=500 and ~2.7 µs·n² at n=2000; the coefficient is
-// pinned near the top of that band so deadline estimates stay
-// conservative at the scales where overshooting hurts most. Deadlines
-// only reroute when the estimate overshoots them outright.
+// The cost model is a two-regime fit of the committed benchmarks
+// (EXPERIMENTS.md E13/E16, Xeon 2.10GHz). In the simplex regimes (small
+// segment mass: the lazy and segment formulations) BenchmarkPhase1LP
+// runs at ~0.5 µs·n² around n=200 up to ~2.7 µs·n² at n=2000, and the
+// coefficient is pinned near the top of that band so deadline estimates
+// stay conservative at the scales where overshooting hurts most. Past
+// the internal router's min-cut window (frontier segment mass >= 6000,
+// allot's mincutFormulationMin) phase 1 is the parametric sweep
+// instead, measured at ~0.28 µs·n² (n=2000/m=64) to ~0.46 µs·n²
+// (n=10000/m=64) — the large-n coefficient sits above that band too.
+// Deadlines only reroute when the estimate overshoots them outright.
 const (
-	// paperNSPerN2 estimates a paper solve at paperNSPerN2 * n^2 ns.
+	// paperNSPerN2 estimates a simplex-regime paper solve at
+	// paperNSPerN2 * n^2 ns.
 	paperNSPerN2 = 2600
-	// autoPaperMaxTasks caps the paper algorithm for deadline-free auto
-	// requests: n = 1500 estimates to ~6 s, the most a serving worker
-	// should sink into one unconstrained request.
-	autoPaperMaxTasks = 1500
+	// mincutNSPerN2 is the same estimate once the instance lands in the
+	// min-cut window.
+	mincutNSPerN2 = 600
+	// mincutMassEst mirrors allot's mincutFormulationMin: beyond this
+	// estimated frontier segment mass phase 1 runs the parametric sweep.
+	// The router cannot afford to build frontiers just to route, so the
+	// mass is estimated at ~2/3 segments per task per machine less one —
+	// the density measured on the mixed-family benchmark instances
+	// (~41 of 63 at m=64).
+	mincutMassEst = 6000
+	// autoPaperBudget caps the paper algorithm's estimate for
+	// deadline-free auto requests — the most a serving worker should
+	// sink into one unconstrained request. With phase 1 on the
+	// parametric sweep this admits n = 10000 at the benchmark shapes
+	// (estimate 60 s, measured 46 s — E16); small-m instances, which
+	// never leave the simplex regime, hit the same wall near n = 4800.
+	autoPaperBudget = 60 * time.Second
 )
+
+// paperEstimate predicts a paper solve's latency from the shape the
+// router can see without building anything: task count and machine
+// count.
+func paperEstimate(n, m int) time.Duration {
+	coef := int64(paperNSPerN2)
+	if segs := 2 * (m - 1) / 3; segs >= 1 && n*segs >= mincutMassEst {
+		coef = mincutNSPerN2
+	}
+	return time.Duration(coef * int64(n) * int64(n))
+}
 
 // routeDecision records what the router chose and why; reason strings are
 // stable enough to assert on and informative enough to return to clients.
@@ -57,7 +86,7 @@ func route(in *malsched.Instance, pinned *malsched.Algorithm, deadline time.Dura
 		return routeDecision{algo: *pinned, reason: "pinned by request"}
 	}
 	n := len(in.Tasks)
-	paperEst := time.Duration(paperNSPerN2 * int64(n) * int64(n))
+	paperEst := paperEstimate(n, in.M)
 
 	if deadline > 0 {
 		if paperEst <= deadline {
@@ -67,10 +96,10 @@ func route(in *malsched.Instance, pinned *malsched.Algorithm, deadline time.Dura
 		return routeDecision{algo: malsched.AlgoGreedyCP, routed: true, downgraded: true,
 			reason: fmt.Sprintf("paper estimate %v over deadline %v", paperEst, deadline)}
 	}
-	if n <= autoPaperMaxTasks {
+	if paperEst <= autoPaperBudget {
 		return routeDecision{algo: malsched.AlgoPaper, routed: true,
-			reason: fmt.Sprintf("n=%d within paper budget (<=%d tasks)", n, autoPaperMaxTasks)}
+			reason: fmt.Sprintf("paper estimate %v within the unconstrained budget %v", paperEst, autoPaperBudget)}
 	}
 	return routeDecision{algo: malsched.AlgoGreedyCP, routed: true,
-		reason: fmt.Sprintf("n=%d over the LP budget (<=%d tasks)", n, autoPaperMaxTasks)}
+		reason: fmt.Sprintf("paper estimate %v over the unconstrained budget %v", paperEst, autoPaperBudget)}
 }

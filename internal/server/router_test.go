@@ -31,8 +31,14 @@ func TestRouteBySize(t *testing.T) {
 		want malsched.Algorithm
 	}{
 		{10, 8, malsched.AlgoPaper},
-		{autoPaperMaxTasks, 8, malsched.AlgoPaper},
-		{autoPaperMaxTasks + 1, 8, malsched.AlgoGreedyCP},
+		// m=8 clears the estimated min-cut window well before the
+		// budget matters: 600 ns * n^2 admits exactly n = 10000.
+		{10000, 8, malsched.AlgoPaper},
+		{10001, 8, malsched.AlgoGreedyCP},
+		// m=2 never leaves the simplex regime (no segment mass to
+		// speak of), so the same budget cuts off near n = 4800.
+		{4800, 2, malsched.AlgoPaper},
+		{5000, 2, malsched.AlgoGreedyCP},
 	}
 	for _, c := range cases {
 		dec := route(routeInstance(c.n, c.m), nil, 0)

@@ -106,6 +106,9 @@ type Server struct {
 
 	stats        *expvar.Map
 	cacheEntries expvar.Int // sampled into stats on /metrics
+	// forms aggregates per-formulation phase-1 effort for the /metrics
+	// "formulations" section (see metrics.go).
+	forms formulationMetrics
 }
 
 // New starts a server (and its solver pool) with the given configuration.
@@ -436,12 +439,6 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		"status":  "ready",
 		"workers": s.pool.Workers(),
 	})
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.cacheEntries.Set(int64(s.cache.len()))
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, s.stats.String())
 }
 
 // solveError maps a serve error onto the right status code. Recoverable

@@ -529,7 +529,9 @@ func TestHealthz(t *testing.T) {
 	}
 }
 
-// metrics fetches /metrics and returns its numeric fields.
+// metrics fetches /metrics and returns its top-level numeric fields (the
+// deprecated flat aliases plus schema_version; the nested per-formulation
+// section is decoded by the tests that assert on it).
 func metrics(t *testing.T, ts *httptest.Server) map[string]float64 {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -541,9 +543,15 @@ func metrics(t *testing.T, ts *httptest.Server) map[string]float64 {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status %d", resp.StatusCode)
 	}
-	var out map[string]float64
-	if err := json.Unmarshal(data, &out); err != nil {
-		t.Fatalf("metrics is not flat numeric JSON: %s", data)
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatalf("metrics is not a JSON object: %s", data)
+	}
+	out := make(map[string]float64, len(raw))
+	for k, v := range raw {
+		if f, ok := v.(float64); ok {
+			out[k] = f
+		}
 	}
 	return out
 }

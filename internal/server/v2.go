@@ -83,6 +83,12 @@ type SolveRequestV2 struct {
 	Mu              *int     `json:"mu,omitempty"`
 	NoCache         bool     `json:"no_cache,omitempty"`
 	IncludeSchedule bool     `json:"include_schedule,omitempty"`
+	// Formulation pins the phase-1 LP formulation of a paper-tier solve
+	// (lazy, segment, mincut or dense); empty lets the solver's internal
+	// router pick by instance shape. Unknown values are a 400. Pins other
+	// than lazy disable LP state capture, so such answers cannot seed a
+	// later warm delta solve.
+	Formulation string `json:"formulation,omitempty"`
 }
 
 // SolveResponseV2 answers a v2 solve: the v1 fields plus the identity
@@ -104,17 +110,27 @@ type SolveResponseV2 struct {
 	// was scheduled behind this answer, "dropped" when the background
 	// lane was full.
 	Refine string `json:"refine,omitempty"`
+	// Formulation is the phase-1 LP formulation that produced this answer
+	// (lazy, segment, mincut or dense); empty for baseline algorithms,
+	// which never solve the LP.
+	Formulation string `json:"formulation,omitempty"`
 }
 
 // paramSuffix canonically encodes the parameter overrides the paper
-// algorithm consumes, for cache keys ("" without overrides).
-func paramSuffix(rho *float64, mu *int) string {
+// algorithm consumes, for cache keys ("" without overrides). A pinned
+// formulation is part of the key: "run THIS formulation" must never be
+// answered from a slot another formulation filled (the optima agree, but
+// the pin is a contract about what ran, and the response reports it).
+func paramSuffix(rho *float64, mu *int, formulation string) string {
 	s := ""
 	if mu != nil {
 		s += "|mu=" + strconv.Itoa(*mu)
 	}
 	if rho != nil {
 		s += "|rho=" + strconv.FormatFloat(*rho, 'e', 12, 64)
+	}
+	if formulation != "" {
+		s += "|f=" + formulation
 	}
 	return s
 }
@@ -125,7 +141,7 @@ func paramSuffix(rho *float64, mu *int) string {
 func exactKey(fp string, algo malsched.Algorithm, req *SolveRequestV2) string {
 	key := "a|" + fp + "|" + algo.String()
 	if algo == malsched.AlgoPaper {
-		key += paramSuffix(req.Rho, req.Mu)
+		key += paramSuffix(req.Rho, req.Mu, req.Formulation)
 	}
 	return key
 }
@@ -134,7 +150,7 @@ func exactKey(fp string, algo malsched.Algorithm, req *SolveRequestV2) string {
 // identity (plus the paper parameter overrides, which change what the
 // best answer even is).
 func qualityKey(fp string, req *SolveRequestV2) string {
-	return "q|" + fp + paramSuffix(req.Rho, req.Mu)
+	return "q|" + fp + paramSuffix(req.Rho, req.Mu, req.Formulation)
 }
 
 // resolveInstance materialises the instance a v2 request asks about:
@@ -225,6 +241,10 @@ func (s *Server) serve(ctx context.Context, req *SolveRequestV2, legacy bool) (*
 		}
 		pinned = &algo
 	}
+	formulation, err := malsched.ParseFormulation(req.Formulation)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
 	deadline, err := parseDeadline(req.DeadlineMS)
 	if err != nil {
 		return nil, err
@@ -237,6 +257,9 @@ func (s *Server) serve(ctx context.Context, req *SolveRequestV2, legacy bool) (*
 	}
 	if req.Mu != nil {
 		opts = append(opts, malsched.WithMu(*req.Mu))
+	}
+	if formulation != "" {
+		opts = append(opts, malsched.WithFormulation(formulation))
 	}
 
 	useCache := !req.NoCache && s.cache != nil
@@ -260,9 +283,14 @@ func (s *Server) serve(ctx context.Context, req *SolveRequestV2, legacy bool) (*
 	}
 
 	if sol == nil {
-		if dec.algo == malsched.AlgoPaper && !legacy {
+		if dec.algo == malsched.AlgoPaper && !legacy &&
+			(formulation == "" || formulation == malsched.FormulationLazy) {
 			// Capture on every v2 paper solve: the snapshot is what makes
-			// this identity a usable delta base later.
+			// this identity a usable delta base later. Snapshots only exist
+			// on the lazy simplex route, so other formulation pins skip the
+			// option, and capture stays best-effort underneath — a solve
+			// the internal router sends to the min-cut sweep just returns
+			// no state, and the identity is not delta-ready.
 			opts = append(opts, malsched.WithCapture())
 			if warm != nil {
 				opts = append(opts, malsched.WithWarmStart(warm))
@@ -304,6 +332,7 @@ func (s *Server) serve(ctx context.Context, req *SolveRequestV2, legacy bool) (*
 			if err != nil {
 				return nil, err
 			}
+			s.recordFormulation(res, delta == "warm")
 			return &solution{
 				res: res, algo: dec.algo, tier: tierOf(dec.algo),
 				inst: in, state: res.State, coldNS: int64(time.Since(start)),
@@ -365,6 +394,7 @@ func (s *Server) serve(ctx context.Context, req *SolveRequestV2, legacy bool) (*
 		resp.Tier = sol.tier.String()
 		resp.Delta = delta
 		resp.Refine = s.maybeRefine(in, fp, qkey, dec, req)
+		resp.Formulation = string(sol.res.Formulation)
 	}
 	if req.IncludeSchedule {
 		items := sol.res.Schedule.Items
@@ -445,6 +475,7 @@ func (s *Server) degrade(ctx context.Context, in *malsched.Instance, dec routeDe
 	}
 	reason := kind.String()
 	s.stats.Add("degrade_attempts", 1)
+	s.recordFormulationDegrade(req.Formulation)
 	if dec.algo == malsched.AlgoPaper && len(in.Tasks) <= denseFallbackMaxTasks &&
 		len(in.Tasks)*in.M <= denseFallbackMaxCells {
 		var opts []malsched.Option
@@ -493,13 +524,21 @@ func (s *Server) maybeRefine(in *malsched.Instance, fp, qkey string, dec routeDe
 	if req.Mu != nil {
 		opts = append(opts, malsched.WithMu(*req.Mu))
 	}
-	opts = append(opts, malsched.WithCapture())
+	// The refinement honours the request's formulation pin (its answer
+	// lands under formulation-keyed slots); capture stays lazy-only.
+	if f, err := malsched.ParseFormulation(req.Formulation); err == nil && f != "" {
+		opts = append(opts, malsched.WithFormulation(f))
+	}
+	if req.Formulation == "" || req.Formulation == string(malsched.FormulationLazy) {
+		opts = append(opts, malsched.WithCapture())
+	}
 	enqueued := time.Now()
 	ok := s.pool.TrySolveBackground(malsched.AlgoPaper, in, func(res *malsched.Result, err error) {
 		if err != nil {
 			s.stats.Add("refine_failed", 1)
 			return
 		}
+		s.recordFormulation(res, false)
 		sol := &solution{
 			res: res, algo: malsched.AlgoPaper, tier: tierPaper,
 			inst: in, state: res.State, coldNS: int64(time.Since(enqueued)),
@@ -652,6 +691,9 @@ type SolutionProbe struct {
 	LowerBound  float64 `json:"lower_bound,omitempty"`
 	Guarantee   float64 `json:"guarantee,omitempty"`
 	DeltaReady  bool    `json:"delta_ready"`
+	// Formulation is the phase-1 LP formulation that produced the cached
+	// answer ("" for a greedy-tier entry, which never solved the LP).
+	Formulation string `json:"formulation,omitempty"`
 }
 
 func (s *Server) handleSolutionProbe(w http.ResponseWriter, r *http.Request) {
@@ -668,11 +710,21 @@ func (s *Server) handleSolutionProbe(w http.ResponseWriter, r *http.Request) {
 	}
 	if v := r.URL.Query().Get("rho"); v != "" {
 		rho, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid rho %q", v))
+		if err != nil || math.IsNaN(rho) || math.IsInf(rho, 0) {
+			// ParseFloat happily returns NaN/±Inf for "NaN"/"Inf" — values
+			// paramSuffix would encode into a key no solve ever wrote, and
+			// that a solve request would have rejected as invalid rho.
+			s.httpError(w, http.StatusBadRequest, fmt.Errorf("invalid rho %q: must be a finite number", v))
 			return
 		}
 		req.Rho = &rho
+	}
+	if v := r.URL.Query().Get("formulation"); v != "" {
+		if _, err := malsched.ParseFormulation(v); err != nil {
+			s.httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		req.Formulation = v
 	}
 	e, ok := s.cache.get(qualityKey(fp, req))
 	if !ok {
@@ -687,5 +739,6 @@ func (s *Server) handleSolutionProbe(w http.ResponseWriter, r *http.Request) {
 		LowerBound:  e.res.LowerBound,
 		Guarantee:   e.res.Guarantee,
 		DeltaReady:  e.state != nil,
+		Formulation: string(e.res.Formulation),
 	})
 }

@@ -91,6 +91,31 @@ func TestV1ContractLock(t *testing.T) {
 			}
 		})
 	}
+
+	// The v2-only "formulation" request field must be ignored by /v1 (not
+	// rejected, not honoured) and must never appear in a /v1 response: the
+	// shim stays byte-identical to the pre-formulation server.
+	t.Run("formulation field ignored", func(t *testing.T) {
+		resp, data := postJSON(t, ts.URL+"/v1/solve", map[string]any{
+			"instance": in, "algo": "paper", "formulation": "mincut",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var got map[string]any
+		if err := json.Unmarshal(data, &got); err != nil {
+			t.Fatal(err)
+		}
+		if _, leaked := got["formulation"]; leaked {
+			t.Errorf("v1 response leaked a formulation field: %s", data)
+		}
+		if got["algo"] != "paper" {
+			t.Errorf("v1 response algo = %v, want paper: %s", got["algo"], data)
+		}
+		if strings.Contains(string(data), "formulation") {
+			t.Errorf("v1 response body mentions formulation: %s", data)
+		}
+	})
 }
 
 // editTimes scales one task's time vector, keeping its shape (length and

@@ -146,6 +146,15 @@ type Result struct {
 	Mu          int
 	Rho         float64
 	ProvenRatio float64
+	// Formulation records which phase-1 LP formulation actually solved
+	// the allotment problem ("" for baseline heuristics, which skip it).
+	Formulation Formulation
+	// LPCuts and LPRounds are phase-1 effort diagnostics, with
+	// formulation-dependent meaning: the simplex routes report lazy cuts
+	// added and separation rounds, the min-cut sweep reports parameter
+	// breakpoints and flow augmentations. Both 0 for baselines.
+	LPCuts   int
+	LPRounds int
 	// State is the warm-start handle captured when the solve ran with
 	// WithCapture (nil otherwise, and nil when capture was impossible).
 	State *SolverState
@@ -159,6 +168,31 @@ type solveConfig struct {
 	warm    *SolverState
 }
 
+// Formulation names a phase-1 LP formulation: the lazy-cut sparse
+// simplex, the segment-variable simplex, the parametric min-cut sweep,
+// or the dense reference oracle. The empty value lets the router pick
+// by instance shape.
+type Formulation = allot.Formulation
+
+// The phase-1 formulations a solve can report or be pinned to.
+const (
+	FormulationLazy    = allot.FormulationLazy
+	FormulationSegment = allot.FormulationSegment
+	FormulationMincut  = allot.FormulationMincut
+	FormulationDense   = allot.FormulationDense
+)
+
+// ParseFormulation validates a formulation name from an external surface
+// (API request, CLI flag). The empty string parses to the auto route.
+func ParseFormulation(s string) (Formulation, error) {
+	switch f := Formulation(s); f {
+	case "", FormulationLazy, FormulationSegment, FormulationMincut, FormulationDense:
+		return f, nil
+	}
+	return "", fmt.Errorf("malsched: unknown formulation %q (valid: %s, %s, %s, %s)",
+		s, FormulationLazy, FormulationSegment, FormulationMincut, FormulationDense)
+}
+
 // Option configures Solve.
 type Option func(*solveConfig)
 
@@ -170,6 +204,13 @@ func WithRho(rho float64) Option {
 // WithMu overrides the allotment threshold mu in [1, m].
 func WithMu(mu int) Option {
 	return func(o *solveConfig) { o.core.Mu = mu }
+}
+
+// WithFormulation pins the phase-1 LP formulation instead of letting the
+// router pick by instance shape. Pins other than lazy are incompatible
+// with warm-start capture (snapshots only exist on the lazy route).
+func WithFormulation(f Formulation) Option {
+	return func(o *solveConfig) { o.core.Formulation = f }
 }
 
 // WithDenseLP routes phase 1 through the dense reference LP oracle instead
@@ -218,6 +259,11 @@ func solveWith(in *Instance, ws *solver.Workspace, opts []Option) (*Result, erro
 		Mu:          res.Params.Mu,
 		Rho:         res.Params.Rho,
 		ProvenRatio: res.Params.R,
+	}
+	if res.Fractional != nil {
+		out.Formulation = res.Fractional.Formulation
+		out.LPCuts = res.Fractional.Cuts
+		out.LPRounds = res.Fractional.Rounds
 	}
 	if res.LPSnapshot != nil {
 		out.State = &SolverState{snap: res.LPSnapshot, structFP: in.StructureFingerprint()}

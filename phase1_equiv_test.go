@@ -49,6 +49,24 @@ func TestPhase1MatchesReferenceOnCanned(t *testing.T) {
 			if lb := math.Max(sparse.L, sparse.W/float64(ai.M)); lb > sparse.C+1e-6*(1+sparse.C) {
 				t.Errorf("lower-bound certificate broken: max{L,W/m}=%v > C*=%v", lb, sparse.C)
 			}
+			// The parametric min-cut sweep must land on the same optimum
+			// on the committed corpus (random families are covered in
+			// internal/allot/mincut_test.go).
+			ws.ForceFormulation = allot.FormulationMincut
+			mc, err := allot.SolveLPWith(ai, ws)
+			ws.ForceFormulation = ""
+			if err != nil {
+				t.Fatalf("mincut: %v", err)
+			}
+			if mc.Formulation != allot.FormulationMincut {
+				t.Fatalf("mincut pin solved via %q", mc.Formulation)
+			}
+			if d := math.Abs(mc.C - ref.C); d > 1e-6*(1+math.Abs(ref.C)) {
+				t.Errorf("mincut optimum differs by %v: mincut %v, reference %v", d, mc.C, ref.C)
+			}
+			if lb := math.Max(mc.L, mc.W/float64(ai.M)); lb > mc.C+1e-6*(1+mc.C) {
+				t.Errorf("mincut certificate broken: max{L,W/m}=%v > C*=%v", lb, mc.C)
+			}
 		})
 	}
 }
