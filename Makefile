@@ -24,7 +24,7 @@ BENCH_SMOKE = Phase1LP|WorkspaceReuse|PoolThroughput|List$$|ListReference/layere
 # (Phase2List at 27us would gate on scheduler jitter).
 BENCH_KEY = BenchmarkPhase1LP/|BenchmarkList/|BenchmarkServe/|BenchmarkServeDelta/
 
-.PHONY: all build test race bench bench-json bench-gate chaos cover lint staticcheck ci testdata
+.PHONY: all build test race bench bench-json bench-gate chaos cover lint lint-selftest staticcheck govulncheck fuzz-smoke ci testdata
 
 all: build
 
@@ -77,12 +77,21 @@ chaos:
 		-chaos.clients=$(CHAOS_CLIENTS) -chaos.requests=$(CHAOS_REQUESTS) -chaos.seed=$(CHAOS_SEED)
 
 # Coverage profile + per-package summary + the internal/server floor the CI
-# coverage job enforces (soft there, hard here).
+# coverage job enforces (soft there, hard here). The extraction demands
+# exactly one internal/server coverage line: zero means the package was
+# skipped or renamed (a floor silently comparing "" >= 70 would pass), more
+# than one means the grep is matching something it shouldn't — either way
+# the target fails loudly instead of green-lighting garbage.
 cover:
 	$(GO) test -coverprofile=cover.out ./... > coverage.txt || { cat coverage.txt; exit 1; }
 	@cat coverage.txt
 	$(GO) tool cover -func=cover.out | tail -1
-	@pct=$$(grep -o 'internal/server.*coverage: [0-9.]*' coverage.txt | grep -o '[0-9.]*$$'); \
+	@lines=$$(grep -o 'malsched/internal/server[[:space:]].*coverage: [0-9.]*' coverage.txt || true); \
+	n=$$(printf '%s\n' "$$lines" | grep -c 'coverage:' || true); \
+	if [ "$$n" -ne 1 ]; then \
+		echo "cover: expected exactly one internal/server coverage line, found $$n" >&2; exit 1; \
+	fi; \
+	pct=$$(printf '%s\n' "$$lines" | grep -o '[0-9.]*$$'); \
 	echo "internal/server coverage: $$pct%"; \
 	awk -v p="$$pct" 'BEGIN { exit !(p >= 70) }' || { echo "internal/server below 70% floor" >&2; exit 1; }
 
@@ -92,6 +101,14 @@ lint:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
 	$(GO) vet ./...
+	$(GO) run ./cmd/malschedvet ./...
+
+# Proves the lint gate can actually fail: the malschedvet self-tests build a
+# scratch module, inject a known violation, and assert a nonzero exit (plus
+# the clean-module and clean-repo passes). CI runs this next to lint so a
+# silently-broken analyzer suite cannot keep rubber-stamping pushes.
+lint-selftest:
+	$(GO) test -count=1 ./cmd/malschedvet ./internal/analysis/...
 
 # staticcheck runs when the binary is available (CI installs it; locally:
 # go install honnef.co/go/tools/cmd/staticcheck@2024.1.1) and is skipped
@@ -103,7 +120,26 @@ staticcheck:
 		echo "staticcheck not installed; skipping (see Makefile for install hint)"; \
 	fi
 
-ci: lint staticcheck build race
+# govulncheck mirrors the staticcheck pattern: run when installed (locally:
+# go install golang.org/x/vuln/cmd/govulncheck@latest), skip with a notice
+# otherwise so offline machines still get a green make ci.
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (see Makefile for install hint)"; \
+	fi
+
+# Short deterministic fuzz pass over the parsing/quantization surfaces; the
+# corpora under testdata/fuzz (if any) plus 10s of generated inputs each.
+# Mirrors the CI fuzz-smoke step. Longer local sessions: go test
+# -fuzz FuzzQuantize -fuzztime 5m .
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseAlgorithm$$' -fuzztime=10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseFormulation$$' -fuzztime=10s .
+	$(GO) test -run '^$$' -fuzz '^FuzzQuantize$$' -fuzztime=10s .
+
+ci: lint lint-selftest staticcheck govulncheck build race
 	$(GO) test -run '^$$' -bench '$(BENCH_SMOKE)' -benchtime=1x -benchmem .
 
 # Regenerate the canned instances under testdata/ (families x machine sizes

@@ -1,0 +1,109 @@
+// Command malschedvet is the repo's custom vet suite: six analyzers that
+// turn the bug classes chaos testing kept rediscovering into build-time
+// errors. `make lint` and the CI lint job run it over ./...; it exits
+// nonzero when any invariant is violated. DESIGN.md §10 catalogs the
+// analyzers and the //malsched: annotation vocabulary.
+//
+// Usage:
+//
+//	go run ./cmd/malschedvet [-dir moduleroot] [packages...]
+//
+// Each analyzer is gated to the packages where its invariant applies
+// (matched by import-path suffix, so the suite works on any module
+// mirroring the repo layout — which is also what the self-test uses):
+//
+//	ctxdetach   internal/server, internal/engine
+//	cancelpoll  internal/lp, internal/flow, internal/listsched, internal/allot
+//	retryafter  internal/server
+//	faulthook   all packages
+//	noalloc     all packages
+//	errlabel    all packages
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"malsched/internal/analysis"
+	"malsched/internal/analysis/cancelpoll"
+	"malsched/internal/analysis/ctxdetach"
+	"malsched/internal/analysis/errlabel"
+	"malsched/internal/analysis/faulthook"
+	"malsched/internal/analysis/noalloc"
+	"malsched/internal/analysis/retryafter"
+)
+
+// A gate binds an analyzer to the import paths it checks.
+type gate struct {
+	analyzer *analysis.Analyzer
+	match    func(importPath string) bool
+}
+
+func suffixes(sfx ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range sfx {
+			if path == s || strings.HasSuffix(path, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func all(string) bool { return true }
+
+var suite = []gate{
+	{ctxdetach.Analyzer, suffixes("internal/server", "internal/engine")},
+	{cancelpoll.Analyzer, suffixes("internal/lp", "internal/flow", "internal/listsched", "internal/allot")},
+	{retryafter.Analyzer, suffixes("internal/server")},
+	{faulthook.Analyzer, all},
+	{noalloc.Analyzer, all},
+	{errlabel.Analyzer, all},
+}
+
+func main() {
+	args := os.Args[1:]
+	dir := "."
+	if len(args) >= 2 && args[0] == "-dir" {
+		dir, args = args[1], args[2:]
+	}
+	os.Exit(vet(dir, args, os.Stdout, os.Stderr))
+}
+
+// vet runs the suite and returns the process exit code: 0 clean, 1 with
+// violations, 2 on load/internal errors.
+func vet(dir string, patterns []string, out, errOut io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader := analysis.NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(errOut, "malschedvet: %v\n", err)
+		return 2
+	}
+	violations := 0
+	for _, pkg := range pkgs {
+		for _, g := range suite {
+			if !g.match(pkg.ImportPath) {
+				continue
+			}
+			diags, err := analysis.Run(g.analyzer, pkg)
+			if err != nil {
+				fmt.Fprintf(errOut, "malschedvet: %v\n", err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintln(out, d)
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(errOut, "malschedvet: %d violation(s)\n", violations)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module so the gate is exercised
+// end-to-end: go list resolution, suffix-gated analyzers, exit codes.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module vetselftest\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestInjectedViolationFails is the gate's self-test: a module with a
+// known ctxdetach violation must make the suite exit nonzero. If this
+// test fails, the CI lint gate has silently rotted.
+func TestInjectedViolationFails(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"internal/server/server.go": `package server
+
+import "context"
+
+func detached() context.Context {
+	return context.Background()
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := vet(dir, []string{"./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("vet on injected violation: exit %d, want 1\nout: %s\nerr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "ctxdetach") || !strings.Contains(out.String(), "context.Background()") {
+		t.Errorf("diagnostic should name the analyzer and the call, got:\n%s", out.String())
+	}
+}
+
+// TestCleanModulePasses pins the inverse: annotated or out-of-gate code
+// exits 0.
+func TestCleanModulePasses(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		// Annotated detach inside the gated package.
+		"internal/server/server.go": `package server
+
+import "context"
+
+func job() context.Context {
+	//malsched:detach accepted job outlives its submitter
+	return context.Background()
+}
+`,
+		// Un-annotated Background outside any gated package.
+		"cmd/tool/main.go": `package main
+
+import "context"
+
+func main() {
+	_ = context.Background()
+}
+`,
+	})
+	var out, errOut bytes.Buffer
+	if code := vet(dir, []string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("vet on clean module: exit %d, want 0\nout: %s\nerr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestSuiteCleanOnRepo runs the full suite over the repo itself — the
+// tree must stay violation-free, mirroring the CI lint job.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	var out, errOut bytes.Buffer
+	if code := vet("../..", []string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("malschedvet is red on the repo (exit %d):\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -65,20 +65,37 @@ func ClassifyFailure(err error) FailureKind {
 // answer for this failure.
 func (k FailureKind) Recoverable() bool { return k != FailNone }
 
+// The stable reason labels carried by degraded responses and metrics.
+// These constants are the single source of truth for the label strings:
+// the errlabel analyzer (cmd/malschedvet) flags any other string literal
+// with one of these values, so a label typo'd into a response or a
+// metrics key cannot drift from the taxonomy.
+const (
+	labelIterLimit  = "iteration-limit"
+	labelSingular   = "singular-basis"
+	labelNumeric    = "nan-taint"
+	labelInfeasible = "infeasible"
+	labelPanic      = "solver-panic"
+)
+
 // String returns the stable reason label used in degraded responses and
-// metrics ("" for FailNone).
+// metrics ("" for FailNone). The switch lists every FailureKind
+// explicitly — errlabel enforces exhaustiveness, so adding a Fail* class
+// without wiring its label here is a build-time error.
 func (k FailureKind) String() string {
 	switch k {
+	case FailNone:
+		return ""
 	case FailIterLimit:
-		return "iteration-limit"
+		return labelIterLimit
 	case FailSingular:
-		return "singular-basis"
+		return labelSingular
 	case FailNumeric:
-		return "nan-taint"
+		return labelNumeric
 	case FailInfeasible:
-		return "infeasible"
+		return labelInfeasible
 	case FailPanic:
-		return "solver-panic"
+		return labelPanic
 	}
 	return ""
 }

@@ -1,0 +1,105 @@
+package malsched
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAlgorithm pins the parse/String contract: parsing never panics,
+// a successful parse round-trips through the canonical name, and the
+// canonical name is one of the documented five.
+func FuzzParseAlgorithm(f *testing.F) {
+	for _, seed := range []string{"paper", "ours", "ltw", "greedy", "seq", "sequential", "full", "", "PAPER", "paper ", "lt"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAlgorithm(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "unknown algorithm") {
+				t.Fatalf("ParseAlgorithm(%q): unexpected error text %v", s, err)
+			}
+			return
+		}
+		name := a.String()
+		switch name {
+		case "paper", "ltw", "greedy", "seq", "full":
+		default:
+			t.Fatalf("ParseAlgorithm(%q) = %v with non-canonical name %q", s, a, name)
+		}
+		back, err := ParseAlgorithm(name)
+		if err != nil {
+			t.Fatalf("ParseAlgorithm(%q) does not round-trip: %v", name, err)
+		}
+		if back != a {
+			t.Fatalf("ParseAlgorithm(%q) = %v, round-trips to %v", s, a, back)
+		}
+	})
+}
+
+// FuzzParseFormulation pins that validation is a pure identity on the
+// accepted set: a successful parse returns the input string unchanged and
+// re-parses to itself, and rejection never panics.
+func FuzzParseFormulation(f *testing.F) {
+	for _, seed := range []string{"", "lazy", "segment", "mincut", "dense", "Lazy", "lazy ", "auto"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fm, err := ParseFormulation(s)
+		if err != nil {
+			if fm != "" {
+				t.Fatalf("ParseFormulation(%q) returned %q alongside error %v", s, fm, err)
+			}
+			return
+		}
+		if string(fm) != s {
+			t.Fatalf("ParseFormulation(%q) mutated the value to %q", s, fm)
+		}
+		back, err := ParseFormulation(string(fm))
+		if err != nil || back != fm {
+			t.Fatalf("ParseFormulation(%q) does not round-trip: %v, %v", fm, back, err)
+		}
+	})
+}
+
+// FuzzQuantize pins the quantization invariants the content-addressed cache
+// depends on: quantize is idempotent, canonicalizes every NaN payload and
+// both zero signs onto one value, and two processing times quantizing equal
+// yield equal instance fingerprints (while distinct quantizations keep the
+// fingerprints apart — no accidental collapse of genuinely different
+// instances).
+func FuzzQuantize(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(0.0, math.Copysign(0, -1))
+	f.Add(math.NaN(), math.Float64frombits(0x7ff8000000000001))
+	f.Add(math.Inf(1), math.MaxFloat64)
+	f.Add(1.0, 1.0+1e-14)
+	f.Add(1.0, 2.0)
+	f.Fuzz(func(t *testing.T, x, y float64) {
+		qx, qy := quantize(x), quantize(y)
+
+		// Idempotence: re-quantizing a quantized value is the identity.
+		if rq := quantize(math.Float64frombits(qx)); rq != qx {
+			t.Fatalf("quantize not idempotent at %g: %#x -> %#x", x, qx, rq)
+		}
+
+		// Canonical folds.
+		if math.IsNaN(x) && qx != math.Float64bits(math.NaN()) {
+			t.Fatalf("NaN payload %#x not canonicalized: got %#x", math.Float64bits(x), qx)
+		}
+		if x == 0 && qx != 0 {
+			t.Fatalf("zero (sign bit %v) quantized to %#x, want 0", math.Signbit(x), qx)
+		}
+
+		// Equal quantized values <=> equal fingerprints for instances that
+		// differ only in that one processing time.
+		mk := func(p float64) *Instance {
+			return &Instance{M: 1, Tasks: []Task{NewTask("", []float64{p})}}
+		}
+		fx, fy := mk(x).Fingerprint(), mk(y).Fingerprint()
+		if (qx == qy) != (fx == fy) {
+			t.Fatalf("quantize(%g)=%#x quantize(%g)=%#x but fingerprint equality is %v",
+				x, qx, y, qy, fx == fy)
+		}
+	})
+}

@@ -144,6 +144,8 @@ func canonicalEdges(in [][2]int) [][2]int {
 // pass through unchanged; -0.0 is canonicalized to +0.0 — the two compare
 // equal and schedule identically, so leaving the sign bit in place would
 // split cache entries for the same scheduling problem.
+//
+//malsched:noalloc
 func quantize(p float64) uint64 {
 	if math.IsNaN(p) {
 		return math.Float64bits(math.NaN())

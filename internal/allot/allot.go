@@ -621,6 +621,7 @@ func (ws *Workspace) addViolatedCuts(p *lp.Problem, fronts []malleable.Frontier,
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				//malsched:bounded shard counter strictly increases; returns once all nsh shards are claimed
 				for {
 					sh := int(next.Add(1)) - 1
 					if sh >= nsh {

@@ -1,0 +1,103 @@
+// Package analysis is a minimal, stdlib-only reimplementation of the core
+// of golang.org/x/tools/go/analysis, carrying the repo's custom vet suite
+// (cmd/malschedvet). The build environment pins a dependency-free module,
+// so instead of importing x/tools this package provides the three pieces
+// the analyzers need: an Analyzer/Pass/Diagnostic vocabulary mirroring the
+// upstream API (so the analyzers port mechanically if the module ever
+// takes the dependency), a package loader that type-checks the module and
+// its stdlib dependencies from source (load.go), and the //malsched:
+// directive comment machinery shared by all analyzers (directive.go).
+//
+// The analyzers themselves live in subpackages (ctxdetach, cancelpoll,
+// retryafter, faulthook, noalloc, errlabel); DESIGN.md §10 is the catalog
+// and the annotation contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant check. Run is called once per
+// package with a fresh Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// //malsched: annotation vocabulary.
+	Name string
+	// Doc is the one-paragraph description shown by cmd/malschedvet.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// A Pass is the unit of work handed to an Analyzer: one type-checked
+// package plus reporting plumbing.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // non-test files only, comments attached
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+	directives  map[*ast.File]map[int][]Directive
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// File returns the syntax file containing pos, or nil.
+func (p *Pass) File(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Run executes the analyzer over the package and returns its diagnostics
+// sorted by position.
+func Run(a *Analyzer, pkg *Pkg) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	ds := pass.diagnostics
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].Pos.Filename != ds[j].Pos.Filename {
+			return ds[i].Pos.Filename < ds[j].Pos.Filename
+		}
+		if ds[i].Pos.Line != ds[j].Pos.Line {
+			return ds[i].Pos.Line < ds[j].Pos.Line
+		}
+		return ds[i].Pos.Column < ds[j].Pos.Column
+	})
+	return ds, nil
+}

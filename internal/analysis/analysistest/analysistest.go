@@ -1,0 +1,138 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring the upstream
+// golang.org/x/tools/go/analysis/analysistest contract on the repo's
+// stdlib-only analysis framework.
+//
+// Fixtures live in a GOPATH-shaped tree, conventionally
+// <analyzer>/testdata/src/<pkg>/*.go. A line expecting diagnostics
+// carries a trailing comment with one quoted regexp per expected
+// diagnostic:
+//
+//	ctx := context.Background() // want `context\.Background`
+//	ok()                        // no comment: any diagnostic here fails
+//
+// Both `...`-quoted and "..."-quoted regexps are accepted. Every
+// diagnostic must match a want on its line and every want must be
+// matched, so fixtures double as flagging and non-flagging coverage.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"malsched/internal/analysis"
+)
+
+// One process-wide loader: fixture packages and their stdlib imports are
+// type-checked once per test binary, not once per Run call.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+)
+
+// Run loads each fixture package under srcRoot and reports any mismatch
+// between the analyzer's diagnostics and the // want expectations.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loaderOnce.Do(func() { loader = analysis.NewLoader(".") })
+	for _, path := range pkgPaths {
+		pkg, err := loader.LoadFixture(srcRoot, path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, pkg, diags)
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+func check(t *testing.T, pkg *analysis.Pkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*want)
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pat := range quotedStrings(t, pos, text) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						continue
+					}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched, found = true, true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// cutWant extracts the text after "want" in a `// want ...` comment.
+func cutWant(comment string) (string, bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// quotedStrings parses a sequence of Go-quoted strings ("..." or `...`).
+func quotedStrings(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Errorf("%s:%d: malformed want expectation %q", pos.Filename, pos.Line, s)
+			return out
+		}
+		unq, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Errorf("%s:%d: malformed want string %q", pos.Filename, pos.Line, prefix)
+			return out
+		}
+		out = append(out, unq)
+		s = s[len(prefix):]
+	}
+	return out
+}

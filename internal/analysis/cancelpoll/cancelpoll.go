@@ -1,0 +1,102 @@
+// Package cancelpoll enforces the solver-core cancellation convention:
+// an unbounded loop (a `for` with no condition) in a hot package must
+// poll a cancelflag.Flag somewhere in its body — otherwise a stuck or
+// adversarial solve cannot be aborted and a cancelled request keeps its
+// worker pinned (the abort-latency contract of DESIGN.md §9 rests on
+// these polls). Loops that terminate for a structural reason the checker
+// cannot see carry an annotation with the reason:
+//
+//	//malsched:bounded walks one leaf-to-root heap path
+//	for {
+//		...
+//	}
+//
+// Condition loops (`for x > 0`) and range loops are assumed bounded and
+// are not checked. cmd/malschedvet runs this analyzer over the solver hot
+// packages (internal/lp, internal/flow, internal/listsched,
+// internal/allot).
+package cancelpoll
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"malsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "cancelpoll",
+	Doc: "unbounded (condition-less) loops in solver hot packages must poll " +
+		"a cancelflag.Flag or carry //malsched:bounded <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if d := pass.DirectiveAt(loop.Pos(), "bounded"); d != nil {
+				if d.Args == "" {
+					pass.Reportf(loop.Pos(), "//malsched:bounded needs a reason explaining why this loop terminates")
+				}
+				return true
+			}
+			if pollsCancel(pass, loop.Body) {
+				return true
+			}
+			pass.Reportf(loop.Pos(), "unbounded loop never polls a cancelflag.Flag; add a Canceled() checkpoint or annotate //malsched:bounded <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// pollsCancel reports whether body contains a call to the Canceled method
+// of a cancelflag.Flag on some path. Function literals are skipped: a
+// poll inside a closure only runs if the closure runs, which the checker
+// cannot see.
+func pollsCancel(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Canceled" {
+			return true
+		}
+		if isCancelflagFlag(pass.TypesInfo.Types[sel.X].Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isCancelflagFlag(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Flag" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "cancelflag" || strings.HasSuffix(path, "/cancelflag")
+}

@@ -1,0 +1,12 @@
+package cancelpoll_test
+
+import (
+	"testing"
+
+	"malsched/internal/analysis/analysistest"
+	"malsched/internal/analysis/cancelpoll"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata/src", cancelpoll.Analyzer, "a")
+}

@@ -1,0 +1,91 @@
+// Package a exercises cancelpoll: flagging and non-flagging cases.
+package a
+
+import "cancelflag"
+
+func polled(f *cancelflag.Flag) int {
+	i := 0
+	for {
+		if f.Canceled() {
+			return i
+		}
+		i++
+	}
+}
+
+func polledDeep(f *cancelflag.Flag, xs []int) int {
+	t := 0
+	for {
+		for _, x := range xs {
+			if x%1024 == 0 && f.Canceled() {
+				return t
+			}
+			t += x
+		}
+	}
+}
+
+func unpolled() int {
+	i := 0
+	for { // want `unbounded loop never polls`
+		i++
+		if i > 10 {
+			break
+		}
+	}
+	return i
+}
+
+func pollOnlyInClosure(f *cancelflag.Flag) {
+	for { // want `unbounded loop never polls`
+		probe := func() bool { return f.Canceled() }
+		if probe() {
+			return
+		}
+	}
+}
+
+func annotated() int {
+	i := 0
+	//malsched:bounded walks one leaf-to-root heap path, depth <= log n
+	for {
+		i++
+		if i > 3 {
+			return i
+		}
+	}
+}
+
+func annotatedNoReason() {
+	//malsched:bounded
+	for { // want `needs a reason`
+		return
+	}
+}
+
+// conditionLoopsAreAssumedBounded: only condition-less loops are checked.
+func conditionLoopsAreAssumedBounded(n int) int {
+	t := 0
+	for n > 0 {
+		n /= 2
+		t++
+	}
+	for i := 0; i < 10; i++ {
+		t += i
+	}
+	return t
+}
+
+// lookalike pins that a Canceled method on a non-cancelflag type does
+// not satisfy the poll requirement.
+type fakeFlag struct{}
+
+func (fakeFlag) Canceled() bool { return false }
+
+func lookalike(f fakeFlag) {
+	for { // want `unbounded loop never polls`
+		if f.Canceled() {
+			return
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package cancelflag is a fixture stub of malsched/internal/cancelflag:
+// the analyzer matches the Flag type by package-path suffix, so the stub
+// stands in for the real package.
+package cancelflag
+
+type Flag struct{ set bool }
+
+func (f *Flag) Canceled() bool { return f != nil && f.set }

@@ -1,0 +1,60 @@
+// Package ctxdetach flags context.Background() and context.TODO() calls:
+// inside the request-serving packages, a detached context silently breaks
+// cancellation end-to-end (the PR-8 bug class — v2.go once solved on
+// context.Background and kept burning a worker after the client hung up).
+// Deliberately detached work (accepted async jobs, refine-behind solves)
+// is annotated at the call line:
+//
+//	//malsched:detach accepted job outlives its submitter
+//	res, err := s.solveOne(context.Background(), &req)
+//
+// The annotation requires a reason so every detachment documents its
+// contract. cmd/malschedvet runs this analyzer over the packages that
+// serve or execute requests (internal/server, internal/engine).
+package ctxdetach
+
+import (
+	"go/ast"
+	"go/types"
+
+	"malsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdetach",
+	Doc: "flags context.Background()/context.TODO() in request paths " +
+		"unless annotated //malsched:detach <reason>",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "context" {
+				return true
+			}
+			if d := pass.DirectiveAt(call.Pos(), "detach"); d != nil {
+				if d.Args == "" {
+					pass.Reportf(call.Pos(), "//malsched:detach needs a reason documenting why this work outlives the request")
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(), "context.%s() detaches from the caller's context; thread ctx through, or annotate //malsched:detach <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

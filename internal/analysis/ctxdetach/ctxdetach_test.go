@@ -1,0 +1,12 @@
+package ctxdetach_test
+
+import (
+	"testing"
+
+	"malsched/internal/analysis/analysistest"
+	"malsched/internal/analysis/ctxdetach"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata/src", ctxdetach.Analyzer, "a")
+}

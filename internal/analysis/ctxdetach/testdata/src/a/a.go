@@ -1,0 +1,41 @@
+// Package a exercises ctxdetach: flagging and non-flagging cases.
+package a
+
+import "context"
+
+func flagged() context.Context {
+	return context.Background() // want `context\.Background\(\) detaches`
+}
+
+func flaggedTODO() context.Context {
+	ctx := context.TODO() // want `context\.TODO\(\) detaches`
+	return ctx
+}
+
+func annotatedAbove() context.Context {
+	//malsched:detach async job outlives its submitter
+	return context.Background()
+}
+
+func annotatedTrailing() context.Context {
+	return context.Background() //malsched:detach refine-behind lane is deliberately detached
+}
+
+func annotatedNoReason() context.Context {
+	//malsched:detach
+	return context.Background() // want `needs a reason`
+}
+
+func threaded(ctx context.Context) context.Context {
+	return ctx
+}
+
+// notTheRealContext pins that only the real context package triggers.
+type fakeContext struct{}
+
+func (fakeContext) Background() int { return 0 }
+
+func lookalike() int {
+	var context fakeContext
+	return context.Background()
+}

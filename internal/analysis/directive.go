@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one //malsched:<verb> [args] annotation comment. The
+// vocabulary (DESIGN.md §10): detach, bounded, noalloc. Directives are
+// written like //go: directives — no space after the slashes — and apply
+// to the line they sit on and to the line immediately following their
+// comment group, so both the trailing and the preceding-comment styles
+// work:
+//
+//	//malsched:detach accepted job outlives its submitter
+//	res, err := s.solveOne(context.Background(), &req)
+//
+//	go cleanup() //malsched:detach shutdown path, not a request
+type Directive struct {
+	Verb string // "detach", "bounded", "noalloc", ...
+	Args string // free-form reason / arguments, may be empty
+	Pos  token.Pos
+}
+
+const directivePrefix = "//malsched:"
+
+// fileDirectives maps effective source line -> directives applying there.
+func fileDirectives(fset *token.FileSet, f *ast.File) map[int][]Directive {
+	m := make(map[int][]Directive)
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, args, _ := strings.Cut(text, " ")
+			d := Directive{Verb: verb, Args: strings.TrimSpace(args), Pos: c.Pos()}
+			own := fset.Position(c.Pos()).Line
+			m[own] = append(m[own], d)
+			if next := fset.Position(g.End()).Line + 1; next != own {
+				m[next] = append(m[next], d)
+			}
+		}
+	}
+	return m
+}
+
+// DirectiveAt returns the first //malsched:<verb> directive applying to
+// the source line of pos, or nil. A directive applies to its own line and
+// to the line immediately after its comment group (see Directive).
+func (p *Pass) DirectiveAt(pos token.Pos, verb string) *Directive {
+	f := p.File(pos)
+	if f == nil {
+		return nil
+	}
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int][]Directive)
+	}
+	m, ok := p.directives[f]
+	if !ok {
+		m = fileDirectives(p.Fset, f)
+		p.directives[f] = m
+	}
+	for _, d := range m[p.Fset.Position(pos).Line] {
+		if d.Verb == verb {
+			return &d
+		}
+	}
+	return nil
+}

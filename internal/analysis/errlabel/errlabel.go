@@ -1,0 +1,192 @@
+// Package errlabel keeps the degradation-ladder failure taxonomy closed
+// under extension. A taxonomy is a named type with two or more
+// package-level Fail* constants (malsched.FailureKind); its stable
+// response/metrics labels are the package-level label* string constants
+// declared next to it (errors.go). Two rules:
+//
+//  1. Every switch over a taxonomy value must list every constant of the
+//     type explicitly. A default clause does not substitute: the point is
+//     that adding a FailX class breaks the build until its label and
+//     metrics are wired, instead of silently falling through.
+//  2. A string literal equal to a taxonomy label may appear only in the
+//     label constant's own declaration. Everyone else goes through the
+//     constants (FailureKind.String()), so a label typo'd in a response
+//     or a metrics key cannot drift from the taxonomy.
+//
+// Labels are discovered from the current package and its direct imports,
+// so the rules follow the taxonomy wherever it is consumed.
+package errlabel
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"malsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errlabel",
+	Doc: "switches over the failure taxonomy must be exhaustive; " +
+		"taxonomy label strings must come from the label* constants",
+	Run: run,
+}
+
+var (
+	failName  = regexp.MustCompile(`^Fail[A-Z]`)
+	labelName = regexp.MustCompile(`^label[A-Z]`)
+)
+
+func run(pass *analysis.Pass) error {
+	taxonomies, labels := discover(pass)
+	for _, f := range pass.Files {
+		checkSwitches(pass, f, taxonomies)
+		if len(labels) > 0 {
+			checkLiterals(pass, f, labels)
+		}
+	}
+	return nil
+}
+
+// discover finds taxonomy types (named types with >= 2 package-level
+// Fail* constants) and reserved label strings in the current package and
+// its direct imports.
+func discover(pass *analysis.Pass) (map[*types.TypeName][]*types.Const, map[string]string) {
+	taxonomies := make(map[*types.TypeName][]*types.Const)
+	labels := make(map[string]string) // literal value -> constant name
+	scopes := []*types.Scope{pass.Pkg.Scope()}
+	for _, imp := range pass.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, scope := range scopes {
+		fails := make(map[*types.TypeName]int)
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok {
+				continue
+			}
+			if failName.MatchString(name) {
+				if named, ok := c.Type().(*types.Named); ok {
+					fails[named.Obj()]++
+				}
+			}
+		}
+		for tn, n := range fails {
+			if n < 2 {
+				continue
+			}
+			// The switch must cover every constant of the type, Fail*
+			// named or not.
+			var consts []*types.Const
+			for _, name := range scope.Names() {
+				if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), tn.Type()) {
+					consts = append(consts, c)
+				}
+			}
+			taxonomies[tn] = consts
+			for _, name := range scope.Names() {
+				c, ok := scope.Lookup(name).(*types.Const)
+				if !ok || !labelName.MatchString(name) || c.Val().Kind() != constant.String {
+					continue
+				}
+				labels[constant.StringVal(c.Val())] = name
+			}
+		}
+	}
+	return taxonomies, labels
+}
+
+func checkSwitches(pass *analysis.Pass, f *ast.File, taxonomies map[*types.TypeName][]*types.Const) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tagType := pass.TypesInfo.Types[sw.Tag].Type
+		var all []*types.Const
+		for tn, consts := range taxonomies {
+			if types.Identical(tagType, tn.Type()) {
+				all = consts
+				break
+			}
+		}
+		if all == nil {
+			return true
+		}
+		covered := make(map[string]bool)
+		for _, stmt := range sw.Body.List {
+			for _, e := range stmt.(*ast.CaseClause).List {
+				if obj := resolveConst(pass, e); obj != nil {
+					covered[obj.Name()] = true
+				}
+			}
+		}
+		var missing []string
+		for _, c := range all {
+			if !covered[c.Name()] {
+				missing = append(missing, c.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (a default does not wire a new class's label/metrics)", tagType, strings.Join(missing, ", "))
+		}
+		return true
+	})
+}
+
+func resolveConst(pass *analysis.Pass, e ast.Expr) *types.Const {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	c, _ := obj.(*types.Const)
+	return c
+}
+
+func checkLiterals(pass *analysis.Pass, f *ast.File, labels map[string]string) {
+	declValues := labelDeclValues(f)
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || declValues[lit] {
+			return true
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if name, ok := labels[s]; ok {
+			pass.Reportf(lit.Pos(), "string literal %q duplicates failure-taxonomy label constant %s; use the constant (or FailureKind.String) so labels cannot drift", s, name)
+		}
+		return true
+	})
+}
+
+// labelDeclValues collects the literal value expressions of label*
+// constant declarations — the one place the raw string may appear.
+func labelDeclValues(f *ast.File) map[ast.Node]bool {
+	vals := make(map[ast.Node]bool)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			for i, name := range vs.Names {
+				if labelName.MatchString(name.Name) && i < len(vs.Values) {
+					vals[ast.Unparen(vs.Values[i])] = true
+				}
+			}
+		}
+	}
+	return vals
+}

@@ -1,0 +1,12 @@
+package errlabel_test
+
+import (
+	"testing"
+
+	"malsched/internal/analysis/analysistest"
+	"malsched/internal/analysis/errlabel"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata/src", errlabel.Analyzer, "a", "taxonomy")
+}

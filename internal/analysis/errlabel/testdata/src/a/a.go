@@ -1,0 +1,57 @@
+// Package a exercises errlabel as a taxonomy consumer: flagging and
+// non-flagging cases.
+package a
+
+import "taxonomy"
+
+func exhaustive(k taxonomy.FailureKind) string {
+	switch k {
+	case taxonomy.FailNone:
+		return "none"
+	case taxonomy.FailIterLimit, taxonomy.FailSingular:
+		return k.String()
+	}
+	return ""
+}
+
+func missingCases(k taxonomy.FailureKind) int {
+	switch k { // want `switch over taxonomy\.FailureKind is not exhaustive: missing FailNone, FailSingular`
+	case taxonomy.FailIterLimit:
+		return 1
+	}
+	return 0
+}
+
+func defaultDoesNotSubstitute(k taxonomy.FailureKind) int {
+	switch k { // want `switch over taxonomy\.FailureKind is not exhaustive: missing FailSingular`
+	case taxonomy.FailNone, taxonomy.FailIterLimit:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func inlineLabel() string {
+	return "iteration-limit" // want `string literal "iteration-limit" duplicates failure-taxonomy label constant labelIterLimit`
+}
+
+func labelInComparison(reason string) bool {
+	return reason == "singular-basis" // want `duplicates failure-taxonomy label constant labelSingular`
+}
+
+func throughString(k taxonomy.FailureKind) string {
+	return k.String()
+}
+
+func unrelatedStrings() string {
+	return "not-a-label"
+}
+
+// otherTypeSwitchesAreFree: exhaustiveness only applies to taxonomies.
+func otherTypeSwitchesAreFree(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+// Package taxonomy is a fixture stub of the root package's failure
+// taxonomy (errors.go): a named type with Fail* constants and the label*
+// string constants carrying the stable response/metrics labels. The
+// String switch is exhaustive and the label literals sit in their
+// declarations — this package itself must stay diagnostic-free.
+package taxonomy
+
+type FailureKind int
+
+const (
+	FailNone FailureKind = iota
+	FailIterLimit
+	FailSingular
+)
+
+const (
+	labelIterLimit = "iteration-limit"
+	labelSingular  = "singular-basis"
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case FailNone:
+		return ""
+	case FailIterLimit:
+		return labelIterLimit
+	case FailSingular:
+		return labelSingular
+	}
+	return ""
+}

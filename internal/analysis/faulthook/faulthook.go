@@ -1,0 +1,186 @@
+// Package faulthook enforces the fault-injection hook convention of
+// DESIGN.md §9: a production fault point is a package-level func-typed
+// variable named Fault* that is nil by default, nil-guarded at every call
+// site, and assigned only from _test.go files. Violations of each leg
+// have bitten before — a hook left armed after a test corrupted later
+// runs, and an unguarded call turns the zero value into a panic on the
+// hot path. Because the analysis loads only non-test files, any
+// assignment it can see at all is by definition a production assignment.
+//
+//	var FaultLUFactor func() bool              // ok: nil by default
+//	if FaultLUFactor != nil && FaultLUFactor() // ok: guarded call
+//	FaultLUFactor = alwaysFire                 // flagged: production arm
+//	hooks = append(hooks, FaultLUFactor)       // flagged: hook escapes
+package faulthook
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"malsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "faulthook",
+	Doc: "fault-injection hooks (package-level func vars named Fault*) must be " +
+		"nil by default, nil-guarded at call sites, and never assigned outside tests",
+	Run: run,
+}
+
+var hookName = regexp.MustCompile(`^Fault[A-Z]`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		checkDecls(pass, f)
+		parent := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if !isHook(obj) {
+				return true
+			}
+			// For qualified references (pkg.FaultX) the use site is the
+			// whole selector expression.
+			ref := ast.Node(id)
+			if sel, ok := parent[id].(*ast.SelectorExpr); ok && sel.Sel == id {
+				ref = sel
+			}
+			switch p := parent[ref].(type) {
+			case *ast.CallExpr:
+				if p.Fun == ref {
+					if !guarded(pass, parent, p, obj) {
+						pass.Reportf(p.Pos(), "call of fault hook %s is not nil-guarded (guard with `if %s != nil`); the hook is nil outside chaos tests", obj.Name(), obj.Name())
+					}
+					return true
+				}
+			case *ast.BinaryExpr:
+				if (p.Op == token.EQL || p.Op == token.NEQ) && (isNil(pass, p.X) || isNil(pass, p.Y)) {
+					return true // nil check
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range p.Lhs {
+					if lhs == ref {
+						pass.Reportf(ref.Pos(), "fault hook %s assigned outside _test.go; hooks must stay nil in production and be armed only by tests", obj.Name())
+						return true
+					}
+				}
+			}
+			pass.Reportf(ref.Pos(), "fault hook %s escapes (used as a value); hooks may only be called under a nil guard or compared against nil", obj.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDecls flags package-level Fault* declarations with initializers.
+func checkDecls(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs := spec.(*ast.ValueSpec)
+			if len(vs.Values) == 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				if isHook(pass.TypesInfo.Defs[name]) {
+					pass.Reportf(name.Pos(), "fault hook %s must be nil by default (declare without an initializer)", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// isHook reports whether obj is a package-level func-typed var named Fault*.
+func isHook(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if !hookName.MatchString(v.Name()) {
+		return false
+	}
+	_, isFunc := v.Type().Underlying().(*types.Signature)
+	return isFunc
+}
+
+// guarded reports whether call sits under a `hook != nil` check: either
+// as the right operand of && whose left side checks the hook, or inside
+// the body of an if whose condition checks it. The walk stops at function
+// boundaries — a guard outside a closure does not cover the closure's
+// body (the hook may be re-read after the guard ran).
+func guarded(pass *analysis.Pass, parent map[ast.Node]ast.Node, call *ast.CallExpr, obj types.Object) bool {
+	for cur, p := ast.Node(call), parent[call]; p != nil; cur, p = p, parent[p] {
+		switch pn := p.(type) {
+		case *ast.BinaryExpr:
+			if pn.Op == token.LAND && cur == pn.Y && hasNilCheck(pass, pn.X, obj) {
+				return true
+			}
+		case *ast.IfStmt:
+			if cur == pn.Body && hasNilCheck(pass, pn.Cond, obj) {
+				return true
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// hasNilCheck reports whether e contains `obj != nil` (or `nil != obj`).
+func hasNilCheck(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || b.Op != token.NEQ {
+			return true
+		}
+		if (resolves(pass, b.X, obj) && isNil(pass, b.Y)) ||
+			(resolves(pass, b.Y, obj) && isNil(pass, b.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func resolves(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e] == obj
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[e.Sel] == obj
+	}
+	return false
+}
+
+func isNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+// parentMap records each node's syntactic parent within f.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parent := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parent[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parent
+}

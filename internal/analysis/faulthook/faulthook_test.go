@@ -1,0 +1,12 @@
+package faulthook_test
+
+import (
+	"testing"
+
+	"malsched/internal/analysis/analysistest"
+	"malsched/internal/analysis/faulthook"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata/src", faulthook.Analyzer, "a")
+}

@@ -1,0 +1,54 @@
+// Package a exercises faulthook: flagging and non-flagging cases.
+package a
+
+// FaultLU is a well-formed hook: package-level, func-typed, nil default.
+var FaultLU func() bool
+
+// FaultArmed ships armed, which defeats the whole convention.
+var FaultArmed func() bool = alwaysFire // want `fault hook FaultArmed must be nil by default`
+
+func alwaysFire() bool { return true }
+
+// Faulty is not a hook: Fault must be followed by an upper-case letter.
+var Faulty func() bool = alwaysFire
+
+// FaultCount is not a hook: not func-typed.
+var FaultCount int = 3
+
+func guardedAnd() bool {
+	if FaultLU != nil && FaultLU() {
+		return true
+	}
+	return false
+}
+
+func guardedIf() {
+	if FaultLU != nil {
+		_ = FaultLU()
+	}
+}
+
+func unguarded() bool {
+	return FaultLU() // want `call of fault hook FaultLU is not nil-guarded`
+}
+
+func guardOutsideClosure() func() bool {
+	if FaultLU != nil {
+		return func() bool {
+			return FaultLU() // want `call of fault hook FaultLU is not nil-guarded`
+		}
+	}
+	return nil
+}
+
+func armedInProduction() {
+	FaultLU = alwaysFire // want `fault hook FaultLU assigned outside _test\.go`
+}
+
+func escapes() []func() bool {
+	return []func() bool{FaultLU} // want `fault hook FaultLU escapes`
+}
+
+func nilComparisons() bool {
+	return FaultLU == nil || FaultLU != nil
+}

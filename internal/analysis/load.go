@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Pkg is one loaded, type-checked package.
+type Pkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool // part of the Go standard library
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Loader type-checks packages from source with no dependencies outside
+// the standard library: package metadata comes from `go list -deps -json`
+// (dependency order), syntax from go/parser, types from go/types, with
+// each dependency resolved against the packages checked before it. One
+// Loader shares a FileSet and a package cache across calls, so loading
+// fixture trees plus their stdlib imports stays linear in the union of
+// packages touched.
+type Loader struct {
+	// Dir is the directory `go list` runs in (the module root for
+	// module-relative patterns; any directory works for stdlib paths).
+	Dir string
+
+	Fset    *token.FileSet
+	checked map[string]*types.Package
+	pkgs    map[string]*Pkg
+}
+
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:     dir,
+		Fset:    token.NewFileSet(),
+		checked: map[string]*types.Package{"unsafe": types.Unsafe},
+		pkgs:    make(map[string]*Pkg),
+	}
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves the patterns with `go list -deps -json` and type-checks
+// every listed package from source in dependency order. It returns the
+// packages matching the patterns themselves (dependencies are loaded but
+// not returned), sorted by import path. Only non-test GoFiles are loaded;
+// cgo is disabled so the pure-Go stdlib variants are used throughout.
+func (l *Loader) Load(patterns ...string) ([]*Pkg, error) {
+	args := append([]string{"list", "-deps",
+		"-json=ImportPath,Dir,GoFiles,ImportMap,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var roots []*Pkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly && p != nil {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	return roots, nil
+}
+
+// LoadFixture type-checks the fixture package at srcRoot/path (an
+// analysistest-style GOPATH-shaped tree: import paths resolve to
+// directories under srcRoot when they exist there, and to standard
+// library packages otherwise).
+func (l *Loader) LoadFixture(srcRoot, path string) (*Pkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	lp := &listPkg{ImportPath: path, Dir: dir}
+	for _, e := range entries {
+		if name := e.Name(); strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			lp.GoFiles = append(lp.GoFiles, name)
+		}
+	}
+	// Pre-resolve imports: fixture-tree siblings first, stdlib otherwise.
+	files, err := l.parse(lp)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			q := strings.Trim(imp.Path.Value, `"`)
+			if _, ok := l.checked[q]; ok {
+				continue
+			}
+			if st, err := os.Stat(filepath.Join(srcRoot, filepath.FromSlash(q))); err == nil && st.IsDir() {
+				if _, err := l.LoadFixture(srcRoot, q); err != nil {
+					return nil, err
+				}
+			} else if _, err := l.Load(q); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l.checkFiles(lp, files, true)
+}
+
+// check parses and type-checks one go-list package, reusing the cache.
+func (l *Loader) check(lp *listPkg) (*Pkg, error) {
+	if p, ok := l.pkgs[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		return nil, nil
+	}
+	files, err := l.parse(lp)
+	if err != nil {
+		return nil, err
+	}
+	// Type errors in the standard library are tolerated (nothing this
+	// suite reports on lives there); errors in module packages are fatal.
+	return l.checkFiles(lp, files, !lp.Standard)
+}
+
+func (l *Loader) parse(lp *listPkg) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func (l *Loader) checkFiles(lp *listPkg, files []*ast.File, strict bool) (*Pkg, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer:    importerFunc(func(path string) (*types.Package, error) { return l.resolve(lp, path) }),
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tpkg, _ := conf.Check(lp.ImportPath, l.Fset, files, info)
+	if strict && firstErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, firstErr)
+	}
+	l.checked[lp.ImportPath] = tpkg
+	p := &Pkg{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Standard:   lp.Standard,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[lp.ImportPath] = p
+	return p, nil
+}
+
+func (l *Loader) resolve(lp *listPkg, path string) (*types.Package, error) {
+	if m, ok := lp.ImportMap[path]; ok {
+		path = m
+	}
+	if tp, ok := l.checked[path]; ok {
+		return tp, nil
+	}
+	return nil, fmt.Errorf("package %q not loaded (import of %s)", path, lp.ImportPath)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,200 @@
+// Package noalloc pins the allocation discipline of the warm solve
+// paths: a function annotated //malsched:noalloc (last line of its doc
+// comment) is rejected if its body contains an allocating construct. The
+// warm paths earned single-digit allocs/op over several PRs and benchgate
+// only notices a regression after it lands; this analyzer turns the
+// discipline into a build-time error instead.
+//
+// Flagged constructs: fmt.* and errors.New calls, slice/map composite
+// literals, make and new, closures (func literals), append onto a fresh
+// slice (a literal or call result — growth the caller can never reuse),
+// non-constant string concatenation, string<->[]byte/[]rune conversions,
+// and interface boxing of non-pointer concrete values at call sites.
+//
+// The check is intraprocedural by design: calls into helpers that
+// allocate on cold paths only (workspace grow(), fallbacks to the cold
+// solver) stay legal, exactly like the amortized-zero contract the
+// benchmarks measure. Annotate the leaf hot functions, not the
+// orchestration above them.
+package noalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"malsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //malsched:noalloc must not contain allocating constructs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.DirectiveAt(fn.Pos(), "noalloc") == nil {
+				continue
+			}
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates in //malsched:noalloc function %s", fn.Name.Name)
+			return false // its body is the closure's business
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.Types[n].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(n.Pos(), "slice/map literal allocates in //malsched:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			checkConcat(pass, fn, n)
+		case *ast.CallExpr:
+			checkCall(pass, fn, n)
+		}
+		return true
+	})
+}
+
+// checkConcat flags non-constant string concatenation.
+func checkConcat(pass *analysis.Pass, fn *ast.FuncDecl, b *ast.BinaryExpr) {
+	if b.Op.String() != "+" {
+		return
+	}
+	tv := pass.TypesInfo.Types[b]
+	if tv.Value != nil { // folded at compile time
+		return
+	}
+	if bt, ok := tv.Type.Underlying().(*types.Basic); ok && bt.Info()&types.IsString != 0 {
+		pass.Reportf(b.Pos(), "string concatenation allocates in //malsched:noalloc function %s", fn.Name.Name)
+	}
+}
+
+func checkCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	// Conversions: string <-> []byte/[]rune copy their operand.
+	if fune := ast.Unparen(call.Fun); len(call.Args) == 1 {
+		if tv, ok := info.Types[fune]; ok && tv.IsType() {
+			if convAllocates(tv.Type, info.Types[call.Args[0]].Type) {
+				pass.Reportf(call.Pos(), "string/byte-slice conversion allocates in //malsched:noalloc function %s", fn.Name.Name)
+			}
+			return
+		}
+	}
+	// Builtins and well-known allocating packages.
+	if obj := callee(info, call); obj != nil {
+		switch obj := obj.(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in //malsched:noalloc function %s (reuse a workspace buffer)", fn.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in //malsched:noalloc function %s", fn.Name.Name)
+			case "append":
+				if len(call.Args) > 0 {
+					switch ast.Unparen(call.Args[0]).(type) {
+					case *ast.CompositeLit, *ast.CallExpr:
+						pass.Reportf(call.Pos(), "append onto a fresh slice allocates in //malsched:noalloc function %s", fn.Name.Name)
+					}
+				}
+			}
+			return
+		default:
+			if pkg := obj.Pkg(); pkg != nil && obj.Parent() == pkg.Scope() &&
+				(pkg.Path() == "fmt" || (pkg.Path() == "errors" && obj.Name() == "New")) {
+				pass.Reportf(call.Pos(), "%s.%s allocates in //malsched:noalloc function %s", pkg.Name(), obj.Name(), fn.Name.Name)
+				return
+			}
+		}
+	}
+	checkBoxing(pass, fn, call)
+}
+
+// checkBoxing flags arguments whose concrete value is boxed into an
+// interface parameter. Pointers (and pointer-shaped types) fit an
+// interface without allocating; constants are skipped as noise (small
+// values are interned by the runtime).
+func checkBoxing(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < sig.Params().Len()-1 || (!sig.Variadic() && i < sig.Params().Len()):
+			param = sig.Params().At(i).Type()
+		case sig.Variadic():
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if _, ok := param.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		tv := pass.TypesInfo.Types[arg]
+		if tv.Value != nil || tv.IsNil() {
+			continue
+		}
+		if boxAllocates(tv.Type) {
+			pass.Reportf(arg.Pos(), "boxing %s into interface parameter allocates in //malsched:noalloc function %s (pass a pointer or restructure)", tv.Type, fn.Name.Name)
+		}
+	}
+}
+
+func boxAllocates(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		// unsafe.Pointer is pointer-shaped; everything else boxes.
+		return t.Underlying().(*types.Basic).Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// convAllocates reports whether converting from -> to copies memory:
+// string <-> []byte / []rune in either direction.
+func convAllocates(to, from types.Type) bool {
+	return (isString(to) && isByteOrRuneSlice(from)) || (isByteOrRuneSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	bt, ok := t.Underlying().(*types.Basic)
+	return ok && bt.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	bt, ok := st.Elem().Underlying().(*types.Basic)
+	return ok && (bt.Kind() == types.Byte || bt.Kind() == types.Rune ||
+		bt.Kind() == types.Uint8 || bt.Kind() == types.Int32)
+}
+
+// callee resolves the called object for idents and selectors.
+func callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch funExpr := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[funExpr]
+	case *ast.SelectorExpr:
+		return info.Uses[funExpr.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"malsched/internal/analysis/analysistest"
+	"malsched/internal/analysis/noalloc"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata/src", noalloc.Analyzer, "a")
+}

@@ -1,0 +1,112 @@
+// Package a exercises noalloc: flagging and non-flagging cases.
+package a
+
+import "fmt"
+
+type workspace struct {
+	buf []int
+	n   int
+}
+
+// hot is a well-behaved warm path: loops, arithmetic, reslicing and
+// calls into helpers are all fine.
+//
+//malsched:noalloc
+func hot(ws *workspace, xs []int) int {
+	ws.buf = ws.buf[:0]
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	ws.n = t
+	return helper(t)
+}
+
+// helper is unannotated: it may allocate freely even when called from a
+// noalloc function (the amortized-zero contract is per function).
+func helper(n int) int {
+	tmp := make([]int, 0, n)
+	return cap(tmp)
+}
+
+//malsched:noalloc
+func sprint(x int) string {
+	return fmt.Sprintf("%d", x) // want `fmt\.Sprintf allocates`
+}
+
+//malsched:noalloc
+func fresh(n int) []int {
+	return make([]int, n) // want `make allocates`
+}
+
+//malsched:noalloc
+func boxed() *int {
+	return new(int) // want `new allocates`
+}
+
+//malsched:noalloc
+func lit() []int {
+	return []int{1, 2, 3} // want `slice/map literal allocates`
+}
+
+//malsched:noalloc
+func litMap() map[string]int {
+	return map[string]int{"a": 1} // want `slice/map literal allocates`
+}
+
+//malsched:noalloc
+func structLitIsFine(n int) workspace {
+	return workspace{n: n}
+}
+
+//malsched:noalloc
+func clo(n int) func() int {
+	return func() int { return n } // want `closure allocates`
+}
+
+//malsched:noalloc
+func appendFresh(xs []int) []int {
+	return append(fresh(0), xs...) // want `append onto a fresh slice allocates`
+}
+
+//malsched:noalloc
+func appendReused(ws *workspace, x int) {
+	ws.buf = append(ws.buf, x)
+}
+
+//malsched:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//malsched:noalloc
+func concatConst() string {
+	return "a" + "b"
+}
+
+//malsched:noalloc
+func conv(bs []byte) string {
+	return string(bs) // want `conversion allocates`
+}
+
+//malsched:noalloc
+func box(x int) any {
+	return sink(x) // want `boxing int into interface parameter allocates`
+}
+
+//malsched:noalloc
+func boxPointerIsFine(ws *workspace) any {
+	return sink(ws)
+}
+
+//malsched:noalloc
+func boxConstIsSkipped() any {
+	return sink(1)
+}
+
+func sink(v any) any { return v }
+
+// cold has no annotation and allocates freely.
+func cold() []int {
+	return append(make([]int, 0), 1, 2, 3)
+}

@@ -1,0 +1,93 @@
+// Package retryafter enforces the shed-response contract: any function
+// that writes an HTTP 429 or 503 must set the Retry-After header before
+// that write. The chaos suite found this class twice (jobs-busy 503s on
+// v1 and again on v2 shipping without the hint); loadgen and real clients
+// key their backoff off the header, so a missing one turns polite sheds
+// into tight retry storms.
+//
+// The check is positional within the enclosing function: a
+// Header().Set("Retry-After", ...) (or Add) must appear textually before
+// the call that carries the 429/503 status. Status arguments are found by
+// constant folding, so http.StatusServiceUnavailable, a local constant,
+// or a literal 503 all count. cmd/malschedvet runs this analyzer over
+// internal/server.
+package retryafter
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"malsched/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "retryafter",
+	Doc:  "429/503 responses must set the Retry-After header before the status write",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	var headerSets []token.Pos
+	type shed struct {
+		pos    token.Pos
+		status int64
+	}
+	var sheds []shed
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isRetryAfterSet(pass, call) {
+			headerSets = append(headerSets, call.Pos())
+			return true
+		}
+		for _, arg := range call.Args {
+			tv := pass.TypesInfo.Types[arg]
+			if tv.Value == nil || tv.Value.Kind() != constant.Int {
+				continue
+			}
+			if v, ok := constant.Int64Val(tv.Value); ok && (v == 429 || v == 503) {
+				sheds = append(sheds, shed{call.Pos(), v})
+			}
+		}
+		return true
+	})
+	for _, s := range sheds {
+		ok := false
+		for _, h := range headerSets {
+			if h < s.pos {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			pass.Reportf(s.pos, "writes status %d without setting the Retry-After header first; sheds without a hint turn client backoff into a retry storm", s.status)
+		}
+	}
+}
+
+// isRetryAfterSet matches <expr>.Set("Retry-After", ...) and Add.
+func isRetryAfterSet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Set" && sel.Sel.Name != "Add") || len(call.Args) < 1 {
+		return false
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	return tv.Value != nil && tv.Value.Kind() == constant.String &&
+		constant.StringVal(tv.Value) == "Retry-After"
+}

@@ -1,0 +1,12 @@
+package retryafter_test
+
+import (
+	"testing"
+
+	"malsched/internal/analysis/analysistest"
+	"malsched/internal/analysis/retryafter"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata/src", retryafter.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Package a exercises retryafter: flagging and non-flagging cases. The
+// stub response writer mirrors net/http's shape; statuses resolve by
+// constant folding, so named constants and literals both count.
+package a
+
+type header map[string][]string
+
+func (h header) Set(k, v string) { h[k] = []string{v} }
+func (h header) Add(k, v string) { h[k] = append(h[k], v) }
+
+type respWriter struct{ h header }
+
+func (w *respWriter) Header() header         { return w.h }
+func (w *respWriter) WriteHeader(status int) {}
+
+const (
+	statusBusy     = 503
+	statusTooMany  = 429
+	statusOK       = 200
+	statusNotFound = 404
+)
+
+func shedWithHint(w *respWriter) {
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(statusBusy)
+}
+
+func shedWithAdd(w *respWriter) {
+	w.Header().Add("Retry-After", "1")
+	w.WriteHeader(statusTooMany)
+}
+
+func shedNoHint(w *respWriter) {
+	w.WriteHeader(statusBusy) // want `writes status 503 without setting the Retry-After header first`
+}
+
+func shedLiteral(w *respWriter) {
+	w.WriteHeader(429) // want `writes status 429 without setting the Retry-After header first`
+}
+
+func hintTooLate(w *respWriter) {
+	w.WriteHeader(503) // want `writes status 503 without setting the Retry-After header first`
+	w.Header().Set("Retry-After", "1")
+}
+
+func wrongHeader(w *respWriter) {
+	w.Header().Set("X-Backoff", "1")
+	w.WriteHeader(503) // want `writes status 503 without setting the Retry-After header first`
+}
+
+func nonShedStatuses(w *respWriter) {
+	w.WriteHeader(statusOK)
+	w.WriteHeader(statusNotFound)
+	w.WriteHeader(500)
+}
+
+// comparisonsAreNotWrites: 429/503 as comparison operands never flag.
+func comparisonsAreNotWrites(status int) bool {
+	return status == statusBusy || status == 429
+}

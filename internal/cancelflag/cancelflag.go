@@ -41,6 +41,8 @@ func (f *Flag) Clear() {
 
 // Canceled reports whether cancellation was requested. Nil flags are never
 // canceled.
+//
+//malsched:noalloc
 func (f *Flag) Canceled() bool {
 	return f != nil && f.set.Load()
 }

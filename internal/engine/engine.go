@@ -231,6 +231,7 @@ func runJob(ctx context.Context, fn Func, ws *solver.Workspace) (err error) {
 // always waits for the jobs it managed to start.
 func (p *Pool) Run(ctx context.Context, fns []Func) []error {
 	if ctx == nil {
+		//malsched:detach nil ctx selects the documented fire-and-forget contract; there is no caller context to inherit
 		ctx = context.Background()
 	}
 	errs := make([]error, len(fns))

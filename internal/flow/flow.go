@@ -534,8 +534,10 @@ func (ws *Workspace) siftUp(i int) int {
 	return i
 }
 
+//malsched:noalloc
 func (ws *Workspace) siftDown(i int) {
 	h := ws.heap
+	//malsched:bounded heap sift-down walks one root-to-leaf path, depth <= log n
 	for {
 		l, r := 2*i+1, 2*i+2
 		big := i
@@ -1041,6 +1043,7 @@ func (ws *Workspace) reopen(a int32, fwd bool) (done bool, err error) {
 		u, v = ws.head[a], ws.tail[a]
 	}
 	pathOK := false // sink-side sPar path from the previous iteration still usable
+	//malsched:bounded every iteration returns or augments one path; augment counts toward the sweep budget (ErrStalled), polled by the event loop
 	for {
 		if fwd {
 			if !ws.fwdOpen(a) {

@@ -55,6 +55,7 @@ func RunLazyHeap(in *allot.Instance, alloc []int) (*schedule.Schedule, error) {
 		heap[0] = heap[last]
 		heap = heap[:last]
 		i := 0
+		//malsched:bounded heap sift-down walks one root-to-leaf path, depth <= log n
 		for {
 			l, r := 2*i+1, 2*i+2
 			smallest := i

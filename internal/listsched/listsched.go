@@ -268,7 +268,10 @@ func siftUp(b *bucket, hi int) {
 }
 
 // siftDown restores the group heap downward from heap index hi.
+//
+//malsched:noalloc
 func siftDown(b *bucket, hi int) {
+	//malsched:bounded heap sift-down walks one root-to-leaf path, depth <= log n
 	for {
 		l, r := 2*hi+1, 2*hi+2
 		smallest := hi
@@ -368,6 +371,7 @@ func (ws *Workspace) popHandle() {
 	ws.handles = hs[:last]
 	hs = ws.handles
 	i := 0
+	//malsched:bounded heap sift-down walks one root-to-leaf path, depth <= log n
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -405,6 +409,7 @@ func popTask(tasks []int32) []int32 {
 	tasks[0] = tasks[last]
 	tasks = tasks[:last]
 	i := 0
+	//malsched:bounded heap sift-down walks one root-to-leaf path, depth <= log n
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i

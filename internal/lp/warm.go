@@ -41,6 +41,8 @@ func (ws *Workspace) ExportBasis() *Basis {
 // corrective pivots. Perturbing only nonbasic columns, away from their
 // resting bound, keeps the transplanted point exactly optimal while
 // still breaking reduced-cost ties among the columns that could enter.
+//
+//malsched:noalloc
 func (ws *Workspace) perturbCostsNonbasic() {
 	limit := ws.nstruct + ws.nrows
 	for j := 0; j < limit; j++ {
@@ -94,6 +96,8 @@ func (b *Basis) RowSlackBasic(r int) bool {
 // path, falls back to a cold SolveWith — SolveHotWith never fails where
 // SolveWith would succeed. DeferPolish is honoured exactly like SolveWith.
 // The returned Solution aliases workspace memory exactly like SolveWith.
+//
+//malsched:noalloc
 func (p *Problem) SolveHotWith(ws *Workspace, bas *Basis) (*Solution, error) {
 	if ws == nil {
 		ws = NewWorkspace()

@@ -402,6 +402,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobs.setRunning(id)
 		// Background context by contract: an accepted job must complete
 		// even after its submitter disconnects.
+		//malsched:detach accepted async job outlives its submitter (202 contract)
 		res, err := s.solveOne(context.Background(), &req)
 		s.jobs.finish(id, res, err, time.Now())
 	}()
@@ -432,6 +433,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // traffic).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		// Draining is a shed like any other: the Retry-After hint tells
+		// probes and load balancers when to look again (found by
+		// malschedvet's retryafter analyzer — every 503 carries the hint).
+		w.Header().Set("Retry-After", retryAfterSeconds)
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}

@@ -670,6 +670,7 @@ func (s *Server) handleJobSubmitV2(w http.ResponseWriter, r *http.Request) {
 		s.jobs.setRunning(id)
 		// Background context by contract: an accepted job must complete
 		// (and stay queryable) even after its submitter disconnects.
+		//malsched:detach accepted async job outlives its submitter (202 contract)
 		res, err := s.serve(context.Background(), &req, false)
 		if err != nil {
 			s.jobs.finish(id, nil, err, time.Now())

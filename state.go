@@ -66,6 +66,8 @@ func (in *Instance) EditDistance(other *Instance) int {
 
 // quantizedTimesEqual reports whether two processing-time vectors are
 // equal after fingerprint quantization.
+//
+//malsched:noalloc
 func quantizedTimesEqual(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false
